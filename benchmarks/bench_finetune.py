@@ -1,0 +1,107 @@
+"""E8 — Sec. II-C: API chain-oriented finetuning (Def. 1 loss ablation).
+
+Compares the paper's node matching-based objective (+ search-based
+prediction) against plain token-level cross-entropy on the same corpus
+of questions with *equivalent* ground-truth chains.  Reported: exact
+match, set match, mean matching loss, and the training curves.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apis import default_registry
+from repro.config import FinetuneConfig
+from repro.finetune import CorpusSpec, Finetuner, build_corpus
+from repro.llm import build_model
+from repro.retrieval import APIRetriever
+
+CORPUS_SIZE = 300
+EPOCHS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    registry = default_registry()
+    retriever = APIRetriever(registry)
+    train, test = build_corpus(registry,
+                               CorpusSpec(n_examples=CORPUS_SIZE, seed=1),
+                               retriever=retriever)
+    return registry, train, test
+
+
+def test_objective_comparison(corpus, report_table, benchmark):
+    registry, train, test = corpus
+    rows = [f"{'objective':<22} {'exact':>7} {'set':>6} {'loss':>7} "
+            f"{'train s':>8}"]
+    reports = {}
+    for label, objective, rollouts in (
+            ("token CE (baseline)", "token", 0),
+            ("matching, r=0", "matching", 0),
+            ("matching + rollouts", "matching", 2)):
+        model = build_model("chatglm-sim", registry.names(), seed=0)
+        tuner = Finetuner(model, FinetuneConfig(epochs=EPOCHS,
+                                                rollouts=rollouts))
+        report = tuner.train(train, test, objective=objective)
+        reports[label] = report
+        metrics = report.final_metrics
+        rows.append(f"{label:<22} {metrics.exact_match:>7.3f} "
+                    f"{metrics.set_match:>6.3f} "
+                    f"{metrics.mean_matching_loss:>7.3f} "
+                    f"{report.seconds:>8.2f}")
+    report_table("E8-finetune-objectives", *rows)
+
+    baseline = reports["token CE (baseline)"].final_metrics
+    matching = reports["matching + rollouts"].final_metrics
+    # the matching objective reaches the baseline's accuracy while
+    # natively handling equivalent chains (see EXPERIMENTS.md notes)
+    assert matching.exact_match >= baseline.exact_match - 0.1
+    assert baseline.exact_match > 0.75
+
+    model = build_model("chatglm-sim", registry.names(), seed=0)
+    tuner = Finetuner(model, FinetuneConfig(epochs=1))
+    small = train[:40]
+    benchmark(lambda: tuner.train(small, objective="token"))
+
+
+def test_training_curves(corpus, report_table, benchmark):
+    """Per-epoch eval: both objectives improve monotonically-ish."""
+    registry, train, test = corpus
+    rows = [f"{'epoch':>6} {'token exact':>12} {'matching exact':>15}"]
+    model_token = build_model("chatglm-sim", registry.names(), seed=0)
+    model_match = build_model("chatglm-sim", registry.names(), seed=0)
+    report_token = Finetuner(model_token, FinetuneConfig(
+        epochs=EPOCHS)).train(train, test, objective="token")
+    report_match = Finetuner(model_match, FinetuneConfig(
+        epochs=EPOCHS, rollouts=2)).train(train, test,
+                                          objective="matching")
+    for epoch in range(EPOCHS):
+        rows.append(
+            f"{epoch + 1:>6} "
+            f"{report_token.eval_history[epoch].exact_match:>12.3f} "
+            f"{report_match.eval_history[epoch].exact_match:>15.3f}")
+    report_table("E8-finetune-curves", *rows)
+    assert report_token.eval_history[-1].exact_match >= \
+        report_token.eval_history[0].exact_match
+    assert report_match.eval_history[-1].exact_match >= \
+        report_match.eval_history[0].exact_match
+
+    from repro.finetune import evaluate_model
+    benchmark(lambda: evaluate_model(model_token, test[:20]))
+
+
+def test_alpha_ablation(corpus, report_table, benchmark):
+    """Def. 1's alpha balances GED vs the one-to-one regularizer."""
+    from repro.finetune import node_matching_loss
+    generated = ["a", "b", "c", "d"]
+    truth = ["a", "b"]
+    rows = [f"{'alpha':>6} {'loss':>7}"]
+    previous = -1.0
+    for alpha in (0.0, 0.5, 1.0, 2.0, 4.0):
+        loss = node_matching_loss(generated, truth, alpha=alpha)
+        rows.append(f"{alpha:>6.1f} {loss:>7.2f}")
+        assert loss >= previous  # monotone in alpha
+        previous = loss
+    report_table("E8-finetune-alpha", *rows)
+
+    benchmark(lambda: node_matching_loss(generated, truth, alpha=1.0))

@@ -1,0 +1,116 @@
+"""E5 — Fig. 7 scenario 4: chain confirmation, editing and monitoring.
+
+The paper's claim: users can confirm/edit the proposed chain before
+execution and watch progress while it runs.  We measure event
+completeness over chain lengths, edit round-trips, and the executor
+overhead monitoring adds.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ChatSession
+from repro.apis import APIChain, ChainContext
+from repro.core import ChainMonitor, run_chain_monitoring
+from repro.graphs import social_network
+
+CHAINS = {
+    2: ["predict_graph_type", "graph_summary"],
+    4: ["predict_graph_type", "graph_summary", "connectivity",
+        "clustering"],
+    6: ["predict_graph_type", "graph_summary", "connectivity",
+        "clustering", "count_triangles", "rank_degree"],
+    8: ["predict_graph_type", "graph_summary", "connectivity",
+        "clustering", "count_triangles", "rank_degree",
+        "kcore_decomposition", "degree_distribution"],
+}
+
+
+def test_event_completeness(chatgraph, report_table, benchmark):
+    graph = social_network(40, 4, seed=8)
+    rows = [f"{'chain len':>9} {'events':>7} {'started':>8} "
+            f"{'finished':>9} {'progress':>9}"]
+    for length, names in CHAINS.items():
+        monitor = ChainMonitor()
+        chatgraph.executor.add_listener(monitor)
+        try:
+            chatgraph.executor.execute(APIChain.from_names(names),
+                                       ChainContext(graph=graph))
+        finally:
+            chatgraph.executor.remove_listener(monitor)
+        kinds = [e.kind for e in monitor.events]
+        rows.append(f"{length:>9} {len(kinds):>7} "
+                    f"{kinds.count('step_started'):>8} "
+                    f"{kinds.count('step_finished'):>9} "
+                    f"{monitor.progress:>9.2f}")
+        assert kinds.count("step_started") == length
+        assert kinds.count("step_finished") == length
+        assert monitor.progress == 1.0
+    report_table("E5-monitoring-events", *rows)
+
+    chain = APIChain.from_names(CHAINS[4])
+    benchmark(lambda: chatgraph.executor.execute(
+        chain, ChainContext(graph=graph)))
+
+
+def test_monitoring_overhead(chatgraph, report_table, benchmark):
+    """Events cost little relative to chain execution."""
+    graph = social_network(60, 4, seed=9)
+    chain = APIChain.from_names(CHAINS[6])
+
+    def run(with_monitor: bool) -> float:
+        monitor = ChainMonitor()
+        if with_monitor:
+            chatgraph.executor.add_listener(monitor)
+        start = time.perf_counter()
+        try:
+            for __ in range(5):
+                chatgraph.executor.execute(chain,
+                                           ChainContext(graph=graph))
+        finally:
+            if with_monitor:
+                chatgraph.executor.remove_listener(monitor)
+        return (time.perf_counter() - start) / 5
+
+    bare = run(False)
+    monitored = run(True)
+    overhead = (monitored - bare) / bare * 100
+    report_table(
+        "E5-monitoring-overhead",
+        f"execution without monitor: {bare * 1e3:.2f} ms",
+        f"execution with monitor:    {monitored * 1e3:.2f} ms",
+        f"overhead: {overhead:+.1f}%",
+    )
+    assert monitored < bare * 2  # monitoring is cheap
+
+    benchmark(lambda: run(True))
+
+
+def test_edit_round_trip(chatgraph, report_table, benchmark):
+    """Propose -> edit -> confirm keeps the chain executable (Fig. 7)."""
+    graph = social_network(35, 3, seed=10)
+    result = run_chain_monitoring(chatgraph, graph, edit_remove=1)
+    proposed = result.details["proposed_chain"].split(" -> ")
+    executed = result.details["executed_chain"].split(" -> ")
+    report_table(
+        "E5-monitoring-edit",
+        f"proposed: {' -> '.join(proposed)}",
+        f"executed after removing step 1: {' -> '.join(executed)}",
+        f"events: {len(result.details['events'])}",
+        f"final progress: {result.details['progress']:.2f}",
+    )
+    assert len(executed) == len(proposed) - 1
+    assert result.details["progress"] == 1.0
+
+    session = ChatSession(chatgraph)
+    session.upload_graph(graph)
+
+    def round_trip():
+        session.propose("write a brief report for G")
+        session.edit_chain(remove=1)
+        return session.confirm()
+
+    benchmark(round_trip)

@@ -1,0 +1,104 @@
+"""E10 — Sec. II-A: API retrieval is performance-critical.
+
+Three measurements: (a) gold-API recall of top-k retrieval as k grows,
+(b) ANN (tau-MG) agreement with exact retrieval, and (c) the ablation
+the paper's claim rests on — chain accuracy with retrieval conditioning
+vs with the retrieved-API features stripped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apis import default_registry
+from repro.config import FinetuneConfig
+from repro.finetune import CorpusSpec, Finetuner, build_corpus, evaluate_model
+from repro.finetune.dataset import TEMPLATES
+from repro.llm import build_model
+from repro.llm.intent import CATEGORY_ROUTING
+from repro.retrieval import APIRetriever
+
+K_SWEEP = (1, 2, 4, 8, 12, 16)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    registry = default_registry()
+    retriever = APIRetriever(registry)
+    return registry, retriever
+
+
+def test_gold_recall_vs_k(setup, report_table, benchmark):
+    registry, retriever = setup
+    rows = [f"{'k':>4} {'gold-API recall':>16} {'full-chain recall':>18}"]
+    recalls = []
+    for k in K_SWEEP:
+        got_apis = total_apis = 0
+        full = total_questions = 0
+        for template in TEMPLATES:
+            gold = {n for c in template.chains for n in c}
+            categories = CATEGORY_ROUTING.get(template.graph_kind,
+                                              CATEGORY_ROUTING["generic"])
+            for phrasing in template.phrasings:
+                names = set(retriever.retrieve_names(
+                    phrasing, k=k, categories=categories))
+                got_apis += len(names & gold)
+                total_apis += len(gold)
+                full += int(gold <= names)
+                total_questions += 1
+        recalls.append(got_apis / total_apis)
+        rows.append(f"{k:>4} {got_apis / total_apis:>16.3f} "
+                    f"{full / total_questions:>18.3f}")
+    report_table("E10-retrieval-recall-vs-k", *rows)
+    assert recalls == sorted(recalls)  # recall is monotone in k
+    assert recalls[-1] > 0.75
+
+    benchmark(lambda: retriever.retrieve_names("find communities", k=8))
+
+
+def test_ann_vs_exact_agreement(setup, report_table, benchmark):
+    registry, retriever = setup
+    questions = [phrasing for template in TEMPLATES
+                 for phrasing in template.phrasings]
+    agree = 0.0
+    for question in questions:
+        ann = set(retriever.retrieve_names(question, k=5))
+        exact = {h.name for h in retriever.exact_retrieve(question, k=5)}
+        agree += len(ann & exact) / 5
+    report_table(
+        "E10-retrieval-ann-agreement",
+        f"questions: {len(questions)}",
+        f"mean top-5 agreement (tau-MG vs exact): "
+        f"{agree / len(questions):.3f}",
+    )
+    assert agree / len(questions) > 0.85
+
+    benchmark(lambda: retriever.exact_retrieve("find communities", k=5))
+
+
+def test_retrieval_conditioning_ablation(setup, report_table, benchmark):
+    """Stripping retrieved-API features hurts chain accuracy."""
+    registry, retriever = setup
+    train, test = build_corpus(registry, CorpusSpec(n_examples=300, seed=2),
+                               retriever=retriever)
+    model = build_model("chatglm-sim", registry.names(), seed=0)
+    Finetuner(model, FinetuneConfig(epochs=4)).train(train,
+                                                     objective="token")
+    with_retrieval = evaluate_model(model, test)
+    stripped = [dataclasses.replace(example, retrieved=())
+                for example in test]
+    without_retrieval = evaluate_model(model, stripped)
+    report_table(
+        "E10-retrieval-ablation",
+        f"exact match with retrieved-API conditioning:    "
+        f"{with_retrieval.exact_match:.3f}",
+        f"exact match without retrieved-API conditioning: "
+        f"{without_retrieval.exact_match:.3f}",
+        f"delta: "
+        f"{with_retrieval.exact_match - without_retrieval.exact_match:+.3f}",
+    )
+    assert with_retrieval.exact_match > without_retrieval.exact_match
+
+    benchmark(lambda: evaluate_model(model, test[:20]))

@@ -1,0 +1,96 @@
+"""E9 — Sec. II-C: search-based prediction (random-rollout ablation).
+
+The paper scores each candidate next API by r random rollouts against
+the ground-truth chains.  We fix a deliberately under-trained model and
+sweep r: chain accuracy should rise with more rollouts (at growing
+decode cost), and r=0 (greedy-anchored) is the weakest searcher.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.apis import default_registry
+from repro.config import FinetuneConfig
+from repro.finetune import (
+    CorpusSpec,
+    Finetuner,
+    build_corpus,
+    evaluate_model,
+    rollout_decode,
+)
+from repro.llm import build_model
+from repro.retrieval import APIRetriever
+
+ROLLOUTS = (0, 1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def undertrained():
+    """A model after a fraction of an epoch: rollouts must help it."""
+    registry = default_registry()
+    retriever = APIRetriever(registry)
+    train, test = build_corpus(registry, CorpusSpec(n_examples=240, seed=3),
+                               retriever=retriever)
+    model = build_model("chatglm-sim", registry.names(), seed=0)
+    tuner = Finetuner(model, FinetuneConfig(epochs=1))
+    tuner.train(train[:30], objective="token")  # deliberately tiny slice
+    return model, test[:40]
+
+
+def test_rollout_sweep(undertrained, report_table, benchmark):
+    """The paper's pure scheme: candidates scored by r random rollouts
+    only (no greedy anchor) — accuracy rises with r."""
+    model, test = undertrained
+    rows = [f"{'rollouts':>9} {'exact':>7} {'loss':>7} {'ms/decode':>10}"]
+    exact_by_r = {}
+    for r in ROLLOUTS:
+        rng = random.Random(11)
+        start = time.perf_counter()
+        metrics = evaluate_model(
+            model, test,
+            decoder=lambda m, ex: rollout_decode(
+                m, ex.state(), ex.target_chains, rollouts=r, rng=rng,
+                greedy_anchor=False))
+        elapsed = (time.perf_counter() - start) / len(test)
+        exact_by_r[r] = metrics.exact_match
+        rows.append(f"{r:>9} {metrics.exact_match:>7.3f} "
+                    f"{metrics.mean_matching_loss:>7.3f} "
+                    f"{elapsed * 1e3:>10.2f}")
+    report_table("E9-rollout-sweep", *rows)
+
+    greedy = evaluate_model(model, test)
+    assert max(exact_by_r.values()) > greedy.exact_match
+    assert exact_by_r[max(ROLLOUTS)] >= exact_by_r[0] - 0.05
+
+    example = test[0]
+    benchmark(lambda: rollout_decode(model, example.state(),
+                                     example.target_chains, rollouts=4,
+                                     rng=random.Random(0)))
+
+
+def test_rollouts_vs_greedy_decode(undertrained, report_table, benchmark):
+    """Search-based prediction recovers chains greedy decoding misses."""
+    model, test = undertrained
+    greedy = evaluate_model(model, test)
+    rng = random.Random(5)
+    guided = evaluate_model(
+        model, test,
+        decoder=lambda m, ex: rollout_decode(
+            m, ex.state(), ex.target_chains, rollouts=4, rng=rng))
+    report_table(
+        "E9-rollout-vs-greedy",
+        f"greedy decode exact match:        {greedy.exact_match:.3f}",
+        f"search-based (r=4) exact match:   {guided.exact_match:.3f}",
+        f"greedy mean matching loss:        "
+        f"{greedy.mean_matching_loss:.3f}",
+        f"search-based mean matching loss:  "
+        f"{guided.mean_matching_loss:.3f}",
+    )
+    assert guided.exact_match > greedy.exact_match
+    assert guided.mean_matching_loss < greedy.mean_matching_loss
+
+    benchmark(lambda: evaluate_model(model, test[:10]))

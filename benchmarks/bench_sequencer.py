@@ -1,0 +1,97 @@
+"""E7 — Sec. II-B: graph sequentializer tractability and coverage.
+
+Claims reproduced: the length-constrained path cover stays within the
+O(|G| * 2^l) budget while covering the whole graph, and the motif
+super-graph compresses multi-level structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SequencerConfig
+from repro.graphs import ba_graph, er_graph, social_network
+from repro.sequencer import (
+    GraphSequentializer,
+    build_supergraph,
+    length_constrained_path_cover,
+)
+
+SIZES = (50, 200, 1000, 2000)
+
+
+def test_path_counts_vs_bound(report_table, benchmark):
+    """Cover size is linear in |G| at fixed l (the O(|G| * 2^l) claim).
+
+    The paper's 2^l factor presumes bounded degree; we use constant-
+    average-degree random graphs and report the per-node path factor,
+    which must stay flat as n grows (linearity in |G|) and bounded by a
+    small degree-dependent constant.
+    """
+    rows = [f"{'n':>6} {'l':>3} {'paths':>8} {'paths/n':>8} "
+            f"{'node cov':>9} {'edge cov':>9}"]
+    factors: dict[int, list[float]] = {1: [], 2: [], 3: []}
+    for n in SIZES:
+        graph = er_graph(n, 4.0 / n, seed=n)  # average degree ~4
+        for l in (1, 2, 3):
+            if n >= 1000 and l == 3:
+                continue  # keep the sweep under a second per cell
+            paths, stats = length_constrained_path_cover(graph, l)
+            factor = stats.n_paths / n
+            factors[l].append(factor)
+            rows.append(f"{n:>6} {l:>3} {stats.n_paths:>8} "
+                        f"{factor:>8.2f} {stats.node_coverage:>9.2f} "
+                        f"{stats.edge_coverage:>9.2f}")
+            assert stats.node_coverage == 1.0
+            assert stats.edge_coverage == 1.0
+    report_table("E7-sequencer-path-counts", *rows)
+    # linear in |G|: the per-node factor stays flat (within 2x) per l
+    for l, series in factors.items():
+        assert max(series) <= 2 * min(series) + 1, (l, series)
+    # and the factor is bounded by a small degree-dependent constant
+    assert max(factors[2]) < 32  # well under d^l for d~4, l=2
+
+    graph = er_graph(200, 0.02, seed=0)
+    benchmark(lambda: length_constrained_path_cover(graph, 2))
+
+
+def test_supergraph_compression(report_table, benchmark):
+    """Motif coarsening compresses clustered (multi-level) graphs more."""
+    rows = [f"{'graph':<24} {'nodes':>6} {'super':>6} {'ratio':>6}"]
+    clustered = social_network(120, 6, p_in=0.5, p_out=0.01, seed=2)
+    sparse = er_graph(120, 0.02, seed=2)
+    ratios = {}
+    for label, graph in (("clustered social", clustered),
+                         ("sparse random", sparse)):
+        sg = build_supergraph(graph)
+        ratios[label] = sg.compression_ratio
+        rows.append(f"{label:<24} {graph.number_of_nodes():>6} "
+                    f"{sg.graph.number_of_nodes():>6} "
+                    f"{sg.compression_ratio:>6.2f}")
+    report_table("E7-sequencer-compression", *rows)
+    assert ratios["clustered social"] > ratios["sparse random"]
+
+    benchmark(lambda: build_supergraph(clustered))
+
+
+def test_multi_level_ablation(report_table, benchmark):
+    """Multi-level mode adds super-graph tokens the model conditions on."""
+    graph = social_network(80, 4, p_in=0.4, p_out=0.02, seed=3)
+    on = GraphSequentializer(
+        SequencerConfig(multi_level=True)).sequentialize(graph)
+    off = GraphSequentializer(
+        SequencerConfig(multi_level=False)).sequentialize(graph)
+    motif_tokens = sum(count for token, count in on.feature_counts.items()
+                       if token.startswith("<m:"))
+    report_table(
+        "E7-sequencer-multilevel",
+        f"base sequences: {len(on.sequences)}",
+        f"super sequences (multi-level on): {len(on.super_sequences)}",
+        f"super sequences (multi-level off): {len(off.super_sequences)}",
+        f"motif tokens contributed: {motif_tokens}",
+    )
+    assert on.super_sequences and not off.super_sequences
+    assert motif_tokens > 0
+
+    sequencer = GraphSequentializer(SequencerConfig(multi_level=True))
+    benchmark(lambda: sequencer.sequentialize(graph))

@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures and the experiment-table reporter.
+
+Each benchmark registers the table/figure series it reproduces via the
+``report_table`` fixture; tables are printed in the terminal summary and
+written to ``benchmarks/results/<experiment>.txt`` so the numbers survive
+the run (EXPERIMENTS.md points at them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import ChatGraph
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: dict[str, list[str]] = {}
+
+
+@pytest.fixture(scope="session")
+def report_table():
+    """Register output lines under an experiment id (e.g. ``E6-ann``)."""
+
+    def add(experiment: str, *lines: str) -> None:
+        _TABLES.setdefault(experiment, []).extend(lines)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_sep("=", "experiment tables")
+    for experiment in sorted(_TABLES):
+        lines = _TABLES[experiment]
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {experiment} ---")
+        for line in lines:
+            terminalreporter.write_line(line)
+        out_file = RESULTS_DIR / f"{experiment}.txt"
+        out_file.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(tables saved under {RESULTS_DIR})")
+
+
+@pytest.fixture(scope="session")
+def chatgraph():
+    """One pretrained ChatGraph shared by all scenario benchmarks."""
+    return ChatGraph.pretrained(corpus_size=600, seed=0)

@@ -1,0 +1,70 @@
+"""Scenario 3 (paper Fig. 6): chat-based graph cleaning.
+
+A knowledge graph is corrupted with type-violating facts; "Clean G"
+makes ChatGraph invoke the knowledge-inference APIs to flag the wrong
+and missing facts, ask the user for confirmation, apply the edits, and
+export the cleaned graph to a file.
+
+Run:  python examples/clean_knowledge_graph.py
+"""
+
+import json
+from pathlib import Path
+
+from repro import ChatGraph
+from repro.apis import APIChain, ChainNode
+from repro.graphs import knowledge_graph
+from repro.kb import TripleStore, corrupt_store
+
+
+def main() -> None:
+    chatgraph = ChatGraph.pretrained(seed=0)
+
+    # build a clean KG, then inject 8% type-violating noise
+    kg = knowledge_graph(n_entities=50, n_facts=250, seed=13)
+    store = TripleStore.from_graph(kg)
+    noisy, injected, __ = corrupt_store(store, corruption_rate=0.08,
+                                        removal_rate=0.0, seed=2)
+    print(f"knowledge graph: {len(store)} facts, "
+          f"{len(injected)} corrupted\n")
+
+    # the confirmation hook of Fig. 6: log each question, approve all
+    asked: list[str] = []
+
+    def confirm(question: str, payload) -> bool:
+        asked.append(question)
+        return True
+
+    # propose, then switch on per-edit confirmation before executing
+    proposal = chatgraph.propose("Clean G", noisy.to_graph())
+    print(f"proposed chain: {proposal.chain.render()}\n")
+    confirmed = APIChain([
+        ChainNode(node.api_name, {"confirm_each": True})
+        if node.api_name == "remove_flagged_edges" else node
+        for node in proposal.chain
+    ])
+    record, __ = chatgraph.execute(proposal, chain=confirmed,
+                                   confirm=confirm)
+
+    results = record.results_by_name()
+    flagged = results["detect_incorrect_edges"]
+    removed = results["remove_flagged_edges"]
+    print(f"facts flagged incorrect: {len(flagged)}")
+    print(f"user confirmations asked: {len(asked)}")
+    if asked:
+        print(f"  e.g. {asked[0]}")
+    print(f"facts removed: {removed['n_removed']}")
+    truly_bad = {(t.head, t.tail) for t in injected}
+    removed_pairs = set(map(tuple, removed["removed"]))
+    print(f"injected noise repaired: "
+          f"{len(removed_pairs & truly_bad)}/{len(injected)}")
+
+    out_path = Path("cleaned_graph.json")
+    out_path.write_text(json.dumps(results["export_graph"], indent=1))
+    print(f"\nG is cleaned and outputted to file: {out_path} "
+          f"({out_path.stat().st_size} bytes)")
+    out_path.unlink()  # tidy up after the demo
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Scenario 4 (paper Fig. 7): chat-based API chain monitoring.
+
+The generated chain may not be exactly what the user wants: here the
+user reviews the proposal, removes one step and appends another, then
+watches live progress events while the edited chain executes.
+
+Run:  python examples/monitor_api_chain.py
+"""
+
+from repro import ChatGraph, ChatSession
+from repro.core import ChainMonitor
+from repro.graphs import social_network
+
+
+def main() -> None:
+    chatgraph = ChatGraph.pretrained(seed=0)
+    session = ChatSession(chatgraph)
+    session.upload_graph(social_network(n=45, n_communities=3, seed=5))
+
+    proposal = session.propose("Write a brief report for G")
+    print(f"proposed chain: {proposal.chain.render()}\n")
+
+    # the user edits the chain before confirming (Fig. 7)
+    print("user: remove step 1, append a k-core analysis")
+    session.edit_chain(remove=1)
+    session.edit_chain(append="kcore_decomposition")
+    print(f"edited chain:   {session.pending_chain.render()}\n")
+
+    # live monitoring during execution
+    monitor = ChainMonitor()
+    progress_frames: list[str] = []
+
+    def live(event) -> None:
+        monitor(event)
+        if event.kind in ("step_started", "step_finished",
+                          "chain_finished"):
+            progress_frames.append(monitor.render_progress(width=24))
+
+    chatgraph.executor.add_listener(live)
+    try:
+        response = session.confirm()
+    finally:
+        chatgraph.executor.remove_listener(live)
+
+    print("progress frames:")
+    for frame in progress_frames:
+        print(f"  {frame}")
+    print()
+    print("event log:")
+    for event in monitor.events:
+        print(f"  {event.render()}")
+    print()
+    print(f"chain ok: {response.record.ok}; answer starts with: "
+          f"{response.answer.splitlines()[0]!r}")
+
+
+if __name__ == "__main__":
+    main()

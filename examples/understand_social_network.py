@@ -1,0 +1,44 @@
+"""Scenario 1 (paper Fig. 4): chat-based graph understanding.
+
+A chat session over a social network: the suggested questions of panel 2
+drive the conversation, and ChatGraph routes each question to
+social-specific APIs (communities, influencers, connectivity).
+
+Run:  python examples/understand_social_network.py
+"""
+
+from repro import ChatGraph, ChatSession
+from repro.graphs import social_network
+
+
+def main() -> None:
+    chatgraph = ChatGraph.pretrained(seed=0)
+    session = ChatSession(chatgraph)
+
+    graph = social_network(n=60, n_communities=4, p_in=0.3, p_out=0.015,
+                           seed=3)
+    session.upload_graph(graph)
+
+    print("suggested questions (panel 2):")
+    for question in session.suggestions():
+        print(f"  - {question}")
+    print()
+
+    for question in ("Write a brief report for G",
+                     "Who are the most influential members?",
+                     "Find the bridges and cut members of the network"):
+        response = session.send(question)
+        print(f">>> {question}")
+        print(f"    chain: {response.chain.render()}")
+        first_lines = "\n".join(response.answer.splitlines()[:12])
+        print(first_lines)
+        print()
+
+    print("--- full dialog transcript (panel 1) ---")
+    for line in session.transcript().splitlines()[:10]:
+        print(line)
+    print("...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — a full offline reproduction of ChatGraph (ICDE 2024).
+
+ChatGraph lets users interact with graphs through natural language: a
+prompt (text + graph) is answered by retrieving relevant analysis APIs,
+sequentializing the graph for a language model, generating an API chain,
+and executing it under user confirmation with progress monitoring.
+
+Quick start::
+
+    from repro import ChatGraph
+    from repro.graphs import social_network
+
+    cg = ChatGraph.pretrained()
+    print(cg.ask("Write a brief report for G",
+                 graph=social_network(50, 3)).answer)
+
+Package map (one subpackage per subsystem; see DESIGN.md):
+
+- :mod:`repro.core` — the ChatGraph framework and the four scenarios
+- :mod:`repro.graphs` / :mod:`repro.algorithms` — graph substrate
+- :mod:`repro.embedding` / :mod:`repro.ann` — retrieval substrate (tau-MG)
+- :mod:`repro.sequencer` — graph sequentializer
+- :mod:`repro.apis` — the analysis API catalog, chains, executor
+- :mod:`repro.llm` — the (simulated) graph-aware language model
+- :mod:`repro.finetune` — API chain-oriented finetuning
+- :mod:`repro.retrieval` — API retrieval module
+- :mod:`repro.kb` — knowledge-graph inference (cleaning)
+- :mod:`repro.chem` — molecule substrate
+"""
+
+from .config import (
+    ChatGraphConfig,
+    FinetuneConfig,
+    LLMConfig,
+    RetrievalConfig,
+    SequencerConfig,
+)
+from .core.chatgraph import ChatGraph, ChatResponse
+from .core.session import ChatSession
+from .errors import ChatGraphError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChatGraph",
+    "ChatGraphConfig",
+    "ChatResponse",
+    "ChatSession",
+    "ChatGraphError",
+    "RetrievalConfig",
+    "SequencerConfig",
+    "FinetuneConfig",
+    "LLMConfig",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Graph algorithm library.
+
+Pure-Python implementations of every graph primitive the ChatGraph API
+catalog needs: traversal, connectivity, shortest paths, centrality,
+clustering, community detection, cores, motifs, assignment (Hungarian),
+graph edit distance, subgraph isomorphism (VF2) and graph similarity.
+"""
+
+from .traversal import bfs_distances, bfs_order, bfs_tree, dfs_order, simple_paths
+from .components import (
+    articulation_points,
+    bridges,
+    connected_components,
+    is_connected,
+    largest_component,
+    strongly_connected_components,
+)
+from .shortest_paths import (
+    all_pairs_shortest_lengths,
+    diameter,
+    dijkstra,
+    eccentricity,
+    shortest_path,
+    shortest_path_length,
+)
+from .centrality import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    pagerank,
+)
+from .clustering import (
+    average_clustering,
+    clustering_coefficient,
+    transitivity,
+    triangles,
+)
+from .community import greedy_modularity_communities, label_propagation, modularity
+from .cores import core_number, k_core
+from .spectral import fiedler_vector, spectral_bisection, spectral_communities
+from .motifs import count_motifs, find_cliques, motif_census, triangle_count
+from .assortativity import attribute_assortativity, degree_assortativity
+from .matching import hungarian
+from .ged import (
+    GedResult,
+    approximate_ged,
+    exact_ged,
+    graph_edit_distance,
+)
+from .isomorphism import find_subgraph_isomorphisms, is_isomorphic, subgraph_is_isomorphic
+from .similarity import (
+    degree_sequence_similarity,
+    jaccard_edge_similarity,
+    wl_histogram_similarity,
+    wl_histograms,
+    wl_kernel_similarity,
+)
+
+__all__ = [
+    "bfs_distances", "bfs_order", "bfs_tree", "dfs_order", "simple_paths",
+    "articulation_points", "bridges", "connected_components", "is_connected",
+    "largest_component", "strongly_connected_components",
+    "all_pairs_shortest_lengths", "diameter", "dijkstra", "eccentricity",
+    "shortest_path", "shortest_path_length",
+    "betweenness_centrality", "closeness_centrality", "degree_centrality",
+    "pagerank",
+    "average_clustering", "clustering_coefficient", "transitivity",
+    "triangles",
+    "greedy_modularity_communities", "label_propagation", "modularity",
+    "core_number", "k_core",
+    "fiedler_vector", "spectral_bisection", "spectral_communities",
+    "count_motifs", "find_cliques", "motif_census", "triangle_count",
+    "attribute_assortativity",
+    "degree_assortativity",
+    "hungarian",
+    "GedResult", "approximate_ged", "exact_ged", "graph_edit_distance",
+    "find_subgraph_isomorphisms", "is_isomorphic", "subgraph_is_isomorphic",
+    "degree_sequence_similarity", "jaccard_edge_similarity",
+    "wl_histogram_similarity", "wl_histograms", "wl_kernel_similarity",
+]

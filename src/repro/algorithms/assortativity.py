@@ -1,0 +1,71 @@
+"""Degree assortativity and attribute mixing."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from ..errors import GraphError
+from ..graphs.graph import DiGraph, Graph
+
+
+def degree_assortativity(graph: Graph) -> float:
+    """Pearson correlation of degrees across edge endpoints.
+
+    Positive values: hubs link to hubs (social networks); negative:
+    hubs link to leaves (technological/biological networks).  Returns
+    0.0 when undefined (fewer than 2 edges or zero variance).
+    """
+    if isinstance(graph, DiGraph):
+        graph = graph.to_undirected()
+    xs: list[float] = []
+    ys: list[float] = []
+    for u, v in graph.edges():
+        du, dv = graph.degree(u), graph.degree(v)
+        # count each undirected edge in both orientations (standard)
+        xs.extend((du, dv))
+        ys.extend((dv, du))
+    n = len(xs)
+    if n < 4:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def attribute_assortativity(graph: Graph, attribute: str) -> float:
+    """Newman's categorical assortativity for a node attribute.
+
+    1.0 = every edge joins same-valued endpoints; 0.0 = random mixing;
+    negative = disassortative.  Raises if no node carries the attribute.
+    """
+    if isinstance(graph, DiGraph):
+        graph = graph.to_undirected()
+    values = {node: graph.get_node_attr(node, attribute)
+              for node in graph.nodes()}
+    if all(value is None for value in values.values()):
+        raise GraphError(f"no node has attribute {attribute!r}")
+    m = graph.number_of_edges()
+    if m == 0:
+        return 0.0
+    # mixing matrix e[a][b]: fraction of edge-ends (a at one end, b other)
+    same = 0
+    ends: Counter = Counter()
+    for u, v in graph.edges():
+        a, b = values[u], values[v]
+        if a == b:
+            same += 1
+        ends[a] += 1
+        ends[b] += 1
+    trace = same / m
+    # sum of squared marginal frequencies
+    total_ends = 2 * m
+    squared = sum((count / total_ends) ** 2 for count in ends.values())
+    if squared == 1.0:
+        return 1.0 if trace == 1.0 else 0.0
+    return (trace - squared) / (1.0 - squared)

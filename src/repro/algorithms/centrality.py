@@ -1,0 +1,105 @@
+"""Centrality measures: degree, closeness, betweenness (Brandes), PageRank."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import GraphError
+from ..graphs.graph import DiGraph, Graph, Node
+from .traversal import bfs_distances
+
+
+def degree_centrality(graph: Graph) -> dict[Node, float]:
+    """Degree divided by ``n - 1`` (0.0 for graphs with < 2 nodes)."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return {node: 0.0 for node in graph.nodes()}
+    return {node: graph.degree(node) / (n - 1) for node in graph.nodes()}
+
+
+def closeness_centrality(graph: Graph) -> dict[Node, float]:
+    """Wasserman-Faust closeness, robust to disconnected graphs."""
+    n = graph.number_of_nodes()
+    result: dict[Node, float] = {}
+    for node in graph.nodes():
+        distances = bfs_distances(graph, node)
+        reachable = len(distances) - 1
+        total = sum(distances.values())
+        if reachable > 0 and total > 0 and n > 1:
+            result[node] = (reachable / (n - 1)) * (reachable / total)
+        else:
+            result[node] = 0.0
+    return result
+
+
+def betweenness_centrality(graph: Graph,
+                           normalized: bool = True) -> dict[Node, float]:
+    """Brandes' exact betweenness centrality (unweighted)."""
+    betweenness = {node: 0.0 for node in graph.nodes()}
+    step = (graph.successors if isinstance(graph, DiGraph)
+            else graph.neighbors)
+    for source in graph.nodes():
+        # single-source shortest-path DAG
+        order: list[Node] = []
+        preds: dict[Node, list[Node]] = {node: [] for node in graph.nodes()}
+        sigma = {node: 0.0 for node in graph.nodes()}
+        sigma[source] = 1.0
+        dist: dict[Node, int] = {source: 0}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            order.append(node)
+            for neighbor in step(node):
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    queue.append(neighbor)
+                if dist[neighbor] == dist[node] + 1:
+                    sigma[neighbor] += sigma[node]
+                    preds[neighbor].append(node)
+        # accumulation
+        delta = {node: 0.0 for node in graph.nodes()}
+        for node in reversed(order):
+            for pred in preds[node]:
+                delta[pred] += (sigma[pred] / sigma[node]) * (1 + delta[node])
+            if node != source:
+                betweenness[node] += delta[node]
+    n = graph.number_of_nodes()
+    if not graph.directed:
+        for node in betweenness:
+            betweenness[node] /= 2.0
+    if normalized and n > 2:
+        scale = ((n - 1) * (n - 2)) if graph.directed \
+            else ((n - 1) * (n - 2) / 2.0)
+        for node in betweenness:
+            betweenness[node] /= scale
+    return betweenness
+
+
+def pagerank(graph: Graph, damping: float = 0.85, max_iter: int = 100,
+             tol: float = 1e-9) -> dict[Node, float]:
+    """Power-iteration PageRank; dangling mass is spread uniformly."""
+    if not 0.0 < damping < 1.0:
+        raise GraphError("damping must be in (0, 1)")
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return {}
+    step = (graph.successors if isinstance(graph, DiGraph)
+            else graph.neighbors)
+    out_degree = {node: sum(1 for __ in step(node)) for node in nodes}
+    rank = {node: 1.0 / n for node in nodes}
+    for __ in range(max_iter):
+        dangling = sum(rank[node] for node in nodes if out_degree[node] == 0)
+        nxt = {node: (1.0 - damping) / n + damping * dangling / n
+               for node in nodes}
+        for node in nodes:
+            if out_degree[node] == 0:
+                continue
+            share = damping * rank[node] / out_degree[node]
+            for neighbor in step(node):
+                nxt[neighbor] += share
+        err = sum(abs(nxt[node] - rank[node]) for node in nodes)
+        rank = nxt
+        if err < tol:
+            break
+    return rank

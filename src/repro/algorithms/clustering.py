@@ -1,0 +1,56 @@
+"""Triangles, local clustering coefficients and transitivity."""
+
+from __future__ import annotations
+
+from ..errors import GraphError
+from ..graphs.graph import DiGraph, Graph, Node
+
+
+def _require_undirected(graph: Graph) -> None:
+    if isinstance(graph, DiGraph):
+        raise GraphError("clustering metrics require an undirected graph")
+
+
+def triangles(graph: Graph) -> dict[Node, int]:
+    """Number of triangles through each node."""
+    _require_undirected(graph)
+    neighbor_sets = {node: set(graph.neighbors(node)) - {node}
+                     for node in graph.nodes()}
+    counts: dict[Node, int] = {}
+    for node, nbrs in neighbor_sets.items():
+        t = sum(len(nbrs & neighbor_sets[other]) for other in nbrs)
+        counts[node] = t // 2
+    return counts
+
+
+def clustering_coefficient(graph: Graph) -> dict[Node, float]:
+    """Local clustering coefficient of each node (0.0 for degree < 2)."""
+    _require_undirected(graph)
+    tri = triangles(graph)
+    coefficients: dict[Node, float] = {}
+    for node in graph.nodes():
+        d = len(set(graph.neighbors(node)) - {node})
+        coefficients[node] = (2.0 * tri[node] / (d * (d - 1))) if d >= 2 \
+            else 0.0
+    return coefficients
+
+
+def average_clustering(graph: Graph) -> float:
+    """Mean of the local clustering coefficients (0.0 for empty graphs)."""
+    coefficients = clustering_coefficient(graph)
+    if not coefficients:
+        return 0.0
+    return sum(coefficients.values()) / len(coefficients)
+
+
+def transitivity(graph: Graph) -> float:
+    """Global transitivity: ``3 * triangles / open-or-closed triads``."""
+    _require_undirected(graph)
+    tri_total = sum(triangles(graph).values())  # each triangle counted 3x
+    triads = 0
+    for node in graph.nodes():
+        d = len(set(graph.neighbors(node)) - {node})
+        triads += d * (d - 1) // 2
+    if triads == 0:
+        return 0.0
+    return tri_total / triads

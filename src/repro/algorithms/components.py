@@ -1,0 +1,164 @@
+"""Connectivity: components, strong components, bridges, articulation points."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..errors import GraphError
+from ..graphs.graph import DiGraph, Graph, Node
+from .traversal import bfs_distances
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """Connected components of an undirected graph (weak for digraphs)."""
+    undirected = graph.to_undirected() if isinstance(graph, DiGraph) else graph
+    seen: set[Node] = set()
+    components: list[set[Node]] = []
+    for node in undirected.nodes():
+        if node in seen:
+            continue
+        component = set(bfs_distances(undirected, node))
+        seen |= component
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """True iff the graph is non-empty and (weakly) connected."""
+    if graph.number_of_nodes() == 0:
+        return False
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: Graph) -> set[Node]:
+    """Node set of the largest (weakly) connected component."""
+    components = connected_components(graph)
+    if not components:
+        raise GraphError("graph has no nodes")
+    return max(components, key=len)
+
+
+def strongly_connected_components(graph: DiGraph) -> list[set[Node]]:
+    """Tarjan's algorithm (iterative) for strongly connected components."""
+    if not isinstance(graph, DiGraph):
+        raise GraphError("strong components require a directed graph")
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[set[Node]] = []
+    counter = 0
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        work = [(root, iter(list(graph.successors(root))))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(list(graph.successors(succ)))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[Node] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+class _LowPointDFS:
+    """Iterative DFS computing discovery times and low points.
+
+    Low-point DFS is the classical machinery behind both bridge and
+    articulation-point detection (Hopcroft-Tarjan).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        if isinstance(graph, DiGraph):
+            raise GraphError("low-point DFS requires an undirected graph")
+        self.graph = graph
+        self.disc: dict[Node, int] = {}
+        self.low: dict[Node, int] = {}
+        #: tree edges (parent, child) in post-order
+        self.tree_edges: list[tuple[Node, Node]] = []
+        #: number of DFS-tree children of each root
+        self.root_children: dict[Node, int] = {}
+        self._run()
+
+    def _run(self) -> None:
+        timer = 0
+        for root in self.graph.nodes():
+            if root in self.disc:
+                continue
+            self.root_children[root] = 0
+            self.disc[root] = self.low[root] = timer
+            timer += 1
+            work: list[tuple[Node, Node | None, Iterator[Node]]] = [
+                (root, None, iter(list(self.graph.neighbors(root))))]
+            while work:
+                node, parent, neighbors = work[-1]
+                advanced = False
+                for neighbor in neighbors:
+                    if neighbor not in self.disc:
+                        self.disc[neighbor] = self.low[neighbor] = timer
+                        timer += 1
+                        if node == root:
+                            self.root_children[root] += 1
+                        work.append((neighbor, node,
+                                     iter(list(self.graph.neighbors(neighbor)))))
+                        advanced = True
+                        break
+                    if neighbor != parent:
+                        self.low[node] = min(self.low[node],
+                                             self.disc[neighbor])
+                if advanced:
+                    continue
+                work.pop()
+                if parent is not None:
+                    self.low[parent] = min(self.low[parent], self.low[node])
+                    self.tree_edges.append((parent, node))
+
+
+def bridges(graph: Graph) -> list[tuple[Node, Node]]:
+    """Edges whose removal disconnects their component (undirected only)."""
+    dfs = _LowPointDFS(graph)
+    return [(parent, child) for parent, child in dfs.tree_edges
+            if dfs.low[child] > dfs.disc[parent]]
+
+
+def articulation_points(graph: Graph) -> set[Node]:
+    """Nodes whose removal disconnects their component (undirected only)."""
+    dfs = _LowPointDFS(graph)
+    points: set[Node] = set()
+    for parent, child in dfs.tree_edges:
+        if parent in dfs.root_children:
+            continue  # root case handled below
+        if dfs.low[child] >= dfs.disc[parent]:
+            points.add(parent)
+    for root, n_children in dfs.root_children.items():
+        if n_children >= 2:
+            points.add(root)
+    return points

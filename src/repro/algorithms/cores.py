@@ -1,0 +1,51 @@
+"""k-core decomposition."""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import GraphError
+from ..graphs.graph import DiGraph, Graph, Node
+
+
+def core_number(graph: Graph) -> dict[Node, int]:
+    """Core number of each node via min-degree peeling.
+
+    The core number of ``v`` is the largest ``k`` such that ``v`` belongs
+    to a subgraph where every node has degree >= ``k``.  Self-loops are
+    ignored.  Runs in O(m log n) using a lazy-deletion heap.
+    """
+    if isinstance(graph, DiGraph):
+        raise GraphError("core decomposition requires an undirected graph")
+    neighbor_sets = {node: set(graph.neighbors(node)) - {node}
+                     for node in graph.nodes()}
+    degrees = {node: len(nbrs) for node, nbrs in neighbor_sets.items()}
+    heap: list[tuple[int, int, Node]] = []
+    tie = 0
+    for node, d in degrees.items():
+        heap.append((d, tie, node))
+        tie += 1
+    heapq.heapify(heap)
+    core: dict[Node, int] = {}
+    current_k = 0
+    while heap:
+        d, __, node = heapq.heappop(heap)
+        if node in core or d != degrees[node]:
+            continue  # stale heap entry
+        current_k = max(current_k, d)
+        core[node] = current_k
+        for neighbor in neighbor_sets[node]:
+            if neighbor in core:
+                continue
+            degrees[neighbor] -= 1
+            tie += 1
+            heapq.heappush(heap, (degrees[neighbor], tie, neighbor))
+    return core
+
+
+def k_core(graph: Graph, k: int) -> Graph:
+    """The maximal subgraph in which every node has degree >= ``k``."""
+    if k < 0:
+        raise GraphError("k must be >= 0")
+    numbers = core_number(graph)
+    return graph.subgraph(node for node, c in numbers.items() if c >= k)

@@ -1,0 +1,140 @@
+"""(Sub)graph isomorphism via a VF2-style backtracking matcher."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..errors import GraphError
+from ..graphs.graph import DiGraph, Graph, Node
+
+LabelFn = Callable[[Graph, Node], object]
+
+
+def _no_label(graph: Graph, node: Node) -> object:
+    return None
+
+
+class _VF2Matcher:
+    """Backtracking matcher finding embeddings of ``pattern`` in ``target``.
+
+    With ``induced=True`` (default) non-edges of the pattern must map to
+    non-edges of the target (induced subgraph isomorphism); with
+    ``induced=False`` only pattern edges are required (monomorphism).
+    """
+
+    def __init__(self, pattern: Graph, target: Graph,
+                 node_label: LabelFn = _no_label,
+                 induced: bool = True) -> None:
+        if isinstance(pattern, DiGraph) != isinstance(target, DiGraph):
+            raise GraphError("pattern and target must share directedness")
+        self.pattern = pattern
+        self.target = target
+        self.node_label = node_label
+        self.induced = induced
+        self.directed = isinstance(pattern, DiGraph)
+        # order pattern nodes to keep the partial mapping connected
+        self.order = self._matching_order()
+
+    def _matching_order(self) -> list[Node]:
+        nodes = list(self.pattern.nodes())
+        if not nodes:
+            return []
+        undirected = (self.pattern.to_undirected() if self.directed
+                      else self.pattern)
+        order: list[Node] = []
+        placed: set[Node] = set()
+        remaining = set(nodes)
+        while remaining:
+            # start each component from its max-degree node
+            candidates = [n for n in remaining
+                          if any(nb in placed
+                                 for nb in undirected.neighbors(n))]
+            pool = candidates or list(remaining)
+            node = max(pool, key=undirected.degree)
+            order.append(node)
+            placed.add(node)
+            remaining.discard(node)
+        return order
+
+    def _compatible(self, pu: Node, tv: Node,
+                    mapping: dict[Node, Node]) -> bool:
+        if self.node_label(self.pattern, pu) != \
+                self.node_label(self.target, tv):
+            return False
+        for mapped_p, mapped_t in mapping.items():
+            if self.directed:
+                pairs = ((self.pattern.has_edge(pu, mapped_p),
+                          self.target.has_edge(tv, mapped_t)),
+                         (self.pattern.has_edge(mapped_p, pu),
+                          self.target.has_edge(mapped_t, tv)))
+            else:
+                pairs = ((self.pattern.has_edge(pu, mapped_p),
+                          self.target.has_edge(tv, mapped_t)),)
+            for p_edge, t_edge in pairs:
+                if p_edge and not t_edge:
+                    return False
+                if self.induced and t_edge and not p_edge:
+                    return False
+        return True
+
+    def embeddings(self) -> Iterator[dict[Node, Node]]:
+        """Yield every embedding as a pattern-node -> target-node dict."""
+        if self.pattern.number_of_nodes() > self.target.number_of_nodes():
+            return
+        used: set[Node] = set()
+        mapping: dict[Node, Node] = {}
+
+        def backtrack(depth: int) -> Iterator[dict[Node, Node]]:
+            if depth == len(self.order):
+                yield dict(mapping)
+                return
+            pu = self.order[depth]
+            for tv in self.target.nodes():
+                if tv in used:
+                    continue
+                if self._compatible(pu, tv, mapping):
+                    mapping[pu] = tv
+                    used.add(tv)
+                    yield from backtrack(depth + 1)
+                    used.discard(tv)
+                    del mapping[pu]
+
+        yield from backtrack(0)
+
+
+def find_subgraph_isomorphisms(pattern: Graph, target: Graph,
+                               node_label: LabelFn = _no_label,
+                               induced: bool = True,
+                               limit: int | None = None) -> list[
+                                   dict[Node, Node]]:
+    """All (or the first ``limit``) embeddings of ``pattern`` in ``target``."""
+    results: list[dict[Node, Node]] = []
+    for embedding in _VF2Matcher(pattern, target, node_label,
+                                 induced).embeddings():
+        results.append(embedding)
+        if limit is not None and len(results) >= limit:
+            break
+    return results
+
+
+def subgraph_is_isomorphic(pattern: Graph, target: Graph,
+                           node_label: LabelFn = _no_label,
+                           induced: bool = True) -> bool:
+    """True iff ``pattern`` embeds in ``target``."""
+    matcher = _VF2Matcher(pattern, target, node_label, induced)
+    return next(matcher.embeddings(), None) is not None
+
+
+def is_isomorphic(g1: Graph, g2: Graph,
+                  node_label: LabelFn = _no_label) -> bool:
+    """True iff the two graphs are isomorphic (label-aware if given)."""
+    if g1.number_of_nodes() != g2.number_of_nodes():
+        return False
+    if g1.number_of_edges() != g2.number_of_edges():
+        return False
+    deg1 = sorted(g1.degree(n) for n in g1.nodes())
+    deg2 = sorted(g2.degree(n) for n in g2.nodes())
+    if deg1 != deg2:
+        return False
+    return subgraph_is_isomorphic(g1, g2, node_label=node_label,
+                                  induced=True)

@@ -1,0 +1,88 @@
+"""Shortest paths: unweighted BFS paths, Dijkstra, eccentricity, diameter."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterator
+
+from ..errors import GraphError, NodeNotFoundError
+from ..graphs.graph import DiGraph, Graph, Node
+from .traversal import bfs_distances, bfs_tree
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> list[Node]:
+    """Unweighted shortest path from ``source`` to ``target``.
+
+    Raises :class:`GraphError` if no path exists.
+    """
+    if target not in graph:
+        raise NodeNotFoundError(target)
+    parents = bfs_tree(graph, source)
+    if target != source and target not in parents:
+        raise GraphError(f"no path from {source!r} to {target!r}")
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> int:
+    """Hop count of the unweighted shortest path."""
+    return len(shortest_path(graph, source, target)) - 1
+
+
+def dijkstra(graph: Graph, source: Node,
+             weight: str = "weight") -> dict[Node, float]:
+    """Weighted shortest-path distances from ``source``.
+
+    Edge weights come from the ``weight`` edge attribute (default 1.0 when
+    absent); negative weights raise :class:`GraphError`.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    step = (graph.successors if isinstance(graph, DiGraph)
+            else graph.neighbors)
+    distances: dict[Node, float] = {}
+    heap: list[tuple[float, int, Node]] = [(0.0, 0, source)]
+    tie = 0
+    while heap:
+        dist, __, node = heapq.heappop(heap)
+        if node in distances:
+            continue
+        distances[node] = dist
+        for neighbor in step(node):
+            if neighbor in distances:
+                continue
+            w = graph.get_edge_attr(node, neighbor, weight, 1.0)
+            if w < 0:
+                raise GraphError("dijkstra requires non-negative weights")
+            tie += 1
+            heapq.heappush(heap, (dist + w, tie, neighbor))
+    return distances
+
+
+def all_pairs_shortest_lengths(graph: Graph) -> Iterator[
+        tuple[Node, dict[Node, int]]]:
+    """Yield ``(source, {target: hops})`` for every node (unweighted BFS)."""
+    for node in graph.nodes():
+        yield node, bfs_distances(graph, node)
+
+
+def eccentricity(graph: Graph, node: Node) -> int:
+    """Greatest hop distance from ``node`` to any reachable node.
+
+    Raises :class:`GraphError` if the graph is disconnected from ``node``'s
+    point of view (some node unreachable).
+    """
+    distances = bfs_distances(graph, node)
+    if len(distances) != graph.number_of_nodes():
+        raise GraphError("eccentricity undefined: graph not connected")
+    return max(distances.values())
+
+
+def diameter(graph: Graph) -> int:
+    """Greatest eccentricity over all nodes (connected graphs only)."""
+    if graph.number_of_nodes() == 0:
+        raise GraphError("diameter undefined for the empty graph")
+    return max(eccentricity(graph, node) for node in graph.nodes())

@@ -1,0 +1,106 @@
+"""Graph traversal primitives: BFS, DFS and bounded simple paths."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterator
+
+from ..errors import NodeNotFoundError
+from ..graphs.graph import DiGraph, Graph, Node
+
+
+def _step(graph: Graph) -> Callable[[Node], Iterator[Node]]:
+    """Neighbor function: successors for digraphs, neighbors otherwise."""
+    if isinstance(graph, DiGraph):
+        return graph.successors
+    return graph.neighbors
+
+
+def bfs_order(graph: Graph, source: Node) -> list[Node]:
+    """Nodes reachable from ``source`` in breadth-first order."""
+    return list(bfs_distances(graph, source))
+
+
+def bfs_distances(graph: Graph, source: Node) -> dict[Node, int]:
+    """Hop distance from ``source`` to every reachable node."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    step = _step(graph)
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in step(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def bfs_tree(graph: Graph, source: Node) -> dict[Node, Node]:
+    """BFS parent pointers: maps each reached node to its parent.
+
+    ``source`` is absent from the result (it has no parent).
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    step = _step(graph)
+    parents: dict[Node, Node] = {}
+    seen = {source}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in step(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents
+
+
+def dfs_order(graph: Graph, source: Node) -> list[Node]:
+    """Nodes reachable from ``source`` in (iterative) depth-first preorder."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    step = _step(graph)
+    order: list[Node] = []
+    seen: set[Node] = set()
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # push reversed so iteration order matches recursive DFS
+        stack.extend(reversed(list(step(node))))
+    return order
+
+
+def simple_paths(graph: Graph, source: Node,
+                 max_length: int) -> Iterator[tuple[Node, ...]]:
+    """Yield every simple path starting at ``source`` with ≤ ``max_length`` edges.
+
+    Paths are yielded as node tuples, including the trivial path
+    ``(source,)``.  The number of paths can grow as O(d^l); callers
+    should bound ``max_length`` (the sequentializer uses l ≤ 3).
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if max_length < 0:
+        raise ValueError("max_length must be >= 0")
+    step = _step(graph)
+
+    def extend(path: list[Node], used: set[Node]) -> Iterator[tuple[Node, ...]]:
+        yield tuple(path)
+        if len(path) - 1 == max_length:
+            return
+        for neighbor in step(path[-1]):
+            if neighbor not in used:
+                path.append(neighbor)
+                used.add(neighbor)
+                yield from extend(path, used)
+                used.remove(neighbor)
+                path.pop()
+
+    yield from extend([source], {source})

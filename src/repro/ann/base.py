@@ -1,0 +1,95 @@
+"""Index interface shared by every ANN implementation."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import IndexError_
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One nearest-neighbor hit."""
+
+    #: Row index of the vector in the indexed data matrix.
+    vector_id: int
+    #: Euclidean distance to the query.
+    distance: float
+
+
+class AnnIndex(ABC):
+    """Abstract k-NN index over a fixed matrix of vectors.
+
+    Subclasses implement :meth:`_build` and :meth:`_search`.  The base
+    class owns the data matrix, validates inputs, and counts distance
+    evaluations (``distance_computations``), which the benchmarks use as
+    a hardware-independent work measure.
+    """
+
+    def __init__(self) -> None:
+        self._data: np.ndarray | None = None
+        #: Number of point-to-query distance evaluations since reset.
+        self.distance_computations = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def build(self, data: np.ndarray) -> "AnnIndex":
+        """Index ``data`` (an ``(n, d)`` float matrix); returns self."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise IndexError_("data must be a non-empty (n, d) matrix")
+        self._data = data
+        self._build(data)
+        return self
+
+    def search(self, query: np.ndarray, k: int = 1) -> list[SearchResult]:
+        """Return (approximately) the ``k`` nearest vectors to ``query``."""
+        if self._data is None:
+            raise IndexError_("index not built")
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self._data.shape[1]:
+            raise IndexError_(
+                f"query dim {query.shape[0]} != data dim {self._data.shape[1]}")
+        k = min(k, self._data.shape[0])
+        return self._search(query, k)
+
+    def reset_counters(self) -> None:
+        self.distance_computations = 0
+
+    @property
+    def size(self) -> int:
+        return 0 if self._data is None else int(self._data.shape[0])
+
+    # ------------------------------------------------------------------
+    # helpers for subclasses
+    # ------------------------------------------------------------------
+    def _distance(self, query: np.ndarray, vector_id: int) -> float:
+        """Instrumented single distance evaluation."""
+        assert self._data is not None
+        self.distance_computations += 1
+        return float(np.linalg.norm(self._data[vector_id] - query))
+
+    def _distances_bulk(self, query: np.ndarray,
+                        ids: np.ndarray) -> np.ndarray:
+        """Instrumented vectorized distances to many points."""
+        assert self._data is not None
+        self.distance_computations += len(ids)
+        diff = self._data[ids] - query
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _build(self, data: np.ndarray) -> None:
+        """Construct index structures for ``data``."""
+
+    @abstractmethod
+    def _search(self, query: np.ndarray, k: int) -> list[SearchResult]:
+        """Return the ``k`` best hits sorted by distance."""

@@ -1,0 +1,22 @@
+"""Exact nearest-neighbor search by linear scan (the ground truth)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AnnIndex, SearchResult
+
+
+class BruteForceIndex(AnnIndex):
+    """Exact k-NN by scanning the whole data matrix per query."""
+
+    def _build(self, data: np.ndarray) -> None:
+        # nothing to precompute
+        return
+
+    def _search(self, query: np.ndarray, k: int) -> list[SearchResult]:
+        assert self._data is not None
+        ids = np.arange(self._data.shape[0])
+        distances = self._distances_bulk(query, ids)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [SearchResult(int(i), float(distances[i])) for i in order]

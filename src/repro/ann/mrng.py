@@ -1,0 +1,21 @@
+"""Monotonic relative neighborhood graph (MRNG) baseline.
+
+The MRNG occlusion rule keeps edge ``(u, v)`` unless a selected neighbor
+``u'`` satisfies ``d(u, u') < d(u, v)`` and ``d(u', v) < d(u, v)`` — the
+``tau = 0`` limit of the tau-MG rule.  Routing on an MRNG is monotone
+but lacks the tau-MG's stronger pruning, so it keeps more edges and
+needs more distance computations per query at equal recall.
+"""
+
+from __future__ import annotations
+
+from .tau_mg import TauMGIndex
+
+
+class MRNGIndex(TauMGIndex):
+    """MRNG = tau-MG with ``tau = 0``."""
+
+    def __init__(self, max_degree: int = 24, candidate_pool: int = 64,
+                 ef_search: int = 32) -> None:
+        super().__init__(tau=0.0, max_degree=max_degree,
+                         candidate_pool=candidate_pool, ef_search=ef_search)

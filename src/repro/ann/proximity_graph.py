@@ -1,0 +1,212 @@
+"""Shared machinery for proximity-graph (PG) indexes.
+
+A PG index is a graph over the data vectors; queries are answered by
+greedy beam routing from a fixed entry point (the medoid).  Subclasses
+only decide which edges to keep — the routing, candidate generation and
+connectivity repair live here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from ..errors import IndexError_
+from .base import AnnIndex, SearchResult
+
+
+class ProximityGraphIndex(AnnIndex):
+    """Base class for graph-based ANN indexes (MRNG, tau-MG).
+
+    Parameters
+    ----------
+    max_degree:
+        Out-degree cap per node.
+    candidate_pool:
+        Number of nearest candidates considered per node at build time
+        (exact kNN via chunked brute force); the occlusion rule prunes
+        within this pool.
+    ef_search:
+        Default beam width at query time.
+    """
+
+    def __init__(self, max_degree: int = 24, candidate_pool: int = 64,
+                 ef_search: int = 32) -> None:
+        super().__init__()
+        if max_degree < 1 or candidate_pool < 1 or ef_search < 1:
+            raise IndexError_("degree/pool/ef parameters must be >= 1")
+        self.max_degree = max_degree
+        self.candidate_pool = candidate_pool
+        self.ef_search = ef_search
+        self.neighbors: list[list[int]] = []
+        self.entry_point = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self, data: np.ndarray) -> None:
+        n = data.shape[0]
+        pool = min(self.candidate_pool, n - 1)
+        self.neighbors = [[] for __ in range(n)]
+        if n == 1:
+            self.entry_point = 0
+            return
+        knn = self._exact_knn(data, pool)
+        for u in range(n):
+            candidates = knn[u]
+            distances = np.linalg.norm(data[candidates] - data[u], axis=1)
+            order = np.argsort(distances, kind="stable")
+            selected: list[int] = []
+            for idx in order:
+                v = int(candidates[idx])
+                d_uv = float(distances[idx])
+                if self._occludes(data, u, v, d_uv, selected):
+                    continue
+                selected.append(v)
+                if len(selected) >= self.max_degree:
+                    break
+            self.neighbors[u] = selected
+        self.entry_point = self._medoid(data)
+        self._repair_connectivity(data)
+
+    @staticmethod
+    def _exact_knn(data: np.ndarray, k: int) -> np.ndarray:
+        """Exact kNN ids per point, chunked to bound memory."""
+        n = data.shape[0]
+        result = np.empty((n, k), dtype=np.int64)
+        chunk = max(1, int(2e7) // max(n, 1))
+        sq_norms = np.einsum("ij,ij->i", data, data)
+        for start in range(0, n, chunk):
+            stop = min(start + chunk, n)
+            block = data[start:stop]
+            d2 = (sq_norms[start:stop, None] - 2.0 * block @ data.T
+                  + sq_norms[None, :])
+            for row, global_i in enumerate(range(start, stop)):
+                d2[row, global_i] = np.inf  # exclude self
+            idx = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+            # sort the k candidates by distance
+            rows = np.arange(stop - start)[:, None]
+            order = np.argsort(d2[rows, idx], axis=1, kind="stable")
+            result[start:stop] = idx[rows, order]
+        return result
+
+    def _medoid(self, data: np.ndarray) -> int:
+        centroid = data.mean(axis=0)
+        return int(np.argmin(np.linalg.norm(data - centroid, axis=1)))
+
+    def _repair_connectivity(self, data: np.ndarray) -> None:
+        """Make every node reachable from the entry point.
+
+        Unreachable nodes get an incoming edge from their nearest
+        reachable node (appended even past the degree cap — reachability
+        outranks the cap, as in the NSG/tau-MG reference builds).
+        """
+        n = data.shape[0]
+        reachable = self._reachable_from_entry(n)
+        while len(reachable) < n:
+            missing = np.array(sorted(set(range(n)) - reachable))
+            reach_list = np.array(sorted(reachable))
+            # attach the missing node closest to any reachable node
+            best = None
+            for u in missing:
+                d = np.linalg.norm(data[reach_list] - data[u], axis=1)
+                j = int(np.argmin(d))
+                if best is None or d[j] < best[0]:
+                    best = (float(d[j]), int(reach_list[j]), int(u))
+            assert best is not None
+            __, source, target = best
+            self.neighbors[source].append(target)
+            newly = self._reachable_from(target, n)
+            reachable |= newly
+
+    def _reachable_from_entry(self, n: int) -> set[int]:
+        return self._reachable_from(self.entry_point, n)
+
+    def _reachable_from(self, start: int, n: int) -> set[int]:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    # ------------------------------------------------------------------
+    # subclass hook: the edge occlusion rule
+    # ------------------------------------------------------------------
+    def _occludes(self, data: np.ndarray, u: int, v: int, d_uv: float,
+                  selected: list[int]) -> bool:
+        """True if an already-selected neighbor occludes candidate ``v``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # search: greedy beam routing
+    # ------------------------------------------------------------------
+    def _search(self, query: np.ndarray, k: int) -> list[SearchResult]:
+        ef = max(self.ef_search, k)
+        results = self._beam_search(query, ef)
+        return results[:k]
+
+    def _beam_search(self, query: np.ndarray, ef: int,
+                     entry: int | None = None) -> list[SearchResult]:
+        """Best-first beam search; returns up to ``ef`` hits by distance."""
+        start = self.entry_point if entry is None else entry
+        d0 = self._distance(query, start)
+        visited = {start}
+        # candidates: min-heap by distance; frontier of the search
+        candidates: list[tuple[float, int]] = [(d0, start)]
+        # best: max-heap (negated) of the ef closest found so far
+        best: list[tuple[float, int]] = [(-d0, start)]
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -best[0][0] and len(best) >= ef:
+                break
+            for neighbor in self.neighbors[node]:
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                d = self._distance(query, neighbor)
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(best, (-d, neighbor))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        hits = sorted(((-negd, node) for negd, node in best))
+        return [SearchResult(node, d) for d, node in hits]
+
+    # ------------------------------------------------------------------
+    # introspection (used by tests and benchmarks)
+    # ------------------------------------------------------------------
+    def n_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self.neighbors)
+
+    def average_degree(self) -> float:
+        if not self.neighbors:
+            return 0.0
+        return self.n_edges() / len(self.neighbors)
+
+    def routing_hops(self, query: np.ndarray) -> int:
+        """Number of greedy hops from the entry point to a local minimum.
+
+        This is the quantity whose scaling the paper bounds by
+        O(n^(1/m) (ln n)^2) for tau-MG.
+        """
+        assert self._data is not None
+        node = self.entry_point
+        d = float(np.linalg.norm(self._data[node] - query))
+        hops = 0
+        while True:
+            improved = False
+            for neighbor in self.neighbors[node]:
+                dn = float(np.linalg.norm(self._data[neighbor] - query))
+                if dn < d:
+                    node, d = neighbor, dn
+                    improved = True
+                    break
+            if not improved:
+                return hops
+            hops += 1

@@ -1,0 +1,45 @@
+"""The tau-monotonic graph (tau-MG) of the paper (Def. 3).
+
+Edge occlusion rule: given nodes ``u``, ``u'`` and ``v``, if edge
+``(u, u')`` is already in the graph and ``u'`` lies in
+``ball(u, d(u, v))  intersect  ball(v, d(u, v) - 3*tau)``, then edge
+``(u, v)`` is *not* added.  Intuitively a neighbor ``u'`` that is closer
+to ``u`` than ``v`` is, *and* is substantially (by ``3*tau``) closer to
+``v``, already provides a monotone routing step toward ``v``.
+
+With ``tau = 0`` the rule degenerates to the MRNG occlusion rule; a
+positive ``tau`` prunes more edges while preserving tau-monotonicity of
+routing paths, which is what yields the O(n^(1/m) (ln n)^2) expected
+routing complexity claimed in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import IndexError_
+from .proximity_graph import ProximityGraphIndex
+
+
+class TauMGIndex(ProximityGraphIndex):
+    """tau-MG proximity-graph index (paper Sec. II-D)."""
+
+    def __init__(self, tau: float = 0.05, max_degree: int = 24,
+                 candidate_pool: int = 64, ef_search: int = 32) -> None:
+        super().__init__(max_degree=max_degree,
+                         candidate_pool=candidate_pool,
+                         ef_search=ef_search)
+        if tau < 0:
+            raise IndexError_("tau must be >= 0")
+        self.tau = tau
+
+    def _occludes(self, data: np.ndarray, u: int, v: int, d_uv: float,
+                  selected: list[int]) -> bool:
+        for u_prime in selected:
+            d_u_uprime = float(np.linalg.norm(data[u] - data[u_prime]))
+            if d_u_uprime > d_uv:
+                continue  # u' outside ball(u, d(u, v))
+            d_uprime_v = float(np.linalg.norm(data[u_prime] - data[v]))
+            if d_uprime_v <= d_uv - 3.0 * self.tau:
+                return True  # u' inside ball(v, d(u, v) - 3 tau)
+        return False

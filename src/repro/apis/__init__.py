@@ -1,0 +1,40 @@
+"""Graph-analysis API substrate.
+
+ChatGraph answers a prompt by generating and executing a *chain* of
+analysis APIs.  This package provides:
+
+* :mod:`registry` — typed API specifications and the registry the
+  retrieval module and the LLM draw from;
+* :mod:`chain` — the :class:`APIChain` object (a small DAG of API
+  invocations) with validation and a graph view for GED-based losses;
+* :mod:`executor` — a monitored executor emitting progress events
+  (paper scenario 4);
+* :mod:`catalog` — the concrete APIs: generic graph statistics, social
+  analysis, molecule properties, knowledge-graph inference, graph
+  editing and report generation.
+"""
+
+from .registry import APIRegistry, APISpec, Category, default_registry
+from .chain import APIChain, ChainNode, chain_to_graph
+from .executor import (
+    ChainContext,
+    ChainExecutionRecord,
+    ChainExecutor,
+    ExecutionEvent,
+    StepRecord,
+)
+
+__all__ = [
+    "APIRegistry",
+    "APISpec",
+    "Category",
+    "default_registry",
+    "APIChain",
+    "ChainNode",
+    "chain_to_graph",
+    "ChainContext",
+    "ChainExecutor",
+    "ChainExecutionRecord",
+    "ExecutionEvent",
+    "StepRecord",
+]

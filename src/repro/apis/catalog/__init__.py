@@ -1,0 +1,24 @@
+"""The concrete ChatGraph API catalog.
+
+``register_all`` installs every API into a registry; the sub-modules
+group them by category (the routing key of scenario 1):
+
+* :mod:`generic` — structural statistics any graph supports;
+* :mod:`social` — communities, influencers, connectivity;
+* :mod:`molecule` — formula/descriptors/properties/similarity search;
+* :mod:`knowledge` — incorrect/missing edge inference;
+* :mod:`edit` — graph mutation (the cleaning scenario's second half);
+* :mod:`report` — graph-type prediction and report composition.
+"""
+
+from ..registry import APIRegistry
+from . import edit, generic, knowledge, molecule, report, social
+
+
+def register_all(registry: APIRegistry) -> APIRegistry:
+    """Install the complete catalog into ``registry``."""
+    for module in (generic, social, molecule, knowledge, edit, report):
+        module.register(registry)
+    return registry
+
+__all__ = ["register_all"]

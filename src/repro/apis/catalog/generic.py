@@ -1,0 +1,291 @@
+"""Generic graph-analysis APIs (work on any uploaded graph)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...algorithms import (
+    average_clustering,
+    betweenness_centrality,
+    connected_components,
+    core_number,
+    degree_assortativity,
+    degree_centrality,
+    diameter,
+    find_subgraph_isomorphisms,
+    is_connected,
+    motif_census,
+    pagerank,
+    shortest_path,
+    triangle_count,
+)
+from ...errors import APIError
+from ...graphs.graph import DiGraph, Graph
+from ...graphs.properties import degree_histogram, density, summarize
+from ..executor import ChainContext
+from ..registry import APIRegistry, APISpec, Category
+
+
+def _graph(context: ChainContext) -> Graph:
+    if context.graph is None:
+        raise APIError("no graph in the prompt context")
+    return context.graph
+
+
+def _undirected(context: ChainContext) -> Graph:
+    graph = _graph(context)
+    return graph.to_undirected() if isinstance(graph, DiGraph) else graph
+
+
+def graph_summary(context: ChainContext) -> dict[str, Any]:
+    """Basic profile: sizes, density, degrees, attribute keys."""
+    return summarize(_graph(context)).as_dict()
+
+
+def count_nodes(context: ChainContext) -> int:
+    """Number of nodes."""
+    return _graph(context).number_of_nodes()
+
+
+def count_edges(context: ChainContext) -> int:
+    """Number of edges."""
+    return _graph(context).number_of_edges()
+
+
+def graph_density(context: ChainContext) -> float:
+    """Edge density in [0, 1]."""
+    return density(_graph(context))
+
+
+def degree_distribution(context: ChainContext) -> dict[int, int]:
+    """Histogram degree -> node count."""
+    return degree_histogram(_graph(context))
+
+
+def connectivity(context: ChainContext) -> dict[str, Any]:
+    """Connectedness and component structure."""
+    graph = _graph(context)
+    components = connected_components(graph)
+    return {
+        "connected": is_connected(graph),
+        "n_components": len(components),
+        "largest_component": max((len(c) for c in components), default=0),
+    }
+
+
+def graph_diameter(context: ChainContext) -> int:
+    """Diameter of the (connected) graph."""
+    return diameter(_undirected(context))
+
+
+def find_shortest_path(context: ChainContext, source: Any = None,
+                       target: Any = None) -> list[Any]:
+    """Unweighted shortest path between two nodes."""
+    if source is None or target is None:
+        raise APIError("shortest path needs 'source' and 'target' params")
+    return shortest_path(_graph(context), source, target)
+
+
+def clustering(context: ChainContext) -> float:
+    """Average local clustering coefficient."""
+    return average_clustering(_undirected(context))
+
+
+def count_triangles(context: ChainContext) -> int:
+    """Total number of triangles."""
+    return triangle_count(_undirected(context))
+
+
+def rank_pagerank(context: ChainContext, top: int = 5) -> list[tuple[Any,
+                                                                     float]]:
+    """Top nodes by PageRank."""
+    ranks = pagerank(_graph(context))
+    ordered = sorted(ranks.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return [(node, round(score, 6)) for node, score in ordered[:top]]
+
+
+def rank_degree(context: ChainContext, top: int = 5) -> list[tuple[Any,
+                                                                   float]]:
+    """Top nodes by degree centrality."""
+    ranks = degree_centrality(_graph(context))
+    ordered = sorted(ranks.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return [(node, round(score, 6)) for node, score in ordered[:top]]
+
+
+def rank_betweenness(context: ChainContext, top: int = 5
+                     ) -> list[tuple[Any, float]]:
+    """Top nodes by betweenness centrality."""
+    ranks = betweenness_centrality(_graph(context))
+    ordered = sorted(ranks.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+    return [(node, round(score, 6)) for node, score in ordered[:top]]
+
+
+def kcore_decomposition(context: ChainContext) -> dict[str, Any]:
+    """Max core number and the size of the densest core."""
+    numbers = core_number(_undirected(context))
+    if not numbers:
+        return {"max_core": 0, "core_size": 0}
+    max_core = max(numbers.values())
+    return {"max_core": max_core,
+            "core_size": sum(1 for c in numbers.values() if c == max_core)}
+
+
+def motif_profile(context: ChainContext) -> dict[str, int]:
+    """Triangle/wedge/clique motif census."""
+    return motif_census(_undirected(context))
+
+
+def compare_graphs(context: ChainContext) -> dict[str, Any]:
+    """Compare the uploaded graph with a second one (two-graph prompts).
+
+    The second graph is attached under ``other_graph``; reported are WL
+    kernel similarity, size deltas, and (for small graphs) the graph
+    edit distance — the general-graph face of scenario 2.
+    """
+    from ...algorithms import graph_edit_distance, wl_kernel_similarity
+    graph = _graph(context)
+    other = context.extras.get("other_graph")
+    if other is None:
+        raise APIError("compare_graphs needs an 'other_graph' attachment")
+    result: dict[str, Any] = {
+        "wl_similarity": round(wl_kernel_similarity(
+            graph.to_undirected() if isinstance(graph, DiGraph) else graph,
+            other.to_undirected() if isinstance(other, DiGraph)
+            else other), 4),
+        "node_delta": other.number_of_nodes() - graph.number_of_nodes(),
+        "edge_delta": other.number_of_edges() - graph.number_of_edges(),
+    }
+    if (graph.number_of_nodes() <= 30 and other.number_of_nodes() <= 30):
+        ged = graph_edit_distance(
+            graph.to_undirected() if isinstance(graph, DiGraph) else graph,
+            other.to_undirected() if isinstance(other, DiGraph)
+            else other)
+        result["ged"] = ged.cost
+        result["ged_exact"] = ged.exact
+    return result
+
+
+def assortativity(context: ChainContext) -> dict[str, Any]:
+    """Degree assortativity (hub-to-hub vs hub-to-leaf mixing)."""
+    r = degree_assortativity(_undirected(context))
+    if r > 0.1:
+        tendency = "assortative (hubs link to hubs)"
+    elif r < -0.1:
+        tendency = "disassortative (hubs link to leaves)"
+    else:
+        tendency = "neutral mixing"
+    return {"degree_assortativity": round(r, 4), "tendency": tendency}
+
+
+def find_substructure(context: ChainContext, pattern_edges: Any = None,
+                      label_key: Any = None,
+                      max_matches: int = 10) -> dict[str, Any]:
+    """Search for a pattern subgraph (VF2) inside the uploaded graph.
+
+    ``pattern_edges`` is a list of ``(u, v)`` pairs defining the pattern;
+    with ``label_key`` set (e.g. ``"element"``), pattern node names must
+    equal the target nodes' label values (so ``[("C", "O")]`` finds C-O
+    bonds in a molecule).
+    """
+    if not pattern_edges:
+        raise APIError("find_substructure needs 'pattern_edges'")
+    from ...graphs.graph import Graph as _Graph
+    pattern = _Graph(name="pattern")
+    for u, v in pattern_edges:
+        pattern.add_edge(u, v)
+    target = _undirected(context)
+    if label_key is not None:
+        def node_label(graph, node):
+            if graph is pattern:
+                return node if not isinstance(node, tuple) else node[0]
+            return graph.get_node_attr(node, label_key)
+        # pattern nodes like "C", "C2" -> label "C" (strip digits)
+        def pattern_label(graph, node):
+            if graph is pattern:
+                return str(node).rstrip("0123456789")
+            return graph.get_node_attr(node, label_key)
+        matcher_label = pattern_label
+    else:
+        def matcher_label(graph, node):
+            return None
+    matches = find_subgraph_isomorphisms(
+        pattern, target, node_label=matcher_label, induced=False,
+        limit=max_matches)
+    return {
+        "n_matches": len(matches),
+        "truncated": len(matches) >= max_matches,
+        "matches": [sorted(m.values(), key=repr) for m in matches],
+    }
+
+
+def register(registry: APIRegistry) -> None:
+    """Register every generic API."""
+    generic = Category.GENERIC
+    for spec in (
+        APISpec("graph_summary",
+                "summarize the graph: number of nodes and edges, density, "
+                "degree statistics, node and edge attribute keys",
+                generic, graph_summary),
+        APISpec("count_nodes",
+                "count the number of nodes or vertices in the graph",
+                generic, count_nodes),
+        APISpec("count_edges",
+                "count the number of edges or links in the graph",
+                generic, count_edges),
+        APISpec("graph_density",
+                "compute the edge density of the graph",
+                generic, graph_density),
+        APISpec("degree_distribution",
+                "compute the degree distribution histogram of the graph",
+                generic, degree_distribution),
+        APISpec("connectivity",
+                "check whether the graph is connected and report its "
+                "connected components",
+                generic, connectivity),
+        APISpec("graph_diameter",
+                "compute the diameter, the longest shortest path of the "
+                "graph",
+                generic, graph_diameter),
+        APISpec("find_shortest_path",
+                "find the shortest path between a source node and a target "
+                "node",
+                generic, find_shortest_path,
+                params={"source": None, "target": None}),
+        APISpec("clustering",
+                "compute the average clustering coefficient of the graph",
+                generic, clustering),
+        APISpec("count_triangles",
+                "count the triangles in the graph",
+                generic, count_triangles),
+        APISpec("rank_pagerank",
+                "rank the most important or influential nodes by pagerank",
+                generic, rank_pagerank, params={"top": 5}),
+        APISpec("rank_degree",
+                "rank the most connected hub nodes by degree centrality",
+                generic, rank_degree, params={"top": 5}),
+        APISpec("rank_betweenness",
+                "rank broker or bridge nodes by betweenness centrality",
+                generic, rank_betweenness, params={"top": 5}),
+        APISpec("kcore_decomposition",
+                "compute the k-core decomposition and the densest core",
+                generic, kcore_decomposition),
+        APISpec("motif_profile",
+                "count motifs such as triangles wedges and cliques",
+                generic, motif_profile),
+        APISpec("assortativity",
+                "measure degree assortativity whether hubs connect to "
+                "hubs or to leaves",
+                generic, assortativity),
+        APISpec("find_substructure",
+                "search for a pattern substructure or subgraph inside "
+                "the graph",
+                generic, find_substructure,
+                params={"pattern_edges": None, "label_key": None,
+                        "max_matches": 10}),
+        APISpec("compare_graphs",
+                "compare two graphs measuring their structural similarity "
+                "and edit distance",
+                generic, compare_graphs,
+                requires=("graph", "other_graph")),
+    ):
+        registry.register(spec)

@@ -1,0 +1,180 @@
+"""Molecule APIs: formula, descriptors, properties, similarity search."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...chem.descriptors import descriptor_profile, molecular_formula
+from ...chem.molecule import Molecule
+from ...chem.properties import (
+    druglikeness_summary,
+    predict_solubility,
+    predict_toxicity,
+)
+from ...chem.smiles import parse_smiles
+from ...chem.database import MoleculeDatabase
+from ...errors import APIError
+from ...graphs.graph import Graph
+from ..executor import ChainContext
+from ..registry import APIRegistry, APISpec, Category
+
+
+def _molecule(context: ChainContext) -> Molecule:
+    """The prompt molecule: an uploaded Molecule, SMILES, or atom graph."""
+    extra = context.extras.get("molecule")
+    if isinstance(extra, Molecule):
+        return extra
+    if isinstance(extra, str):
+        return parse_smiles(extra)
+    if context.graph is not None:
+        return _graph_to_molecule(context.graph)
+    raise APIError("no molecule in the prompt context")
+
+
+def _graph_to_molecule(graph: Graph) -> Molecule:
+    """Interpret an atom-labeled graph as a molecule."""
+    mol = Molecule(name=graph.name)
+    index_of: dict[Any, int] = {}
+    for node in graph.nodes():
+        element = graph.get_node_attr(node, "element")
+        if element is None:
+            raise APIError("graph nodes lack 'element' attributes; "
+                           "not a molecule graph")
+        index_of[node] = mol.add_atom(
+            str(element),
+            aromatic=bool(graph.get_node_attr(node, "aromatic", False)),
+            charge=int(graph.get_node_attr(node, "charge", 0)))
+    for u, v in graph.edges():
+        order = float(graph.get_edge_attr(u, v, "order", 1.0))
+        mol.add_bond(index_of[u], index_of[v], order)
+    return mol
+
+
+def _database(context: ChainContext) -> MoleculeDatabase:
+    if isinstance(context.database, MoleculeDatabase):
+        return context.database
+    raise APIError("no molecule database available for similarity search")
+
+
+def formula(context: ChainContext) -> str:
+    """Molecular formula of the prompt molecule."""
+    return molecular_formula(_molecule(context))
+
+
+def describe_molecule(context: ChainContext) -> dict[str, Any]:
+    """Full descriptor profile (MW, logP, TPSA, HBD/HBA, rings...)."""
+    return descriptor_profile(_molecule(context))
+
+
+def toxicity(context: ChainContext) -> dict[str, Any]:
+    """Qualitative toxicity prediction with its rationale."""
+    prediction = predict_toxicity(_molecule(context))
+    return {"class": prediction.value,
+            "rationale": list(prediction.rationale)}
+
+
+def solubility(context: ChainContext) -> dict[str, Any]:
+    """ESOL aqueous solubility prediction."""
+    prediction = predict_solubility(_molecule(context))
+    return {"logS": round(float(prediction.value), 3),
+            "rationale": list(prediction.rationale)}
+
+
+def druglikeness(context: ChainContext) -> dict[str, Any]:
+    """Lipinski violations and structural alerts."""
+    return druglikeness_summary(_molecule(context))
+
+
+def substructure_count(context: ChainContext,
+                       pattern: str = "") -> dict[str, Any]:
+    """Count embeddings of a SMILES pattern in the prompt molecule.
+
+    Matching is element-labeled monomorphism (bond orders ignored), so
+    ``pattern="C(=O)O"`` finds carboxyl-like C(O)O motifs.
+    """
+    if not pattern:
+        raise APIError("substructure_count needs a 'pattern' SMILES")
+    from ...algorithms import find_subgraph_isomorphisms
+    pattern_mol = parse_smiles(pattern)
+    target = _molecule(context)
+
+    def element(graph: Graph, node: Any) -> Any:
+        return graph.get_node_attr(node, "element")
+
+    matches = find_subgraph_isomorphisms(
+        pattern_mol.to_graph(), target.to_graph(),
+        node_label=element, induced=False, limit=1000)
+    # embeddings count automorphisms; report distinct atom sets too
+    distinct = {frozenset(m.values()) for m in matches}
+    return {"pattern": pattern, "n_embeddings": len(matches),
+            "n_distinct_sites": len(distinct)}
+
+
+def identify_molecule(context: ChainContext) -> dict[str, Any]:
+    """Identify the prompt molecule by canonical-SMILES database lookup.
+
+    Answers "what molecule is this?" — an exact-identity complement to
+    the similarity search of scenario 2.
+    """
+    from ...chem.canonical import canonical_smiles, perceive_aromaticity
+    molecule = _molecule(context)
+    canonical = canonical_smiles(perceive_aromaticity(molecule))
+    name = None
+    if isinstance(context.database, MoleculeDatabase):
+        name = context.database.lookup(molecule)
+    return {
+        "known": name is not None,
+        "name": name,
+        "canonical_smiles": canonical,
+        "formula": molecular_formula(molecule),
+    }
+
+
+def similar_molecules(context: ChainContext, k: int = 2,
+                      method: str = "ged") -> list[dict[str, Any]]:
+    """Top-k most similar molecules from the database (scenario 2)."""
+    hits = _database(context).similarity_search(_molecule(context), k=k,
+                                                method=method)
+    return [{"name": hit.name, "smiles": hit.smiles, "score": hit.score,
+             "method": hit.method} for hit in hits]
+
+
+def register(registry: APIRegistry) -> None:
+    """Register every molecule API."""
+    molecule = Category.MOLECULE
+    for spec in (
+        APISpec("molecular_formula",
+                "compute the molecular formula of the molecule",
+                molecule, formula),
+        APISpec("describe_molecule",
+                "compute molecular descriptors weight logp polar surface "
+                "area hydrogen bond donors acceptors rings",
+                molecule, describe_molecule),
+        APISpec("predict_toxicity",
+                "predict the toxicity of the molecule from structural "
+                "alerts",
+                molecule, toxicity),
+        APISpec("predict_solubility",
+                "predict the aqueous solubility of the molecule",
+                molecule, solubility),
+        APISpec("druglikeness",
+                "assess drug likeness with lipinski rule of five and "
+                "structural alerts",
+                molecule, druglikeness),
+        APISpec("similar_molecules",
+                "search the molecule database for molecules similar to the "
+                "query molecule",
+                molecule, similar_molecules,
+                requires=("graph", "database"),
+                params={"k": 2, "method": "ged"}),
+        APISpec("substructure_count",
+                "count occurrences of a substructure pattern functional "
+                "group in the molecule",
+                molecule, substructure_count, params={"pattern": ""}),
+        APISpec("identify_molecule",
+                "identify name or recognize this molecule by exact "
+                "database lookup",
+                molecule, identify_molecule,
+                requires=("graph", "database")),
+    ):
+        registry.register(spec)

@@ -1,0 +1,95 @@
+"""Report APIs: graph-type prediction and report composition.
+
+Scenario 1 (Fig. 4): "ChatGraph first predicts the type of G ... a
+report is generated based on the results of the APIs."  These two APIs
+bracket a type-specific analysis chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...errors import APIError
+from ...llm.intent import GraphTypePredictor
+from ..executor import ChainContext
+from ..registry import APIRegistry, APISpec, Category
+
+
+def predict_graph_type(context: ChainContext) -> dict[str, Any]:
+    """Classify the uploaded graph (social / molecule / knowledge / generic)."""
+    if context.graph is None:
+        raise APIError("no graph in the prompt context")
+    prediction = GraphTypePredictor().predict(context.graph)
+    return {"graph_type": prediction.graph_type,
+            "scores": prediction.scores,
+            "evidence": list(prediction.evidence)}
+
+
+#: API names whose results read well in a report, in presentation order.
+_SECTION_ORDER = (
+    "predict_graph_type", "graph_summary", "connectivity",
+    "detect_communities", "find_influencers", "social_connectivity",
+    "molecular_formula", "describe_molecule", "predict_toxicity",
+    "predict_solubility", "druglikeness", "similar_molecules",
+    "knowledge_profile", "mine_rules", "detect_incorrect_edges",
+    "predict_missing_edges", "clustering", "count_triangles",
+    "rank_pagerank", "kcore_decomposition", "motif_profile",
+)
+
+
+def generate_report(context: ChainContext, title: str = "Graph report"
+                    ) -> str:
+    """Compose a textual report from every earlier step's result."""
+    by_name: dict[str, Any] = {}
+    for index in sorted(context.results):
+        by_name[context.step_names[index]] = context.results[index]
+    if not by_name:
+        raise APIError("generate_report needs earlier analysis steps")
+    lines = [title, "=" * len(title)]
+    ordered = [name for name in _SECTION_ORDER if name in by_name]
+    ordered += [name for name in by_name if name not in _SECTION_ORDER]
+    for name in ordered:
+        if name == "generate_report":
+            continue
+        lines.append("")
+        lines.append(f"## {name.replace('_', ' ')}")
+        lines.extend(_render_result(by_name[name]))
+    return "\n".join(lines)
+
+
+def _render_result(result: Any, indent: str = "") -> list[str]:
+    if isinstance(result, dict):
+        lines = []
+        for key, value in result.items():
+            if isinstance(value, (dict, list)) and value:
+                lines.append(f"{indent}- {key}:")
+                lines.extend(_render_result(value, indent + "  "))
+            else:
+                lines.append(f"{indent}- {key}: {value}")
+        return lines
+    if isinstance(result, list):
+        lines = []
+        for item in result[:10]:
+            if isinstance(item, (dict, list)):
+                lines.extend(_render_result(item, indent + "  "))
+            else:
+                lines.append(f"{indent}- {item}")
+        if len(result) > 10:
+            lines.append(f"{indent}- ... ({len(result) - 10} more)")
+        return lines
+    return [f"{indent}{result}"]
+
+
+def register(registry: APIRegistry) -> None:
+    """Register the report APIs."""
+    report = Category.REPORT
+    for spec in (
+        APISpec("predict_graph_type",
+                "predict whether the graph is a social network a molecule "
+                "or a knowledge graph",
+                report, predict_graph_type),
+        APISpec("generate_report",
+                "generate write a report summarizing all analysis results",
+                report, generate_report, params={"title": "Graph report"}),
+    ):
+        registry.register(spec)

@@ -1,0 +1,165 @@
+"""API chains: the object the LLM generates and the user confirms.
+
+An :class:`APIChain` is a sequence of :class:`ChainNode` invocations with
+optional explicit data dependencies (defaulting to "each step may read
+every earlier step"), i.e. a small DAG whose topological order is the
+node order.  :func:`chain_to_graph` views a chain as a labeled digraph so
+the node matching-based loss (paper Def. 1) can compute chain GED.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..errors import ChainError
+from ..graphs.graph import DiGraph
+from .registry import APIRegistry
+
+
+@dataclass(frozen=True)
+class ChainNode:
+    """One API invocation inside a chain."""
+
+    #: Name of the API to invoke (must exist in the registry).
+    api_name: str
+    #: Keyword parameters passed to the API.
+    params: dict[str, Any] = field(default_factory=dict)
+    #: Indexes of earlier nodes this step explicitly depends on; empty
+    #: means "the immediately preceding node" (linear chaining).
+    depends_on: tuple[int, ...] = ()
+
+    def render(self) -> str:
+        if not self.params:
+            return self.api_name
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"{self.api_name}({inner})"
+
+
+class APIChain:
+    """An ordered chain of API invocations.
+
+    Example::
+
+        chain = APIChain([ChainNode("count_nodes"),
+                          ChainNode("detect_communities")])
+        chain.validate(registry)
+    """
+
+    def __init__(self, nodes: list[ChainNode] | None = None) -> None:
+        self.nodes: list[ChainNode] = list(nodes or [])
+
+    @classmethod
+    def from_names(cls, names: list[str]) -> "APIChain":
+        """Build a linear chain from bare API names."""
+        return cls([ChainNode(name) for name in names])
+
+    def append(self, node: ChainNode | str) -> None:
+        if isinstance(node, str):
+            node = ChainNode(node)
+        self.nodes.append(node)
+
+    def insert(self, index: int, node: ChainNode | str) -> None:
+        if isinstance(node, str):
+            node = ChainNode(node)
+        self.nodes.insert(index, node)
+
+    def remove(self, index: int) -> ChainNode:
+        try:
+            return self.nodes.pop(index)
+        except IndexError:
+            raise ChainError(f"no chain step at index {index}") from None
+
+    def replace(self, index: int, node: ChainNode | str) -> None:
+        if isinstance(node, str):
+            node = ChainNode(node)
+        if not 0 <= index < len(self.nodes):
+            raise ChainError(f"no chain step at index {index}")
+        self.nodes[index] = node
+
+    def api_names(self) -> list[str]:
+        return [node.api_name for node in self.nodes]
+
+    def validate(self, registry: APIRegistry) -> None:
+        """Raise :class:`ChainError` unless every step is executable."""
+        if not self.nodes:
+            raise ChainError("chain is empty")
+        for index, node in enumerate(self.nodes):
+            if node.api_name not in registry:
+                raise ChainError(
+                    f"step {index}: unknown API {node.api_name!r}")
+            spec = registry.get(node.api_name)
+            unknown = set(node.params) - set(spec.params)
+            if unknown:
+                raise ChainError(
+                    f"step {index}: API {node.api_name!r} does not accept "
+                    f"params {sorted(unknown)}")
+            for dep in node.depends_on:
+                if not 0 <= dep < index:
+                    raise ChainError(
+                        f"step {index}: dependency {dep} is not an earlier "
+                        f"step")
+
+    def render(self) -> str:
+        """Human-readable arrow form, e.g. ``a -> b -> c``."""
+        return " -> ".join(node.render() for node in self.nodes)
+
+    def copy(self) -> "APIChain":
+        return APIChain(list(self.nodes))
+
+    # ------------------------------------------------------------------
+    # serialization (session persistence / chain sharing)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able document: ``{"nodes": [{api, params, depends_on}]}``."""
+        return {"nodes": [
+            {"api": node.api_name, "params": dict(node.params),
+             "depends_on": list(node.depends_on)}
+            for node in self.nodes]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "APIChain":
+        """Rebuild a chain from :meth:`to_dict` output."""
+        try:
+            nodes = [ChainNode(api_name=entry["api"],
+                               params=dict(entry.get("params", {})),
+                               depends_on=tuple(entry.get("depends_on",
+                                                          ())))
+                     for entry in data["nodes"]]
+        except (KeyError, TypeError) as exc:
+            raise ChainError(f"malformed chain document: {exc}") from exc
+        return cls(nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[ChainNode]:
+        return iter(self.nodes)
+
+    def __getitem__(self, index: int) -> ChainNode:
+        return self.nodes[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, APIChain):
+            return NotImplemented
+        return self.nodes == other.nodes
+
+    def __repr__(self) -> str:
+        return f"<APIChain {self.render()}>"
+
+
+def chain_to_graph(chain: APIChain) -> DiGraph:
+    """View a chain as a labeled digraph for GED-based losses.
+
+    Nodes are step indexes labeled with the API name (``label`` attr);
+    arcs follow the declared dependencies, defaulting to the linear
+    predecessor link.
+    """
+    graph = DiGraph(name="api_chain")
+    for index, node in enumerate(chain.nodes):
+        graph.add_node(index, label=node.api_name)
+    for index, node in enumerate(chain.nodes):
+        deps = node.depends_on or ((index - 1,) if index > 0 else ())
+        for dep in deps:
+            graph.add_edge(dep, index)
+    return graph

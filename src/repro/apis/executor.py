@@ -1,0 +1,199 @@
+"""Monitored execution of API chains (paper scenario 4).
+
+The executor walks a validated chain step by step, feeding each API the
+shared :class:`ChainContext`, and emits :class:`ExecutionEvent` objects
+to registered listeners — the chat session renders these as the progress
+monitor the paper demonstrates in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ChainExecutionError
+from ..graphs.graph import Graph
+from .chain import APIChain
+from .registry import APIRegistry
+
+
+@dataclass
+class ChainContext:
+    """Shared state visible to every API in a chain.
+
+    APIs read the prompt ``graph``, optional substrates (the molecule
+    ``database``, the knowledge-base ``rules``), the results of earlier
+    steps, and may replace ``graph`` (edit APIs do).
+    """
+
+    #: The graph uploaded with the prompt (edit APIs mutate/replace it).
+    graph: Graph | None = None
+    #: Molecule database for similarity search (scenario 2).
+    database: Any = None
+    #: Extra substrate objects keyed by name.
+    extras: dict[str, Any] = field(default_factory=dict)
+    #: Results of completed steps: step index -> result.
+    results: dict[int, Any] = field(default_factory=dict)
+    #: API names of completed steps: step index -> name.
+    step_names: dict[int, str] = field(default_factory=dict)
+    #: Optional user-confirmation callback (cleaning scenario): receives
+    #: a question string and a payload, returns True to proceed.
+    confirm: Callable[[str, Any], bool] | None = None
+
+    def latest(self, api_name: str) -> Any:
+        """Most recent result produced by ``api_name`` (None if absent)."""
+        for index in sorted(self.results, reverse=True):
+            if self.step_names.get(index) == api_name:
+                return self.results[index]
+        return None
+
+    def ask(self, question: str, payload: Any) -> bool:
+        """Route a confirmation to the user; default-approve if no hook."""
+        if self.confirm is None:
+            return True
+        return self.confirm(question, payload)
+
+
+@dataclass(frozen=True)
+class ExecutionEvent:
+    """One progress event; the session's monitor panel renders these."""
+
+    kind: str              # chain_started | step_started | step_finished
+    #                      # | step_failed | chain_finished | chain_failed
+    step_index: int | None
+    api_name: str | None
+    elapsed_seconds: float
+    detail: str = ""
+
+    def render(self) -> str:
+        where = "" if self.step_index is None else \
+            f" step {self.step_index} ({self.api_name})"
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"[{self.elapsed_seconds:7.3f}s] {self.kind}{where}{suffix}"
+
+
+@dataclass
+class StepRecord:
+    """Outcome of one executed step."""
+
+    index: int
+    api_name: str
+    result: Any
+    seconds: float
+    ok: bool
+    error: str = ""
+
+
+@dataclass
+class ChainExecutionRecord:
+    """Outcome of a whole chain execution."""
+
+    chain: APIChain
+    steps: list[StepRecord] = field(default_factory=list)
+    ok: bool = True
+    total_seconds: float = 0.0
+
+    @property
+    def final_result(self) -> Any:
+        for step in reversed(self.steps):
+            if step.ok:
+                return step.result
+        return None
+
+    def results_by_name(self) -> dict[str, Any]:
+        """Map api_name -> last successful result."""
+        out: dict[str, Any] = {}
+        for step in self.steps:
+            if step.ok:
+                out[step.api_name] = step.result
+        return out
+
+
+Listener = Callable[[ExecutionEvent], None]
+
+
+class ChainExecutor:
+    """Execute validated API chains with progress monitoring.
+
+    Example::
+
+        executor = ChainExecutor(registry)
+        executor.add_listener(print_event)
+        record = executor.execute(chain, ChainContext(graph=g))
+    """
+
+    def __init__(self, registry: APIRegistry) -> None:
+        self.registry = registry
+        self._listeners: list[Listener] = []
+
+    def add_listener(self, listener: Listener) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Listener) -> None:
+        self._listeners.remove(listener)
+
+    def _emit(self, kind: str, start: float, step_index: int | None = None,
+              api_name: str | None = None, detail: str = "") -> None:
+        event = ExecutionEvent(
+            kind=kind,
+            step_index=step_index,
+            api_name=api_name,
+            elapsed_seconds=time.perf_counter() - start,
+            detail=detail,
+        )
+        for listener in self._listeners:
+            listener(event)
+
+    def execute(self, chain: APIChain, context: ChainContext,
+                stop_on_error: bool = True) -> ChainExecutionRecord:
+        """Run every step of ``chain`` against ``context``.
+
+        With ``stop_on_error`` (default) a failing step aborts the chain
+        and raises :class:`ChainExecutionError`; otherwise the failure is
+        recorded and execution continues.
+        """
+        chain.validate(self.registry)
+        record = ChainExecutionRecord(chain=chain.copy())
+        start = time.perf_counter()
+        self._emit("chain_started", start,
+                   detail=f"{len(chain)} steps: {chain.render()}")
+        for index, node in enumerate(chain):
+            spec = self.registry.get(node.api_name)
+            self._emit("step_started", start, index, node.api_name)
+            step_start = time.perf_counter()
+            try:
+                result = spec.call(context, **node.params)
+            except Exception as exc:  # noqa: BLE001 - APIs are user code
+                seconds = time.perf_counter() - step_start
+                record.steps.append(StepRecord(
+                    index=index, api_name=node.api_name, result=None,
+                    seconds=seconds, ok=False, error=str(exc)))
+                record.ok = False
+                self._emit("step_failed", start, index, node.api_name,
+                           detail=str(exc))
+                if stop_on_error:
+                    record.total_seconds = time.perf_counter() - start
+                    self._emit("chain_failed", start, index, node.api_name)
+                    raise ChainExecutionError(node.api_name, exc) from exc
+                continue
+            seconds = time.perf_counter() - step_start
+            context.results[index] = result
+            context.step_names[index] = node.api_name
+            record.steps.append(StepRecord(
+                index=index, api_name=node.api_name, result=result,
+                seconds=seconds, ok=True))
+            self._emit("step_finished", start, index, node.api_name,
+                       detail=_summarize(result))
+        record.total_seconds = time.perf_counter() - start
+        self._emit("chain_finished", start,
+                   detail=f"{sum(s.ok for s in record.steps)}/"
+                          f"{len(record.steps)} steps ok")
+        return record
+
+
+def _summarize(result: Any, limit: int = 70) -> str:
+    text = repr(result)
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text

@@ -1,0 +1,113 @@
+"""API specifications and the registry.
+
+Every analysis capability of ChatGraph is an :class:`APISpec`: a named,
+categorized, natural-language-described callable.  The description is
+what the retrieval module embeds; the category is what graph-type
+routing (scenario 1) filters on; the callable is what the executor runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from ..errors import APIError, UnknownAPIError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import ChainContext
+
+
+class Category(str, enum.Enum):
+    """API categories; used to route by predicted graph type."""
+
+    GENERIC = "generic"
+    SOCIAL = "social"
+    MOLECULE = "molecule"
+    KNOWLEDGE = "knowledge"
+    EDIT = "edit"
+    REPORT = "report"
+
+
+@dataclass(frozen=True)
+class APISpec:
+    """One registered analysis API.
+
+    ``func`` receives the live :class:`~repro.apis.executor.ChainContext`
+    plus the node's keyword parameters and returns a JSON-able result.
+    """
+
+    name: str
+    description: str
+    category: Category
+    func: Callable[..., Any]
+    #: Names of chain-level inputs the API reads from the context
+    #: (documentation + validation aid), e.g. ``("graph",)``.
+    requires: tuple[str, ...] = ("graph",)
+    #: Parameter names accepted as chain-node params, with defaults.
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.replace("_", "").isalnum():
+            raise APIError(f"bad API name {self.name!r}")
+        if not self.description.strip():
+            raise APIError(f"API {self.name!r} needs a description")
+
+    def call(self, context: "ChainContext", **overrides: Any) -> Any:
+        """Invoke the API with defaults merged under ``overrides``."""
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise APIError(
+                f"API {self.name!r} got unknown params {sorted(unknown)}")
+        kwargs = {**self.params, **overrides}
+        return self.func(context, **kwargs)
+
+
+class APIRegistry:
+    """Name-indexed collection of :class:`APISpec` objects."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, APISpec] = {}
+
+    def register(self, spec: APISpec) -> APISpec:
+        if spec.name in self._specs:
+            raise APIError(f"API {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> APISpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownAPIError(name) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[APISpec]:
+        return iter(self._specs.values())
+
+    def names(self) -> list[str]:
+        """All API names in registration order."""
+        return list(self._specs)
+
+    def by_category(self, *categories: Category) -> list[APISpec]:
+        """APIs belonging to any of ``categories``."""
+        wanted = set(categories)
+        return [spec for spec in self._specs.values()
+                if spec.category in wanted]
+
+    def descriptions(self) -> dict[str, str]:
+        """Map name -> description (what the retrieval module embeds)."""
+        return {spec.name: spec.description for spec in self._specs.values()}
+
+
+def default_registry() -> APIRegistry:
+    """The full ChatGraph catalog (fresh registry each call)."""
+    from .catalog import register_all
+    registry = APIRegistry()
+    register_all(registry)
+    return registry

@@ -1,0 +1,66 @@
+"""Chemistry substrate (the molecule side of the paper's demos).
+
+The paper's molecule scenarios (understanding, similarity search,
+toxicity/solubility APIs) need actual molecules.  This package provides
+a self-contained SMILES-lite toolkit: parser/writer, a
+:class:`Molecule` graph type, additive descriptors (weight, logP, TPSA,
+H-bond donors/acceptors), descriptor-based property models (documented
+simulations of "chemistry software" predictions), and a searchable
+:class:`MoleculeDatabase` seeded with a built-in library of common
+compounds.
+"""
+
+from .elements import ELEMENTS, ElementInfo
+from .smiles import parse_smiles, write_smiles
+from .molecule import Atom, Bond, Molecule
+from .descriptors import (
+    descriptor_profile,
+    h_bond_acceptors,
+    h_bond_donors,
+    heavy_atom_count,
+    logp,
+    molecular_formula,
+    molecular_weight,
+    ring_count,
+    rotatable_bonds,
+    tpsa,
+)
+from .properties import (
+    PropertyPrediction,
+    predict_solubility,
+    predict_toxicity,
+    structural_alerts,
+)
+from .canonical import canonical_ranks, canonical_smiles, perceive_aromaticity
+from .database import BUILTIN_LIBRARY, MoleculeDatabase
+from .random_gen import random_molecule
+
+__all__ = [
+    "ELEMENTS",
+    "ElementInfo",
+    "parse_smiles",
+    "write_smiles",
+    "Atom",
+    "Bond",
+    "Molecule",
+    "descriptor_profile",
+    "h_bond_acceptors",
+    "h_bond_donors",
+    "heavy_atom_count",
+    "logp",
+    "molecular_formula",
+    "molecular_weight",
+    "ring_count",
+    "rotatable_bonds",
+    "tpsa",
+    "PropertyPrediction",
+    "predict_solubility",
+    "predict_toxicity",
+    "structural_alerts",
+    "BUILTIN_LIBRARY",
+    "MoleculeDatabase",
+    "random_molecule",
+    "canonical_ranks",
+    "canonical_smiles",
+    "perceive_aromaticity",
+]

@@ -1,0 +1,174 @@
+"""Canonical atom ranking, canonical SMILES and aromaticity perception.
+
+Canonicalization follows the classical Morgan scheme: atoms start from a
+local invariant (element, degree, charge, hydrogen count, aromatic
+flag), neighborhoods are refined iteratively until the partition
+stabilizes, and remaining ties are broken deterministically (lowest
+canonical candidate first) with re-refinement.  The canonical SMILES is
+then written by a DFS that starts at the minimum-rank atom and visits
+neighbors in rank order — so any two atom orderings of the same molecule
+produce the same string.
+
+Aromaticity perception upgrades Kekulé structures (alternating single/
+double bonds, e.g. ``C1=CC=CC=C1``) to aromatic form using a simplified
+Hückel rule on small rings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..errors import SmilesError
+from ..sequencer.motifs import find_rings
+from .molecule import Bond, Molecule
+from .smiles import write_smiles
+
+
+def _digest(*parts: object) -> str:
+    text = "|".join(str(p) for p in parts)
+    return hashlib.md5(text.encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_ranks(mol: Molecule) -> list[int]:
+    """Canonical rank (0 = first) of each atom, invariant to input order."""
+    n = mol.n_atoms
+    if n == 0:
+        return []
+    neighbors = [sorted(i for i, __ in mol.neighbors(a))
+                 for a in range(n)]
+    bond_orders = {}
+    for bond in mol.bonds:
+        bond_orders[(bond.u, bond.v)] = bond.order
+        bond_orders[(bond.v, bond.u)] = bond.order
+
+    def initial_invariant(index: int) -> str:
+        atom = mol.atoms[index]
+        return _digest(atom.element, len(neighbors[index]), atom.charge,
+                       mol.implicit_hydrogens(index), atom.aromatic)
+
+    invariants = [initial_invariant(a) for a in range(n)]
+
+    def refine(values: list[str]) -> list[str]:
+        while True:
+            refined = [
+                _digest(values[a], sorted(
+                    (values[b], bond_orders[(a, b)])
+                    for b in neighbors[a]))
+                for a in range(n)]
+            if len(set(refined)) == len(set(values)):
+                return refined
+            values = refined
+
+    invariants = refine(invariants)
+    # tie breaking: repeatedly single out the smallest member of the
+    # first non-singleton class (by current invariant, then by a stable
+    # secondary refinement), then re-refine
+    while len(set(invariants)) < n:
+        classes: dict[str, list[int]] = {}
+        for a, inv in enumerate(invariants):
+            classes.setdefault(inv, []).append(a)
+        target = min((inv for inv, members in classes.items()
+                      if len(members) > 1))
+        chosen = min(classes[target])
+        invariants[chosen] = _digest(invariants[chosen], "tie-break")
+        invariants = refine(invariants)
+    order = sorted(range(n), key=lambda a: invariants[a])
+    ranks = [0] * n
+    for rank, a in enumerate(order):
+        ranks[a] = rank
+    return ranks
+
+
+def renumber(mol: Molecule, ranks: list[int]) -> Molecule:
+    """A copy of ``mol`` with atoms reordered by ``ranks``."""
+    if len(ranks) != mol.n_atoms:
+        raise SmilesError(mol.smiles, "rank list does not match atoms")
+    position = sorted(range(mol.n_atoms), key=lambda a: ranks[a])
+    new_index = {old: new for new, old in enumerate(position)}
+    out = Molecule(name=mol.name, smiles=mol.smiles)
+    for old in position:
+        atom = mol.atoms[old]
+        out.add_atom(atom.element, aromatic=atom.aromatic,
+                     charge=atom.charge, explicit_h=atom.explicit_h)
+    for bond in sorted(mol.bonds,
+                       key=lambda b: tuple(sorted((new_index[b.u],
+                                                   new_index[b.v])))):
+        out.add_bond(new_index[bond.u], new_index[bond.v], bond.order)
+    return out
+
+
+def canonical_smiles(mol: Molecule) -> str:
+    """Canonical SMILES: identical for any atom ordering of the molecule.
+
+    Example::
+
+        a = parse_smiles("OCC")
+        b = parse_smiles("CCO")
+        assert canonical_smiles(a) == canonical_smiles(b)
+    """
+    canon = renumber(mol, canonical_ranks(mol))
+    return write_smiles(canon)
+
+
+# ---------------------------------------------------------------------------
+# aromaticity perception
+# ---------------------------------------------------------------------------
+
+#: Per-atom pi-electron contribution inside a candidate aromatic ring.
+def _pi_electrons(mol: Molecule, index: int, ring: frozenset[int]) -> int | None:
+    atom = mol.atoms[index]
+    ring_bonds = [order for i, order in mol.neighbors(index) if i in ring]
+    exo_double = any(order >= 2.0 for i, order in mol.neighbors(index)
+                     if i not in ring)
+    has_ring_double = any(order >= 1.5 for order in ring_bonds)
+    if atom.element == "C":
+        if has_ring_double:
+            return 1
+        if exo_double:
+            return 0  # exocyclic C=O carbon contributes an empty orbital
+        return None  # sp3 carbon: not aromatic
+    if atom.element in ("N", "P"):
+        return 1 if has_ring_double else 2  # pyridine-like vs pyrrole-like
+    if atom.element in ("O", "S"):
+        return None if has_ring_double else 2  # furan-like lone pair
+    return None
+
+
+def perceive_aromaticity(mol: Molecule) -> Molecule:
+    """Return a copy with Hückel-aromatic rings marked aromatic.
+
+    Candidate rings are 5- and 6-membered cycles; a ring is aromatic if
+    every member can contribute to the pi system and the electron count
+    is 4n+2.  Ring bonds of aromatic rings become order 1.5 and member
+    atoms get ``aromatic=True`` — so Kekulé benzene ``C1=CC=CC=C1``
+    canonicalizes identically to ``c1ccccc1``.
+    """
+    out = Molecule(name=mol.name, smiles=mol.smiles)
+    for atom in mol.atoms:
+        out.add_atom(atom.element, aromatic=atom.aromatic,
+                     charge=atom.charge, explicit_h=atom.explicit_h)
+    aromatic_bonds: set[frozenset[int]] = set()
+    graph = mol.to_graph()
+    for ring in find_rings(graph, max_size=6):
+        if len(ring) not in (5, 6):
+            continue
+        electrons = 0
+        ok = True
+        for index in ring:
+            contribution = _pi_electrons(mol, index, ring)
+            if contribution is None:
+                ok = False
+                break
+            electrons += contribution
+        if not ok or electrons % 4 != 2:
+            continue
+        for index in ring:
+            out.atoms[index].aromatic = True
+        for bond in mol.bonds:
+            if bond.u in ring and bond.v in ring:
+                aromatic_bonds.add(frozenset((bond.u, bond.v)))
+    for bond in mol.bonds:
+        order = 1.5 if frozenset((bond.u, bond.v)) in aromatic_bonds \
+            else bond.order
+        out.add_bond(bond.u, bond.v, order)
+    return out

@@ -1,0 +1,46 @@
+"""A periodic-table subset sufficient for organic SMILES."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ElementInfo:
+    """Static data for one element."""
+
+    symbol: str
+    atomic_number: int
+    atomic_weight: float
+    #: Default valence used for implicit-hydrogen counting.
+    valence: int
+    #: Whether the element may appear lowercase (aromatic) in SMILES.
+    aromatic_ok: bool = False
+    #: Electronegativity (Pauling), used by descriptor heuristics.
+    electronegativity: float = 0.0
+
+
+ELEMENTS: dict[str, ElementInfo] = {
+    "H": ElementInfo("H", 1, 1.008, 1, False, 2.20),
+    "B": ElementInfo("B", 5, 10.811, 3, True, 2.04),
+    "C": ElementInfo("C", 6, 12.011, 4, True, 2.55),
+    "N": ElementInfo("N", 7, 14.007, 3, True, 3.04),
+    "O": ElementInfo("O", 8, 15.999, 2, True, 3.44),
+    "F": ElementInfo("F", 9, 18.998, 1, False, 3.98),
+    "Na": ElementInfo("Na", 11, 22.990, 1, False, 0.93),
+    "Mg": ElementInfo("Mg", 12, 24.305, 2, False, 1.31),
+    "Si": ElementInfo("Si", 14, 28.086, 4, False, 1.90),
+    "P": ElementInfo("P", 15, 30.974, 3, True, 2.19),
+    "S": ElementInfo("S", 16, 32.065, 2, True, 2.58),
+    "Cl": ElementInfo("Cl", 17, 35.453, 1, False, 3.16),
+    "K": ElementInfo("K", 19, 39.098, 1, False, 0.82),
+    "Ca": ElementInfo("Ca", 20, 40.078, 2, False, 1.00),
+    "Fe": ElementInfo("Fe", 26, 55.845, 3, False, 1.83),
+    "Zn": ElementInfo("Zn", 30, 65.38, 2, False, 1.65),
+    "Br": ElementInfo("Br", 35, 79.904, 1, False, 2.96),
+    "I": ElementInfo("I", 53, 126.904, 1, False, 2.66),
+}
+
+#: Two-letter symbols must be tried before one-letter ones when lexing.
+TWO_LETTER_SYMBOLS = tuple(sorted(
+    (s for s in ELEMENTS if len(s) == 2), key=len, reverse=True))

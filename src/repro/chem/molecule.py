@@ -1,0 +1,151 @@
+"""Molecule graphs: atoms, bonds, rings and implicit hydrogens."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SmilesError
+from ..graphs.graph import Graph
+from ..algorithms.traversal import bfs_tree
+from .elements import ELEMENTS
+
+
+@dataclass
+class Atom:
+    """One heavy atom."""
+
+    index: int
+    element: str
+    aromatic: bool = False
+    charge: int = 0
+    #: Explicit hydrogen count from bracket atoms; None = implicit.
+    explicit_h: int | None = None
+
+
+@dataclass(frozen=True)
+class Bond:
+    """A bond between two atom indexes."""
+
+    u: int
+    v: int
+    #: 1, 2, 3 or 1.5 (aromatic).
+    order: float = 1.0
+
+
+@dataclass
+class Molecule:
+    """A molecule: atoms plus bonds, with graph and chemistry views.
+
+    Build via :func:`repro.chem.smiles.parse_smiles`; the class itself is
+    representation-only and does not validate chemistry beyond valences.
+    """
+
+    atoms: list[Atom] = field(default_factory=list)
+    bonds: list[Bond] = field(default_factory=list)
+    name: str = ""
+    smiles: str = ""
+
+    # ------------------------------------------------------------------
+    # construction helpers (used by the parser)
+    # ------------------------------------------------------------------
+    def add_atom(self, element: str, aromatic: bool = False,
+                 charge: int = 0, explicit_h: int | None = None) -> int:
+        if element not in ELEMENTS:
+            raise SmilesError(self.smiles or element,
+                              f"unknown element {element!r}")
+        atom = Atom(index=len(self.atoms), element=element,
+                    aromatic=aromatic, charge=charge, explicit_h=explicit_h)
+        self.atoms.append(atom)
+        return atom.index
+
+    def add_bond(self, u: int, v: int, order: float = 1.0) -> None:
+        if u == v or not (0 <= u < len(self.atoms)) \
+                or not (0 <= v < len(self.atoms)):
+            raise SmilesError(self.smiles, f"bad bond ({u}, {v})")
+        self.bonds.append(Bond(u, v, order))
+
+    # ------------------------------------------------------------------
+    # chemistry
+    # ------------------------------------------------------------------
+    def neighbors(self, index: int) -> list[tuple[int, float]]:
+        """(neighbor index, bond order) pairs of atom ``index``."""
+        out = []
+        for bond in self.bonds:
+            if bond.u == index:
+                out.append((bond.v, bond.order))
+            elif bond.v == index:
+                out.append((bond.u, bond.order))
+        return out
+
+    def bond_order_sum(self, index: int) -> float:
+        """Sum of bond orders at an atom (aromatic counts 1.5)."""
+        return sum(order for __, order in self.neighbors(index))
+
+    def implicit_hydrogens(self, index: int) -> int:
+        """Implicit H count = default valence - bonds - |charge| effects."""
+        atom = self.atoms[index]
+        if atom.explicit_h is not None:
+            return atom.explicit_h
+        valence = ELEMENTS[atom.element].valence + atom.charge
+        used = self.bond_order_sum(index)
+        if atom.aromatic:
+            # aromatic atoms in a ring use one slot for the pi system
+            used = round(used)
+        return max(0, int(round(valence - used)))
+
+    def total_hydrogens(self) -> int:
+        return sum(self.implicit_hydrogens(i) for i in range(len(self.atoms)))
+
+    @property
+    def n_atoms(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def n_bonds(self) -> int:
+        return len(self.bonds)
+
+    def ring_count(self) -> int:
+        """Cyclomatic number (number of independent rings)."""
+        graph = self.to_graph()
+        from ..algorithms.components import connected_components
+        n_components = len(connected_components(graph)) if self.atoms else 0
+        return self.n_bonds - self.n_atoms + n_components
+
+    def ring_membership(self) -> set[int]:
+        """Indexes of atoms belonging to at least one ring.
+
+        An edge is a ring edge iff it is not a bridge.
+        """
+        graph = self.to_graph()
+        from ..algorithms.components import bridges
+        bridge_set = {frozenset(edge) for edge in bridges(graph)}
+        members: set[int] = set()
+        for bond in self.bonds:
+            if frozenset((bond.u, bond.v)) not in bridge_set:
+                members.update((bond.u, bond.v))
+        return members
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def to_graph(self) -> Graph:
+        """Property-graph view (nodes carry ``element``/``kind`` attrs)."""
+        graph = Graph(name=self.name or "molecule")
+        for atom in self.atoms:
+            graph.add_node(atom.index, kind="atom", element=atom.element,
+                           label=atom.element, aromatic=atom.aromatic,
+                           charge=atom.charge)
+        for bond in self.bonds:
+            graph.add_edge(bond.u, bond.v, order=bond.order)
+        return graph
+
+    def is_connected(self) -> bool:
+        if not self.atoms:
+            return False
+        graph = self.to_graph()
+        return len(bfs_tree(graph, 0)) + 1 == self.n_atoms
+
+    def __repr__(self) -> str:
+        label = self.name or self.smiles or "?"
+        return (f"<Molecule {label}: {self.n_atoms} atoms, "
+                f"{self.n_bonds} bonds>")

@@ -1,0 +1,236 @@
+"""Terminal chat front-end (the offline stand-in for the Gradio UI).
+
+Run ``python -m repro.cli`` for an interactive session, or pipe a
+script::
+
+    printf '/demo social\\nWrite a brief report for G\\n/quit\\n' \\
+        | python -m repro.cli
+
+Commands (everything else is a question for ChatGraph):
+
+=============================  =========================================
+``/help``                      show this command list
+``/upload <path>``             load a graph (.json / .graphml / .edges)
+``/demo social|molecule|kg``   load a built-in demo graph
+``/suggest``                   suggested questions for the upload
+``/show [adj|degrees|comms]``  render the uploaded graph as text
+``/manual`` / ``/auto``        require / skip chain confirmation
+``/chain``                     show the pending chain
+``/edit remove <i>``           edit the pending chain
+``/edit append <api>``
+``/edit replace <i> <api>``
+``/confirm`` / ``/reject``     execute or discard the pending chain
+``/apis``                      list the API catalog
+``/config``                    show the active configuration
+``/quit``                      exit
+=============================  =========================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import IO
+
+from . import ChatGraph, ChatSession
+from .errors import ChatGraphError
+from .graphs import from_dict, read_edgelist, read_graphml
+from .graphs.generators import (
+    knowledge_graph,
+    social_network,
+)
+from .chem import parse_smiles
+
+
+def load_graph(path: str):
+    """Load a graph by file extension (.json, .graphml, .edges, .smi)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ChatGraphError(f"no such file: {path}")
+    suffix = file_path.suffix.lower()
+    if suffix == ".json":
+        return from_dict(json.loads(file_path.read_text()))
+    if suffix == ".graphml":
+        return read_graphml(file_path)
+    if suffix in (".smi", ".smiles"):
+        smiles = file_path.read_text().strip().splitlines()[0]
+        return parse_smiles(smiles, name=file_path.stem).to_graph()
+    return read_edgelist(file_path)
+
+
+def demo_graph(kind: str):
+    """Built-in demo graphs for the /demo command."""
+    if kind in ("social", "sn"):
+        return social_network(50, 3, seed=7)
+    if kind in ("molecule", "mol"):
+        return parse_smiles("CC(=O)Oc1ccccc1C(=O)O",
+                            name="aspirin").to_graph()
+    if kind in ("kg", "knowledge"):
+        return knowledge_graph(40, 150, seed=7)
+    raise ChatGraphError(f"unknown demo graph {kind!r} "
+                         "(social | molecule | kg)")
+
+
+class ChatCli:
+    """Line-oriented REPL over a :class:`~repro.core.session.ChatSession`."""
+
+    def __init__(self, chatgraph: ChatGraph, out: IO[str] = sys.stdout,
+                 auto_confirm: bool = True) -> None:
+        self.session = ChatSession(chatgraph)
+        self.out = out
+        self.auto_confirm = auto_confirm
+        self.running = True
+
+    def say(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # ------------------------------------------------------------------
+    def handle(self, line: str) -> None:
+        """Process one input line (command or question)."""
+        line = line.strip()
+        if not line:
+            return
+        if line.startswith("/"):
+            self._command(line)
+        else:
+            self._question(line)
+
+    def _command(self, line: str) -> None:
+        parts = line.split()
+        command, args = parts[0].lower(), parts[1:]
+        try:
+            if command == "/help":
+                self.say(__doc__ or "")
+            elif command == "/quit":
+                self.running = False
+                self.say("bye")
+            elif command == "/upload":
+                if not args:
+                    raise ChatGraphError("/upload needs a path")
+                graph = load_graph(args[0])
+                self.session.upload_graph(graph)
+                self.say(f"uploaded {graph!r}")
+            elif command == "/demo":
+                graph = demo_graph(args[0] if args else "social")
+                self.session.upload_graph(graph)
+                self.say(f"loaded demo graph {graph!r}")
+            elif command == "/suggest":
+                for question in self.session.suggestions():
+                    self.say(f"  - {question}")
+            elif command == "/show":
+                self._show(args[0] if args else "summary")
+            elif command == "/manual":
+                self.auto_confirm = False
+                self.say("chains now require /confirm")
+            elif command == "/auto":
+                self.auto_confirm = True
+                self.say("chains auto-execute")
+            elif command == "/chain":
+                self.say(self.session.pending_chain.render())
+            elif command == "/edit":
+                self._edit(args)
+            elif command == "/confirm":
+                response = self.session.confirm()
+                self.say(response.answer)
+            elif command == "/reject":
+                self.session.reject()
+                self.say("chain discarded")
+            elif command == "/apis":
+                for spec in self.session.chatgraph.registry:
+                    self.say(f"  {spec.name:<24} [{spec.category.value}] "
+                             f"{spec.description}")
+            elif command == "/config":
+                config = self.session.chatgraph.config.to_dict()
+                self.say(json.dumps(config, indent=1))
+            else:
+                self.say(f"unknown command {command}; try /help")
+        except ChatGraphError as exc:
+            self.say(f"error: {exc}")
+
+    def _show(self, what: str) -> None:
+        from . import viz
+        graph = self.session.graph
+        if graph is None:
+            raise ChatGraphError("upload a graph first (/upload or /demo)")
+        if what in ("adj", "adjacency"):
+            self.say(viz.render_adjacency(graph))
+        elif what in ("degrees", "hist"):
+            self.say(viz.render_degree_histogram(graph))
+        elif what in ("comms", "communities"):
+            self.say(viz.render_communities(graph))
+        else:
+            self.say(viz.render_graph_summary_card(graph))
+
+    def _edit(self, args: list[str]) -> None:
+        if not args:
+            raise ChatGraphError(
+                "/edit remove <i> | append <api> | replace <i> <api>")
+        action = args[0]
+        if action == "remove" and len(args) == 2:
+            self.session.edit_chain(remove=int(args[1]))
+        elif action == "append" and len(args) == 2:
+            self.session.edit_chain(append=args[1])
+        elif action == "replace" and len(args) == 3:
+            self.session.edit_chain(replace=(int(args[1]), args[2]))
+        else:
+            raise ChatGraphError(f"bad /edit usage: {' '.join(args)}")
+        self.say(f"chain: {self.session.pending_chain.render()}")
+
+    def _question(self, text: str) -> None:
+        try:
+            proposal = self.session.propose(text)
+        except ChatGraphError as exc:
+            self.say(f"error: {exc}")
+            return
+        self.say(f"[chain] {proposal.chain.render()}")
+        if self.auto_confirm:
+            response = self.session.confirm()
+            self.say(response.answer)
+        else:
+            self.say("(confirm with /confirm, edit with /edit, "
+                     "discard with /reject)")
+
+    # ------------------------------------------------------------------
+    def repl(self, stream: IO[str] = sys.stdin,
+             interactive: bool | None = None) -> None:
+        """Read lines until EOF or /quit."""
+        if interactive is None:
+            interactive = stream.isatty()
+        while self.running:
+            if interactive:
+                self.out.write("chatgraph> ")
+                self.out.flush()
+            line = stream.readline()
+            if not line:
+                break
+            self.handle(line)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="ChatGraph terminal chat")
+    parser.add_argument("--graph", help="graph file to upload at start")
+    parser.add_argument("--corpus", type=int, default=400,
+                        help="finetuning corpus size (default 400)")
+    parser.add_argument("--manual", action="store_true",
+                        help="require /confirm before executing chains")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    print("loading ChatGraph (finetuning the simulated backbone)...",
+          file=sys.stderr)
+    chatgraph = ChatGraph.pretrained(corpus_size=args.corpus,
+                                     seed=args.seed)
+    cli = ChatCli(chatgraph, auto_confirm=not args.manual)
+    if args.graph:
+        cli.handle(f"/upload {args.graph}")
+    cli.say("ChatGraph ready. Type a question, or /help.")
+    cli.repl()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

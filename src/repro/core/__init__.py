@@ -1,0 +1,43 @@
+"""ChatGraph core: the framework of paper Fig. 1.
+
+* :mod:`pipeline` — prompt -> (retrieval, sequentialization, chain
+  generation): the inference path through every module;
+* :mod:`chatgraph` — the :class:`ChatGraph` facade users instantiate;
+* :mod:`session` — the chat session (dialogs, suggestions, uploads,
+  chain confirmation/editing — the Fig. 2 panels, headless);
+* :mod:`monitoring` — execution progress (scenario 4);
+* :mod:`reports` — answer rendering;
+* :mod:`scenarios` — the four demonstration scenarios as functions;
+* :mod:`suggestions` — suggested questions per graph type (panel 2).
+"""
+
+from .pipeline import ChatPipeline, PipelineResult
+from .chatgraph import ChatGraph, ChatResponse
+from .session import ChatSession, DialogTurn
+from .monitoring import ChainMonitor
+from .reports import render_answer
+from .scenarios import (
+    ScenarioResult,
+    run_chain_monitoring,
+    run_graph_cleaning,
+    run_graph_comparison,
+    run_graph_understanding,
+)
+from .suggestions import suggested_questions
+
+__all__ = [
+    "ChatPipeline",
+    "PipelineResult",
+    "ChatGraph",
+    "ChatResponse",
+    "ChatSession",
+    "DialogTurn",
+    "ChainMonitor",
+    "render_answer",
+    "ScenarioResult",
+    "run_chain_monitoring",
+    "run_graph_cleaning",
+    "run_graph_comparison",
+    "run_graph_understanding",
+    "suggested_questions",
+]

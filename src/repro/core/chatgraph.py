@@ -1,0 +1,171 @@
+"""The :class:`ChatGraph` facade — the public entry point of the library.
+
+Typical use::
+
+    from repro import ChatGraph
+    from repro.graphs import social_network
+
+    cg = ChatGraph.pretrained(seed=0)     # build + finetune offline
+    response = cg.ask("write a brief report for G",
+                      graph=social_network(50, 3))
+    print(response.answer)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..apis.chain import APIChain
+from ..apis.executor import (
+    ChainContext,
+    ChainExecutionRecord,
+    ChainExecutor,
+)
+from ..apis.registry import APIRegistry, default_registry
+from ..chem.database import MoleculeDatabase
+from ..config import ChatGraphConfig
+from ..errors import SessionError
+from ..finetune.dataset import CorpusSpec, build_corpus
+from ..finetune.trainer import FinetuneReport, Finetuner
+from ..graphs.graph import Graph
+from ..llm.chain_model import ChainLanguageModel, TrainingExample
+from ..llm.prompts import Prompt
+from ..llm.simulated import build_model
+from ..retrieval.api_retriever import APIRetriever
+from .monitoring import ChainMonitor
+from .pipeline import ChatPipeline, PipelineResult
+from .reports import render_answer
+
+
+@dataclass
+class ChatResponse:
+    """One answered prompt."""
+
+    prompt: Prompt
+    pipeline: PipelineResult
+    record: ChainExecutionRecord | None
+    answer: str
+    monitor: ChainMonitor
+    seconds: float = 0.0
+
+    @property
+    def chain(self) -> APIChain:
+        return self.pipeline.chain
+
+    def results(self) -> dict[str, Any]:
+        return self.record.results_by_name() if self.record else {}
+
+
+@dataclass
+class ChatGraph:
+    """LLM-based framework to interact with graphs (paper Fig. 1).
+
+    Construct directly for full control, or via :meth:`pretrained` for a
+    ready-to-chat instance finetuned on the synthetic corpus.
+    """
+
+    config: ChatGraphConfig = field(default_factory=ChatGraphConfig)
+    registry: APIRegistry = field(default_factory=default_registry)
+    database: MoleculeDatabase | None = None
+    model: ChainLanguageModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.database is None:
+            self.database = MoleculeDatabase.builtin()
+        self.retriever = APIRetriever(self.registry, self.config.retrieval)
+        if self.model is None:
+            self.model = build_model(self.config.llm.model,
+                                     self.registry.names(),
+                                     seed=self.config.llm.seed)
+        self.pipeline = ChatPipeline(self.registry, self.retriever,
+                                     self.model, self.config)
+        self.executor = ChainExecutor(self.registry)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def pretrained(cls, config: ChatGraphConfig | None = None,
+                   corpus_size: int = 600, objective: str = "token",
+                   seed: int = 0) -> "ChatGraph":
+        """Build an instance and finetune it on the synthetic corpus.
+
+        ``objective="token"`` trains in well under a second;
+        ``objective="matching"`` runs the paper's full rollout scheme.
+        """
+        instance = cls(config=config or ChatGraphConfig())
+        instance.finetune(CorpusSpec(n_examples=corpus_size, seed=seed),
+                          objective=objective)
+        return instance
+
+    def finetune(self, corpus: CorpusSpec | list[TrainingExample],
+                 objective: str = "token") -> FinetuneReport:
+        """Finetune the chain model (see :mod:`repro.finetune`)."""
+        if isinstance(corpus, CorpusSpec):
+            train, test = build_corpus(self.registry, corpus,
+                                       retriever=self.retriever)
+        else:
+            train, test = list(corpus), []
+        tuner = Finetuner(self.model, self.config.finetune,
+                          seed=self.config.llm.seed)
+        return tuner.train(train, test, objective=objective)
+
+    # ------------------------------------------------------------------
+    # chat
+    # ------------------------------------------------------------------
+    def propose(self, text: str, graph: Graph | None = None,
+                **attachments: Any) -> PipelineResult:
+        """Generate (but do not execute) the API chain for a prompt."""
+        prompt = Prompt(text=text, graph=graph, attachments=attachments)
+        return self.pipeline.process(prompt)
+
+    def execute(self, pipeline_result: PipelineResult,
+                chain: APIChain | None = None,
+                confirm: Callable[[str, Any], bool] | None = None,
+                monitor: ChainMonitor | None = None
+                ) -> tuple[ChainExecutionRecord, ChainMonitor]:
+        """Execute a (possibly user-edited) chain for a processed prompt."""
+        chain = chain or pipeline_result.chain
+        monitor = monitor or ChainMonitor()
+        prompt = pipeline_result.prompt
+        context = ChainContext(
+            graph=prompt.graph,
+            database=prompt.attachments.get("database", self.database),
+            extras=dict(prompt.attachments),
+            confirm=confirm,
+        )
+        self.executor.add_listener(monitor)
+        try:
+            # the chat surface degrades gracefully: a failing step is
+            # reported in the answer instead of aborting the dialog
+            record = self.executor.execute(chain, context,
+                                           stop_on_error=False)
+        finally:
+            self.executor.remove_listener(monitor)
+        return record, monitor
+
+    def ask(self, text: str, graph: Graph | None = None,
+            confirm: Callable[[str, Any], bool] | None = None,
+            **attachments: Any) -> ChatResponse:
+        """Full round trip: propose, execute, render the answer."""
+        start = time.perf_counter()
+        pipeline_result = self.propose(text, graph, **attachments)
+        record, monitor = self.execute(pipeline_result, confirm=confirm)
+        answer = render_answer(record)
+        return ChatResponse(
+            prompt=pipeline_result.prompt,
+            pipeline=pipeline_result,
+            record=record,
+            answer=answer,
+            monitor=monitor,
+            seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def require_model(self) -> ChainLanguageModel:
+        """The chain model, asserting initialization (for type checkers)."""
+        if self.model is None:
+            raise SessionError("model not initialized")
+        return self.model

@@ -1,0 +1,69 @@
+"""Chain execution monitoring (paper scenario 4, Fig. 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apis.executor import ExecutionEvent
+
+
+@dataclass
+class ChainMonitor:
+    """Collects execution events and renders live progress.
+
+    Attach it to a :class:`~repro.apis.executor.ChainExecutor` with
+    ``executor.add_listener(monitor)`` — the instance is callable.
+    """
+
+    events: list[ExecutionEvent] = field(default_factory=list)
+    n_steps: int = 0
+    current_step: int = -1
+    finished: bool = False
+    failed: bool = False
+
+    def __call__(self, event: ExecutionEvent) -> None:
+        self.events.append(event)
+        if event.kind == "chain_started":
+            prefix = event.detail.split(" steps:", 1)[0]
+            try:
+                self.n_steps = int(prefix)
+            except ValueError:
+                self.n_steps = 0
+            self.current_step = -1
+            self.finished = self.failed = False
+        elif event.kind == "step_started":
+            self.current_step = event.step_index or 0
+        elif event.kind == "step_failed":
+            self.failed = True
+        elif event.kind == "chain_finished":
+            self.finished = True
+        elif event.kind == "chain_failed":
+            self.failed = True
+            self.finished = True
+
+    @property
+    def progress(self) -> float:
+        """Fraction of steps finished, in [0, 1]."""
+        if self.n_steps == 0:
+            return 1.0 if self.finished else 0.0
+        done = sum(1 for e in self.events if e.kind == "step_finished")
+        return min(1.0, done / self.n_steps)
+
+    def render_progress(self, width: int = 30) -> str:
+        """One-line progress bar like ``[#####.....] 3/6 step ...``."""
+        filled = int(self.progress * width)
+        bar = "#" * filled + "." * (width - filled)
+        done = sum(1 for e in self.events if e.kind == "step_finished")
+        status = "failed" if self.failed else (
+            "done" if self.finished else f"running step {self.current_step}")
+        return f"[{bar}] {done}/{self.n_steps} {status}"
+
+    def transcript(self) -> str:
+        """Every event rendered, one per line."""
+        return "\n".join(event.render() for event in self.events)
+
+    def reset(self) -> None:
+        self.events.clear()
+        self.n_steps = 0
+        self.current_step = -1
+        self.finished = self.failed = False

@@ -1,0 +1,170 @@
+"""The inference pipeline: prompt -> API chain (paper Fig. 1).
+
+Stages, in order:
+
+1. *intent* — classify the prompt text (understand/compare/clean/compute);
+2. *graph type* — predict the uploaded graph's type; it selects the
+   API categories the retrieval is allowed to return (scenario-1
+   routing: social graphs get social APIs, molecules get chemistry);
+3. *retrieval* — ANN search over API-description embeddings;
+4. *sequentialize* — the graph sequentializer renders the graph for the
+   model;
+5. *generate* — the chain model decodes an API chain (greedy or beam);
+6. *repair* — an invalid or empty chain falls back to a type/intent
+   keyed default, so the pipeline always proposes something executable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..apis.chain import APIChain
+from ..apis.registry import APIRegistry, Category
+from ..config import ChatGraphConfig
+from ..errors import ChainError, EmbeddingError
+from ..llm.chain_model import ChainLanguageModel, GenerationState
+from ..llm.decoding import beam_decode, greedy_decode
+from ..llm.intent import (
+    CATEGORY_ROUTING,
+    GraphTypePredictor,
+    IntentClassifier,
+    TypePrediction,
+)
+from ..llm.prompts import Prompt
+from ..retrieval.api_retriever import APIRetriever
+from ..sequencer.serializer import GraphSequences, GraphSequentializer
+
+#: (graph type, intent) -> fallback chain when generation fails.
+FALLBACK_CHAINS: dict[tuple[str, str], tuple[str, ...]] = {
+    ("social", "understand"): ("predict_graph_type", "graph_summary",
+                               "detect_communities", "find_influencers",
+                               "generate_report"),
+    ("molecule", "understand"): ("predict_graph_type", "describe_molecule",
+                                 "predict_toxicity", "predict_solubility",
+                                 "generate_report"),
+    ("knowledge", "understand"): ("predict_graph_type", "knowledge_profile",
+                                  "mine_rules", "generate_report"),
+    ("molecule", "compare"): ("similar_molecules",),
+    ("knowledge", "clean"): ("detect_incorrect_edges",
+                             "remove_flagged_edges",
+                             "predict_missing_edges",
+                             "add_predicted_edges", "export_graph"),
+}
+DEFAULT_FALLBACK: tuple[str, ...] = ("predict_graph_type", "graph_summary",
+                                     "generate_report")
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced for one prompt."""
+
+    prompt: Prompt
+    intent: str
+    graph_type: str | None
+    type_prediction: TypePrediction | None
+    retrieved: tuple[str, ...]
+    sequences: GraphSequences | None
+    chain: APIChain
+    #: True when the generated chain failed validation and the fallback
+    #: replaced it.
+    used_fallback: bool
+    #: Per-stage seconds: intent/type/retrieval/sequentialize/generate.
+    timings: dict[str, float] = field(default_factory=dict)
+
+
+class ChatPipeline:
+    """Wires intent, routing, retrieval, sequentializer and the model."""
+
+    def __init__(self, registry: APIRegistry, retriever: APIRetriever,
+                 model: ChainLanguageModel,
+                 config: ChatGraphConfig | None = None) -> None:
+        self.registry = registry
+        self.retriever = retriever
+        self.model = model
+        self.config = config or ChatGraphConfig()
+        self.sequentializer = GraphSequentializer(self.config.sequencer)
+        self.type_predictor = GraphTypePredictor()
+        self.intent_classifier = IntentClassifier()
+
+    def process(self, prompt: Prompt) -> PipelineResult:
+        """Run every stage for ``prompt`` and return the proposed chain."""
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        intent = self.intent_classifier.predict(prompt.text)
+        timings["intent"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        type_prediction = None
+        graph_type = None
+        if prompt.graph is not None:
+            type_prediction = self.type_predictor.predict(prompt.graph)
+            graph_type = type_prediction.graph_type
+        timings["graph_type"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        categories = CATEGORY_ROUTING.get(graph_type or "generic",
+                                          tuple(Category))
+        try:
+            retrieved = self.retriever.retrieve_names(
+                prompt.text, k=self.config.retrieval.top_k_apis,
+                categories=categories)
+        except EmbeddingError:
+            # unembeddable text (e.g. punctuation only): no retrieval
+            # conditioning; the fallback chain covers generation
+            retrieved = ()
+        timings["retrieval"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sequences = None
+        graph_tokens: tuple[tuple[str, int], ...] = ()
+        if prompt.graph is not None:
+            sequences = self.sequentializer.sequentialize(prompt.graph)
+            graph_tokens = GenerationState.graph_tokens_from_counter(
+                sequences.feature_counts)
+        timings["sequentialize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        allowed = tuple(spec.name for spec in
+                        self.registry.by_category(*categories))
+        state = GenerationState(prompt_text=prompt.text,
+                                graph_tokens=graph_tokens,
+                                retrieved=retrieved,
+                                allowed=allowed)
+        llm = self.config.llm
+        if llm.beam_width > 1:
+            names = beam_decode(self.model, state,
+                                beam_width=llm.beam_width,
+                                max_length=llm.max_chain_length)
+        else:
+            names = greedy_decode(self.model, state,
+                                  max_length=llm.max_chain_length)
+        timings["generate"] = time.perf_counter() - start
+
+        chain = APIChain.from_names(list(names))
+        used_fallback = False
+        try:
+            chain.validate(self.registry)
+        except ChainError:
+            chain = APIChain.from_names(list(self._fallback(graph_type,
+                                                            intent)))
+            chain.validate(self.registry)
+            used_fallback = True
+
+        return PipelineResult(
+            prompt=prompt,
+            intent=intent,
+            graph_type=graph_type,
+            type_prediction=type_prediction,
+            retrieved=retrieved,
+            sequences=sequences,
+            chain=chain,
+            used_fallback=used_fallback,
+            timings=timings,
+        )
+
+    @staticmethod
+    def _fallback(graph_type: str | None, intent: str) -> tuple[str, ...]:
+        return FALLBACK_CHAINS.get((graph_type or "generic", intent),
+                                   DEFAULT_FALLBACK)

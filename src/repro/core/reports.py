@@ -1,0 +1,42 @@
+"""Render a chain-execution record into the assistant's answer text."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..apis.executor import ChainExecutionRecord
+
+
+def render_answer(record: ChainExecutionRecord) -> str:
+    """Compose the assistant's reply from the executed chain.
+
+    If the chain produced a report (``generate_report``), that *is* the
+    answer; otherwise each step's result is formatted in order.
+    """
+    by_name = record.results_by_name()
+    if "generate_report" in by_name:
+        return str(by_name["generate_report"])
+    lines: list[str] = []
+    for step in record.steps:
+        if not step.ok:
+            lines.append(f"{step.api_name}: failed ({step.error})")
+            continue
+        lines.append(f"{step.api_name}: {_format(step.result)}")
+    return "\n".join(lines) if lines else "(no results)"
+
+
+def _format(result: Any, limit: int = 400) -> str:
+    if isinstance(result, float):
+        return f"{result:.4f}"
+    if isinstance(result, dict):
+        inner = ", ".join(f"{k}={_format(v, 60)}" for k, v in result.items())
+        text = "{" + inner + "}"
+    elif isinstance(result, list):
+        inner = ", ".join(_format(v, 60) for v in result[:6])
+        extra = f", ... ({len(result) - 6} more)" if len(result) > 6 else ""
+        text = "[" + inner + extra + "]"
+    else:
+        text = str(result)
+    if len(text) > limit:
+        text = text[:limit - 3] + "..."
+    return text

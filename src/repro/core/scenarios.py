@@ -1,0 +1,123 @@
+"""The four demonstration scenarios (paper Sec. IV) as functions.
+
+Each function drives a :class:`~repro.core.chatgraph.ChatGraph` through
+one scenario end to end and returns a :class:`ScenarioResult` with the
+artifacts the paper's figures show — these back both the examples and
+the scenario benchmarks (E2-E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..chem.database import MoleculeDatabase
+from ..chem.molecule import Molecule
+from ..graphs.graph import Graph
+from .chatgraph import ChatGraph, ChatResponse
+from .monitoring import ChainMonitor
+from .session import ChatSession
+
+
+@dataclass
+class ScenarioResult:
+    """Uniform scenario outcome."""
+
+    name: str
+    response: ChatResponse
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def answer(self) -> str:
+        return self.response.answer
+
+    @property
+    def chain_names(self) -> list[str]:
+        return self.response.chain.api_names()
+
+
+def run_graph_understanding(chatgraph: ChatGraph, graph: Graph,
+                            text: str = "Write a brief report for G"
+                            ) -> ScenarioResult:
+    """Scenario 1 (Fig. 4): type-routed analysis ending in a report."""
+    response = chatgraph.ask(text, graph=graph)
+    return ScenarioResult(
+        name="graph_understanding",
+        response=response,
+        details={
+            "graph_type": response.pipeline.graph_type,
+            "report": response.answer,
+            "used_fallback": response.pipeline.used_fallback,
+        },
+    )
+
+
+def run_graph_comparison(chatgraph: ChatGraph, molecule: Molecule,
+                         database: MoleculeDatabase | None = None,
+                         text: str = "What molecules are similar to G?",
+                         k: int = 2) -> ScenarioResult:
+    """Scenario 2 (Fig. 5): similarity search against the molecule DB."""
+    response = chatgraph.ask(text, graph=molecule.to_graph(),
+                             database=database or chatgraph.database,
+                             molecule=molecule)
+    hits = response.results().get("similar_molecules", [])
+    return ScenarioResult(
+        name="graph_comparison",
+        response=response,
+        details={"query": molecule.name or molecule.smiles,
+                 "top_hits": hits[:k]},
+    )
+
+
+def run_graph_cleaning(chatgraph: ChatGraph, graph: Graph,
+                       text: str = "Clean G",
+                       auto_confirm: bool = True) -> ScenarioResult:
+    """Scenario 3 (Fig. 6): detect -> confirm -> edit -> export."""
+    asked: list[str] = []
+
+    def confirm(question: str, payload: Any) -> bool:
+        asked.append(question)
+        return auto_confirm
+
+    response = chatgraph.ask(text, graph=graph, confirm=confirm)
+    results = response.results()
+    return ScenarioResult(
+        name="graph_cleaning",
+        response=response,
+        details={
+            "n_incorrect": len(results.get("detect_incorrect_edges", [])),
+            "n_missing": len(results.get("predict_missing_edges", [])),
+            "n_removed": results.get("remove_flagged_edges",
+                                     {}).get("n_removed", 0),
+            "n_added": results.get("add_predicted_edges",
+                                   {}).get("n_added", 0),
+            "confirmations": asked,
+            "exported": "export_graph" in results,
+        },
+    )
+
+
+def run_chain_monitoring(chatgraph: ChatGraph, graph: Graph,
+                         text: str = "Write a brief report for G",
+                         edit_remove: int | None = None
+                         ) -> ScenarioResult:
+    """Scenario 4 (Fig. 7): confirm/edit the chain, monitor execution."""
+    session = ChatSession(chatgraph)
+    session.upload_graph(graph)
+    proposal = session.propose(text)
+    proposed = proposal.chain.render()
+    if edit_remove is not None and len(proposal.chain) > 1:
+        session.edit_chain(remove=edit_remove)
+    monitor = ChainMonitor()
+    response = session.confirm(monitor=monitor)
+    return ScenarioResult(
+        name="chain_monitoring",
+        response=response,
+        details={
+            "proposed_chain": proposed,
+            "executed_chain": response.chain.render(),
+            "events": [event.render() for event in monitor.events],
+            "progress": monitor.progress,
+            "transcript": session.transcript(),
+        },
+    )

@@ -1,0 +1,41 @@
+"""Suggested questions (paper Fig. 2, panel 2)."""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+from ..llm.intent import predict_graph_type
+
+_SUGGESTIONS: dict[str, tuple[str, ...]] = {
+    "social": (
+        "Write a brief report for G",
+        "Detect the communities of this network",
+        "Who are the most influential members?",
+        "Find the bridges and cut members of the network",
+    ),
+    "molecule": (
+        "Write a report about this molecule",
+        "What molecules are similar to G?",
+        "Is this molecule toxic?",
+        "How soluble is this molecule?",
+    ),
+    "knowledge": (
+        "Clean G",
+        "Which facts in this graph are wrong?",
+        "What facts are missing from this graph?",
+        "Profile this knowledge graph",
+    ),
+    "generic": (
+        "Write a brief report for G",
+        "How many nodes does the graph have?",
+        "What is the diameter of the graph?",
+        "Rank the nodes by pagerank",
+    ),
+}
+
+
+def suggested_questions(graph: Graph | None = None,
+                        limit: int = 4) -> list[str]:
+    """Questions the session suggests for the uploaded graph (if any)."""
+    graph_type = "generic" if graph is None else predict_graph_type(graph)
+    return list(_SUGGESTIONS.get(graph_type, _SUGGESTIONS["generic"])
+                [:max(limit, 0)])

@@ -1,0 +1,87 @@
+"""Hashed n-gram embedder: corpus-independent fixed-dimension vectors.
+
+This is the embedding sub-module of the paper's API-retrieval module
+(Sec. II-A): both API descriptions and prompt texts are embedded here,
+and the ANN index searches the resulting space.  Feature hashing (with a
+signed hash to debias collisions) keeps the dimension fixed without a
+training corpus; IDF weights can optionally be folded in from a fitted
+:class:`~repro.embedding.tfidf.TfidfModel`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+
+import numpy as np
+
+from ..errors import EmbeddingError
+from .tfidf import TfidfModel
+from .tokenizer import char_ngrams, tokenize, word_ngrams
+
+
+def _hash_feature(feature: str, salt: str = "") -> int:
+    digest = hashlib.md5((salt + feature).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class HashingEmbedder:
+    """Embed text into ``dim``-dimensional unit vectors via feature hashing.
+
+    Features are word unigrams/bigrams plus character trigrams; each
+    feature hashes to one coordinate with a pseudo-random sign.
+
+    Example::
+
+        embedder = HashingEmbedder(dim=128)
+        v = embedder.embed("count the triangles of G")
+        assert abs(float(np.linalg.norm(v)) - 1.0) < 1e-9
+    """
+
+    def __init__(self, dim: int = 128, use_char_ngrams: bool = True,
+                 tfidf: TfidfModel | None = None) -> None:
+        if dim < 8:
+            raise EmbeddingError("dim must be >= 8")
+        self.dim = dim
+        self.use_char_ngrams = use_char_ngrams
+        self.tfidf = tfidf
+
+    def _features(self, text: str) -> Counter:
+        tokens = tokenize(text)
+        features: Counter = Counter(tokens)
+        features.update(word_ngrams(tokens, 2))
+        if self.use_char_ngrams:
+            # char n-grams get half weight: useful for typos, noisier
+            for gram in char_ngrams(text, 3):
+                features[f"c3:{gram}"] += 0.5
+        return features
+
+    def _feature_weight(self, feature: str, count: float) -> float:
+        if self.tfidf is not None and " " not in feature \
+                and not feature.startswith("c3:"):
+            return count * self.tfidf.idf(feature)
+        return float(count)
+
+    def embed(self, text: str) -> np.ndarray:
+        """Return the L2-normalized embedding of ``text``.
+
+        Empty/stop-word-only text raises :class:`EmbeddingError` — the
+        retrieval module should never index an empty description.
+        """
+        features = self._features(text)
+        if not features:
+            raise EmbeddingError(f"no features in text {text!r}")
+        vector = np.zeros(self.dim, dtype=np.float64)
+        for feature, count in features.items():
+            h = _hash_feature(feature)
+            index = h % self.dim
+            sign = 1.0 if (h >> 32) & 1 else -1.0
+            vector[index] += sign * self._feature_weight(feature, count)
+        norm = float(np.linalg.norm(vector))
+        if norm == 0.0:  # pragma: no cover - astronomically unlikely
+            raise EmbeddingError("degenerate embedding (all collisions)")
+        return vector / norm
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed many texts into an ``(n, dim)`` matrix."""
+        return np.vstack([self.embed(text) for text in texts])

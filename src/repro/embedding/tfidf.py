@@ -1,0 +1,63 @@
+"""TF-IDF weighting over a :class:`~repro.embedding.vocabulary.Vocabulary`."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import EmbeddingError
+from .tokenizer import tokenize
+from .vocabulary import Vocabulary
+
+
+class TfidfModel:
+    """Sparse-free TF-IDF vectors over a fixed vocabulary.
+
+    Vectors are dense numpy arrays of dimension ``len(vocabulary)``; use
+    the :class:`~repro.embedding.hashing.HashingEmbedder` when a fixed,
+    corpus-independent dimension is needed (as the ANN index does).
+    """
+
+    def __init__(self, vocabulary: Vocabulary) -> None:
+        if len(vocabulary) == 0:
+            raise EmbeddingError("vocabulary is empty")
+        self.vocabulary = vocabulary
+
+    @classmethod
+    def fit(cls, documents: Iterable[str]) -> "TfidfModel":
+        """Build vocabulary and model from a corpus in one step."""
+        return cls(Vocabulary.from_corpus(documents))
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of ``token``."""
+        df = self.vocabulary.document_frequency(token)
+        n = max(self.vocabulary.n_documents, 1)
+        return math.log((1 + n) / (1 + df)) + 1.0
+
+    def transform(self, text: str) -> np.ndarray:
+        """L2-normalized TF-IDF vector of ``text``.
+
+        Out-of-vocabulary tokens are ignored; an all-OOV text maps to the
+        zero vector.
+        """
+        counts = Counter(tokenize(text))
+        vector = np.zeros(len(self.vocabulary), dtype=np.float64)
+        total = sum(counts.values())
+        if total == 0:
+            return vector
+        for token, count in counts.items():
+            idx = self.vocabulary.index(token)
+            if idx is None:
+                continue
+            vector[idx] = (count / total) * self.idf(token)
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def similarity(self, text_a: str, text_b: str) -> float:
+        """Cosine similarity of two texts under this model."""
+        return float(np.dot(self.transform(text_a), self.transform(text_b)))

@@ -1,0 +1,45 @@
+"""Tokenization: lowercase word tokens, word n-grams, character n-grams."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Words carrying almost no retrieval signal.
+STOP_WORDS = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "by", "can", "do", "for",
+    "from", "g", "how", "i", "in", "is", "it", "its", "me", "my", "of",
+    "on", "or", "please", "that", "the", "this", "to", "what", "which",
+    "with", "you", "your",
+})
+
+
+def tokenize(text: str, drop_stop_words: bool = True) -> list[str]:
+    """Lowercase alphanumeric word tokens, optionally minus stop words."""
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stop_words:
+        tokens = [t for t in tokens if t not in STOP_WORDS]
+    return tokens
+
+
+def word_ngrams(tokens: list[str], n: int) -> Iterator[str]:
+    """Yield space-joined word ``n``-grams of a token list."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    for i in range(len(tokens) - n + 1):
+        yield " ".join(tokens[i:i + n])
+
+
+def char_ngrams(text: str, n: int) -> Iterator[str]:
+    """Yield character ``n``-grams of the normalized text.
+
+    Text is lowercased and runs of non-alphanumerics collapse to single
+    spaces, so ``char_ngrams`` is robust to punctuation and casing.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    normalized = " ".join(_TOKEN_RE.findall(text.lower()))
+    for i in range(len(normalized) - n + 1):
+        yield normalized[i:i + n]

@@ -1,0 +1,33 @@
+"""Vector helpers: normalization and distance functions (numpy-based)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize(vector: np.ndarray) -> np.ndarray:
+    """Return ``vector / ||vector||`` (the zero vector stays zero)."""
+    norm = float(np.linalg.norm(vector))
+    if norm == 0.0:
+        return vector.astype(np.float64, copy=True)
+    return vector / norm
+
+
+def l2_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance."""
+    return float(np.linalg.norm(np.asarray(a) - np.asarray(b)))
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity in ``[-1, 1]`` (0.0 if either vector is zero)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    na, nb = float(np.linalg.norm(a)), float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def cosine_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """``1 - cosine_similarity`` (in ``[0, 2]``)."""
+    return 1.0 - cosine_similarity(a, b)

@@ -1,0 +1,57 @@
+"""A corpus vocabulary with document frequencies."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from .tokenizer import tokenize
+
+
+class Vocabulary:
+    """Token inventory built from a corpus; tracks document frequency.
+
+    Example::
+
+        vocab = Vocabulary.from_corpus(["count the triangles",
+                                        "find communities"])
+        vocab.index("triangles")  # -> stable integer id
+    """
+
+    def __init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._doc_freq: Counter = Counter()
+        self.n_documents = 0
+
+    @classmethod
+    def from_corpus(cls, documents: Iterable[str]) -> "Vocabulary":
+        vocab = cls()
+        for document in documents:
+            vocab.add_document(document)
+        return vocab
+
+    def add_document(self, document: str) -> None:
+        """Register a document's tokens (document frequency counts once)."""
+        tokens = set(tokenize(document))
+        for token in tokens:
+            if token not in self._token_to_id:
+                self._token_to_id[token] = len(self._token_to_id)
+            self._doc_freq[token] += 1
+        self.n_documents += 1
+
+    def index(self, token: str) -> int | None:
+        """Integer id of ``token`` or None if unseen."""
+        return self._token_to_id.get(token)
+
+    def document_frequency(self, token: str) -> int:
+        return self._doc_freq.get(token, 0)
+
+    def __len__(self) -> int:
+        return len(self._token_to_id)
+
+    def __contains__(self, token: object) -> bool:
+        return token in self._token_to_id
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order."""
+        return sorted(self._token_to_id, key=self._token_to_id.get)  # type: ignore[arg-type]

@@ -1,0 +1,102 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ChatGraphError`
+so that callers can catch a single type at the framework boundary.
+"""
+
+from __future__ import annotations
+
+
+class ChatGraphError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ChatGraphError):
+    """Invalid graph structure or graph operation."""
+
+
+class NodeNotFoundError(GraphError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node: object) -> None:
+        super().__init__(f"node {node!r} not in graph")
+        self.node = node
+
+
+class EdgeNotFoundError(GraphError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u: object, v: object) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) not in graph")
+        self.u = u
+        self.v = v
+
+
+class GraphIOError(GraphError):
+    """A graph could not be parsed or serialized."""
+
+
+class EmbeddingError(ChatGraphError):
+    """Text could not be embedded."""
+
+
+class IndexError_(ChatGraphError):
+    """ANN index construction or query failure."""
+
+
+class SequencerError(ChatGraphError):
+    """Graph sequentialization failure."""
+
+
+class APIError(ChatGraphError):
+    """API registry / catalog error."""
+
+
+class UnknownAPIError(APIError):
+    """A chain references an API name that is not registered."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"unknown API {name!r}")
+        self.name = name
+
+
+class ChainError(ChatGraphError):
+    """An API chain is structurally invalid."""
+
+
+class ChainExecutionError(ChatGraphError):
+    """Executing an API chain failed at some step."""
+
+    def __init__(self, step: str, cause: Exception) -> None:
+        super().__init__(f"chain step {step!r} failed: {cause}")
+        self.step = step
+        self.cause = cause
+
+
+class ModelError(ChatGraphError):
+    """Language-model training or decoding failure."""
+
+
+class FinetuneError(ChatGraphError):
+    """Finetuning dataset or training failure."""
+
+
+class SmilesError(ChatGraphError):
+    """A SMILES string could not be parsed."""
+
+    def __init__(self, smiles: str, reason: str) -> None:
+        super().__init__(f"cannot parse SMILES {smiles!r}: {reason}")
+        self.smiles = smiles
+        self.reason = reason
+
+
+class KnowledgeBaseError(ChatGraphError):
+    """Knowledge-graph store or inference failure."""
+
+
+class SessionError(ChatGraphError):
+    """Chat-session protocol violation (e.g. confirming with no pending chain)."""
+
+
+class ConfigError(ChatGraphError):
+    """Invalid configuration value."""

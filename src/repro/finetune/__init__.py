@@ -1,0 +1,33 @@
+"""API chain-oriented finetuning (paper Sec. II-C).
+
+* :mod:`losses` — the node matching-based loss of Def. 1: chain GED
+  plus the one-to-one matching regularizer, minimized over matchings via
+  the Hungarian algorithm; multi-ground-truth variants take the minimum.
+* :mod:`rollout` — search-based prediction: score each candidate next
+  API by ``r`` random rollouts and the matching loss.
+* :mod:`dataset` — the synthetic finetuning corpus generator (the
+  substitution for the paper's logged student sessions; see DESIGN.md).
+* :mod:`trainer` — finetuning loops for the token-level baseline and
+  the paper's matching + rollout objective.
+* :mod:`metrics` — chain exact-match / GED evaluation.
+"""
+
+from .losses import chain_ged, node_matching_loss, min_matching_loss
+from .rollout import rollout_decode, score_candidates
+from .dataset import CorpusSpec, build_corpus
+from .trainer import FinetuneReport, Finetuner
+from .metrics import ChainMetrics, evaluate_model
+
+__all__ = [
+    "chain_ged",
+    "node_matching_loss",
+    "min_matching_loss",
+    "rollout_decode",
+    "score_candidates",
+    "CorpusSpec",
+    "build_corpus",
+    "FinetuneReport",
+    "Finetuner",
+    "ChainMetrics",
+    "evaluate_model",
+]

@@ -1,0 +1,396 @@
+"""Synthetic finetuning corpus (the substitution for logged user sessions).
+
+The paper recruits chemistry students, logs their manual API calls, and
+extracts (question, API chain) pairs.  Offline we template the same
+artifact: each :class:`QuestionTemplate` couples natural phrasings of a
+task with its ground-truth chain(s) — several *equivalent* chains where
+step order is interchangeable, exactly the one-to-many structure the
+search-based prediction is designed for.  Questions get filler noise and
+per-kind graph context; the candidate-API set comes from a real
+retriever when provided, else from gold APIs plus random distractors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..apis.registry import APIRegistry
+from ..config import SequencerConfig
+from ..errors import FinetuneError
+from ..graphs.generators import (
+    knowledge_graph,
+    molecule_like_graph,
+    social_network,
+)
+from ..llm.chain_model import GenerationState, TrainingExample
+from ..llm.intent import CATEGORY_ROUTING
+from ..retrieval.api_retriever import APIRetriever
+from ..sequencer.serializer import GraphSequentializer
+
+
+@dataclass(frozen=True)
+class QuestionTemplate:
+    """Task phrasings + equivalent ground-truth chains + graph kind."""
+
+    phrasings: tuple[str, ...]
+    chains: tuple[tuple[str, ...], ...]
+    graph_kind: str  # "social" | "molecule" | "knowledge" | "any"
+
+
+TEMPLATES: tuple[QuestionTemplate, ...] = (
+    # ---- understanding (scenario 1) -------------------------------
+    QuestionTemplate(
+        ("write a brief report for this graph",
+         "summarize this social network",
+         "give me an overview of the network",
+         "describe the structure of this graph"),
+        (("predict_graph_type", "graph_summary", "detect_communities",
+          "find_influencers", "generate_report"),
+         ("predict_graph_type", "graph_summary", "find_influencers",
+          "detect_communities", "generate_report")),
+        "social"),
+    QuestionTemplate(
+        ("write a report about this molecule",
+         "describe the chemical properties of this molecule",
+         "give me a profile of this compound"),
+        (("predict_graph_type", "describe_molecule", "predict_toxicity",
+          "predict_solubility", "generate_report"),
+         ("predict_graph_type", "describe_molecule", "predict_solubility",
+          "predict_toxicity", "generate_report")),
+        "molecule"),
+    QuestionTemplate(
+        ("profile this knowledge graph",
+         "summarize the entities and relations",
+         "report on the knowledge base"),
+        (("predict_graph_type", "knowledge_profile", "mine_rules",
+          "generate_report"),),
+        "knowledge"),
+    # ---- comparison (scenario 2) -----------------------------------
+    QuestionTemplate(
+        ("what molecules are similar to this one",
+         "find similar molecules in the database",
+         "search for compounds that resemble this molecule",
+         "which known molecules look like this structure"),
+        (("similar_molecules",),),
+        "molecule"),
+    # ---- cleaning (scenario 3) --------------------------------------
+    QuestionTemplate(
+        ("clean this knowledge graph",
+         "remove the noise from this graph",
+         "fix the incorrect and missing facts",
+         "denoise the knowledge base and save it"),
+        (("detect_incorrect_edges", "remove_flagged_edges",
+          "predict_missing_edges", "add_predicted_edges", "export_graph"),
+         ("predict_missing_edges", "add_predicted_edges",
+          "detect_incorrect_edges", "remove_flagged_edges",
+          "export_graph")),
+        "knowledge"),
+    QuestionTemplate(
+        ("which facts in this graph are wrong",
+         "detect the incorrect edges",
+         "find mislabeled facts"),
+        (("detect_incorrect_edges",),),
+        "knowledge"),
+    QuestionTemplate(
+        ("what facts are missing from this graph",
+         "predict the missing edges",
+         "infer absent links"),
+        (("predict_missing_edges",),),
+        "knowledge"),
+    # ---- single-shot compute questions ------------------------------
+    QuestionTemplate(
+        ("how many nodes does the graph have",
+         "count the vertices",
+         "what is the size of the graph in nodes"),
+        (("count_nodes",),), "any"),
+    QuestionTemplate(
+        ("how many edges are there",
+         "count the links of this graph"),
+        (("count_edges",),), "any"),
+    QuestionTemplate(
+        ("how dense is this graph",
+         "compute the density"),
+        (("graph_density",),), "any"),
+    QuestionTemplate(
+        ("what is the diameter of the graph",
+         "compute the longest shortest path"),
+        (("graph_diameter",),), "any"),
+    QuestionTemplate(
+        ("detect the communities of this network",
+         "find groups or clusters in the social network",
+         "partition the network into communities"),
+        (("detect_communities",),), "social"),
+    QuestionTemplate(
+        ("who are the most influential members",
+         "find the influencers of the network",
+         "rank the important users"),
+        (("find_influencers",),), "social"),
+    QuestionTemplate(
+        ("find the bridges and cut members of the network",
+         "analyze the connectivity weak points"),
+        (("social_connectivity",),), "social"),
+    QuestionTemplate(
+        ("how clustered is the graph",
+         "compute the clustering coefficient"),
+        (("clustering",),), "any"),
+    QuestionTemplate(
+        ("count the triangles",
+         "how many triangles does the graph contain"),
+        (("count_triangles",),), "any"),
+    QuestionTemplate(
+        ("what is the molecular formula",
+         "compute the formula of this molecule"),
+        (("molecular_formula",),), "molecule"),
+    QuestionTemplate(
+        ("is this molecule toxic",
+         "predict the toxicity of the compound"),
+        (("predict_toxicity",),), "molecule"),
+    QuestionTemplate(
+        ("how soluble is this molecule",
+         "predict the aqueous solubility"),
+        (("predict_solubility",),), "molecule"),
+    QuestionTemplate(
+        ("is this compound drug like",
+         "check lipinski rule of five"),
+        (("druglikeness",),), "molecule"),
+    QuestionTemplate(
+        ("rank the nodes by pagerank",
+         "which nodes have the highest pagerank"),
+        (("rank_pagerank",),), "any"),
+    QuestionTemplate(
+        ("find the densest core of the graph",
+         "compute the k core decomposition"),
+        (("kcore_decomposition",),), "any"),
+    QuestionTemplate(
+        ("what motifs appear in the graph",
+         "count the motifs"),
+        (("motif_profile",),), "any"),
+    QuestionTemplate(
+        ("do hubs connect to hubs",
+         "measure the degree assortativity of the graph"),
+        (("assortativity",),), "any"),
+    QuestionTemplate(
+        ("is the network homophilous",
+         "do similar members connect to each other"),
+        (("homophily",),), "social"),
+    QuestionTemplate(
+        ("what molecule is this",
+         "identify this compound",
+         "do you recognize this molecule"),
+        (("identify_molecule",),), "molecule"),
+    QuestionTemplate(
+        ("how similar are these two graphs",
+         "compare the two uploaded graphs",
+         "measure the distance between the graphs"),
+        (("compare_graphs",),), "any"),
+)
+
+#: Deliberately ambiguous templates: the *same phrasings* appear for all
+#: three graph kinds with kind-specific gold chains, so only the
+#: sequentialized graph can disambiguate — the corpus-level test of the
+#: paper's "graph-aware LLM" claim (benchmark E12).
+_AMBIGUOUS_PHRASINGS = (
+    "write a brief report for G",
+    "analyze this graph",
+    "tell me about the uploaded graph",
+    "what can you say about G",
+)
+AMBIGUOUS_TEMPLATES: tuple[QuestionTemplate, ...] = (
+    QuestionTemplate(
+        _AMBIGUOUS_PHRASINGS,
+        (("predict_graph_type", "graph_summary", "detect_communities",
+          "find_influencers", "generate_report"),),
+        "social"),
+    QuestionTemplate(
+        _AMBIGUOUS_PHRASINGS,
+        (("predict_graph_type", "describe_molecule", "predict_toxicity",
+          "predict_solubility", "generate_report"),),
+        "molecule"),
+    QuestionTemplate(
+        _AMBIGUOUS_PHRASINGS,
+        (("predict_graph_type", "knowledge_profile", "mine_rules",
+          "generate_report"),),
+        "knowledge"),
+)
+
+_FILLERS_PREFIX = ("", "please ", "could you ", "hey, ", "i need you to ")
+_FILLERS_SUFFIX = ("", " for G", " for my graph", " thanks", " quickly")
+
+
+def _inject_typo(text: str, rng: random.Random) -> str:
+    """One character-level typo: swap two adjacent letters or drop one."""
+    letters = [i for i, ch in enumerate(text) if ch.isalpha()]
+    if len(letters) < 4:
+        return text
+    position = rng.choice(letters[1:-1])
+    if rng.random() < 0.5 and position + 1 < len(text):
+        chars = list(text)
+        chars[position], chars[position + 1] = (chars[position + 1],
+                                                chars[position])
+        return "".join(chars)
+    return text[:position] + text[position + 1:]
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameters of one corpus build."""
+
+    n_examples: int = 500
+    seed: int = 0
+    #: Candidate-set size when no retriever is given (gold + distractors).
+    candidate_pool: int = 8
+    #: Attach sequentialized-graph features to each example.
+    with_graph_tokens: bool = True
+    #: Fraction of examples reserved for evaluation.
+    test_fraction: float = 0.2
+    #: Rotate which equivalent chain comes first per example, mimicking
+    #: the paper's logs where different users solve the same task with
+    #: different (equivalent) API orderings.  Token-level training
+    #: teacher-forces on the first chain, so this is what separates the
+    #: baseline from the matching objective (E8).
+    shuffle_equivalent: bool = True
+    #: Fraction of examples drawn from :data:`AMBIGUOUS_TEMPLATES`
+    #: (identical phrasings across graph kinds).  Ambiguous examples get
+    #: ``allowed = all APIs`` so that only the graph tokens — not
+    #: category routing — can disambiguate the gold chain.
+    ambiguous_fraction: float = 0.0
+    #: Whether graph tokens include the motif super-graph level
+    #: (ablated by the E12 benchmark).
+    multi_level: bool = True
+    #: Fraction of examples whose question gets a character-level typo
+    #: (adjacent-swap or deletion); the hashed char n-grams of the
+    #: embedder should keep retrieval and decoding robust to these.
+    typo_rate: float = 0.0
+    #: Hold out each template's *last* phrasing for the test split:
+    #: training never sees it, so test accuracy measures paraphrase
+    #: generalization instead of memorization.
+    holdout_phrasings: bool = False
+
+
+def _graph_tokens_by_kind(seed: int, variants: int = 6,
+                          multi_level: bool = True
+                          ) -> dict[str, list[tuple[tuple[str, int],
+                                                    ...]]]:
+    """A pool of sequentialized graphs per kind.
+
+    Several differently-sized/seeded instances per kind keep the model
+    from memorizing one token bag and force genuine graph-feature
+    generalization (exercised hard by the E12 ambiguous corpus).
+    """
+    sequencer = GraphSequentializer(SequencerConfig(
+        path_length=2, max_paths=512, multi_level=multi_level))
+    pools: dict[str, list[tuple[tuple[str, int], ...]]] = {"any": [()]}
+    for kind in ("social", "molecule", "knowledge"):
+        pools[kind] = []
+        for i in range(variants):
+            instance_seed = seed * 101 + i
+            if kind == "social":
+                graph = social_network(24 + 6 * i, 2 + i % 3,
+                                       seed=instance_seed)
+            elif kind == "molecule":
+                graph = molecule_like_graph(1 + i % 3, 2 + i % 4,
+                                            seed=instance_seed)
+            else:
+                graph = knowledge_graph(18 + 4 * i, 50 + 10 * i,
+                                        seed=instance_seed)
+            counts = sequencer.sequentialize(graph).feature_counts
+            pools[kind].append(
+                GenerationState.graph_tokens_from_counter(counts))
+    return pools
+
+
+def build_corpus(registry: APIRegistry, spec: CorpusSpec | None = None,
+                 retriever: APIRetriever | None = None
+                 ) -> tuple[list[TrainingExample], list[TrainingExample]]:
+    """Generate ``(train, test)`` example lists.
+
+    Gold chains are validated against ``registry`` so a template drift
+    fails loudly rather than teaching the model unknown APIs.
+    """
+    spec = spec or CorpusSpec()
+    if spec.n_examples < 2:
+        raise FinetuneError("corpus needs at least 2 examples")
+    rng = random.Random(spec.seed)
+    known = set(registry.names())
+    for template in TEMPLATES:
+        for chain in template.chains:
+            missing = [name for name in chain if name not in known]
+            if missing:
+                raise FinetuneError(
+                    f"template chain references unknown APIs {missing}")
+    token_pools = (_graph_tokens_by_kind(spec.seed,
+                                         multi_level=spec.multi_level)
+                   if spec.with_graph_tokens else
+                   {"any": [()], "social": [()], "molecule": [()],
+                    "knowledge": [()]})
+    all_names = registry.names()
+
+    n_test = max(1, int(spec.n_examples * spec.test_fraction))
+    examples: list[TrainingExample] = []
+    for index in range(spec.n_examples):
+        ambiguous = rng.random() < spec.ambiguous_fraction
+        template = rng.choice(AMBIGUOUS_TEMPLATES if ambiguous
+                              else TEMPLATES)
+        if spec.holdout_phrasings and len(template.phrasings) > 1:
+            # the first n_examples indexes become the test split below;
+            # they get the held-out (last) phrasing exclusively
+            if index < n_test:
+                phrasing = template.phrasings[-1]
+            else:
+                phrasing = rng.choice(template.phrasings[:-1])
+        else:
+            phrasing = rng.choice(template.phrasings)
+        question = (rng.choice(_FILLERS_PREFIX) + phrasing
+                    + rng.choice(_FILLERS_SUFFIX))
+        if rng.random() < spec.typo_rate:
+            question = _inject_typo(question, rng)
+        gold_apis = {name for chain in template.chains for name in chain}
+        if ambiguous:
+            # kind-independent candidates: the union of all ambiguous
+            # templates' APIs, so retrieval features cannot leak which
+            # graph kind the example came from (only graph tokens can)
+            union = sorted({name
+                            for tpl in AMBIGUOUS_TEMPLATES
+                            for chain in tpl.chains
+                            for name in chain})
+            retrieved = tuple(union)
+        elif retriever is not None:
+            # retrieve exactly as the inference pipeline does: with the
+            # graph type's category routing applied
+            categories = CATEGORY_ROUTING.get(template.graph_kind,
+                                              CATEGORY_ROUTING["generic"])
+            retrieved = retriever.retrieve_names(question,
+                                                 k=spec.candidate_pool,
+                                                 categories=categories)
+            # guarantee every gold API is decodable
+            retrieved = tuple(dict.fromkeys(
+                list(retrieved) + sorted(gold_apis)))
+        else:
+            distractors = [name for name in all_names
+                           if name not in gold_apis]
+            rng.shuffle(distractors)
+            n_extra = max(0, spec.candidate_pool - len(gold_apis))
+            pool = sorted(gold_apis) + distractors[:n_extra]
+            rng.shuffle(pool)
+            retrieved = tuple(pool)
+        chains = list(template.chains)
+        if spec.shuffle_equivalent and len(chains) > 1:
+            rng.shuffle(chains)
+        if ambiguous:
+            # no category routing: the graph tokens carry the signal
+            allowed = tuple(all_names)
+        else:
+            categories = CATEGORY_ROUTING.get(template.graph_kind,
+                                              CATEGORY_ROUTING["generic"])
+            allowed = tuple(s.name
+                            for s in registry.by_category(*categories))
+        examples.append(TrainingExample(
+            question=question,
+            target_chains=tuple(chains),
+            graph_tokens=rng.choice(token_pools[template.graph_kind]),
+            retrieved=retrieved,
+            allowed=allowed,
+        ))
+    return examples[n_test:], examples[:n_test]

@@ -1,0 +1,231 @@
+"""Synthetic graph generators.
+
+These stand in for the unnamed "real-world graphs" of the paper's demo:
+social networks with planted communities, knowledge graphs with typed
+relations, and molecule-like graphs with ring/chain motifs.  All
+generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Sequence
+
+from .graph import DiGraph, Graph
+
+#: Node labels used by :func:`knowledge_graph`.
+KG_ENTITY_TYPES = ("person", "organization", "city", "product")
+#: Relation vocabulary used by :func:`knowledge_graph`.
+KG_RELATIONS = ("works_at", "located_in", "founded", "produces",
+                "born_in", "ceo_of")
+
+
+def path_graph(n: int) -> Graph:
+    """A path ``0 - 1 - ... - (n-1)``."""
+    graph = Graph(name=f"path_{n}")
+    graph.add_nodes(range(n))
+    graph.add_edges((i, i + 1) for i in range(n - 1))
+    return graph
+
+
+def cycle_graph(n: int) -> Graph:
+    """A cycle on ``n`` nodes (``n >= 3``)."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 nodes")
+    graph = path_graph(n)
+    graph.name = f"cycle_{n}"
+    graph.add_edge(n - 1, 0)
+    return graph
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph ``K_n``."""
+    graph = Graph(name=f"K{n}")
+    graph.add_nodes(range(n))
+    graph.add_edges(itertools.combinations(range(n), 2))
+    return graph
+
+
+def star_graph(n: int) -> Graph:
+    """A star with center ``0`` and ``n`` leaves."""
+    graph = Graph(name=f"star_{n}")
+    graph.add_node(0)
+    graph.add_edges((0, i) for i in range(1, n + 1))
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """A ``rows x cols`` grid; nodes are ``(r, c)`` tuples."""
+    graph = Graph(name=f"grid_{rows}x{cols}")
+    for r in range(rows):
+        for c in range(cols):
+            graph.add_node((r, c))
+            if r > 0:
+                graph.add_edge((r - 1, c), (r, c))
+            if c > 0:
+                graph.add_edge((r, c - 1), (r, c))
+    return graph
+
+
+def er_graph(n: int, p: float, seed: int = 0) -> Graph:
+    """Erdos-Renyi ``G(n, p)`` random graph."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(name=f"er_{n}_{p}")
+    graph.add_nodes(range(n))
+    for u, v in itertools.combinations(range(n), 2):
+        if rng.random() < p:
+            graph.add_edge(u, v)
+    return graph
+
+
+def ba_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """Barabasi-Albert preferential attachment graph.
+
+    Starts from a clique on ``m + 1`` nodes; each new node attaches to
+    ``m`` existing nodes chosen proportionally to degree.
+    """
+    if m < 1 or n < m + 1:
+        raise ValueError("need n >= m + 1 >= 2")
+    rng = random.Random(seed)
+    graph = complete_graph(m + 1)
+    graph.name = f"ba_{n}_{m}"
+    # repeated-nodes trick: sampling uniformly from this list is
+    # equivalent to degree-proportional sampling.
+    repeated: list[int] = []
+    for u, v in graph.edges():
+        repeated.extend((u, v))
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(repeated))
+        for t in targets:
+            graph.add_edge(new, t)
+            repeated.extend((new, t))
+    return graph
+
+
+def planted_partition_graph(communities: Sequence[int], p_in: float,
+                            p_out: float, seed: int = 0) -> Graph:
+    """Stochastic block model with the given community sizes.
+
+    Every node gets a ground-truth ``community`` attribute.
+    """
+    for p in (p_in, p_out):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("probabilities must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = Graph(name="planted_partition")
+    node = 0
+    membership: list[int] = []
+    for cid, size in enumerate(communities):
+        for _ in range(size):
+            graph.add_node(node, community=cid)
+            membership.append(cid)
+            node += 1
+    n = node
+    for u, v in itertools.combinations(range(n), 2):
+        p = p_in if membership[u] == membership[v] else p_out
+        if rng.random() < p:
+            graph.add_edge(u, v)
+    return graph
+
+
+def social_network(n: int = 60, n_communities: int = 3,
+                   p_in: float = 0.25, p_out: float = 0.01,
+                   seed: int = 0) -> Graph:
+    """A social network with planted communities and person attributes.
+
+    Nodes get ``kind="person"``, a ``name`` and their ground-truth
+    ``community``; the graph gets ``kind="social"`` in its name-space by
+    convention (type prediction uses structure, not this hint).
+    """
+    if n_communities < 1 or n < n_communities:
+        raise ValueError("need n >= n_communities >= 1")
+    base = n // n_communities
+    sizes = [base] * n_communities
+    sizes[-1] += n - base * n_communities
+    graph = planted_partition_graph(sizes, p_in, p_out, seed=seed)
+    graph.name = f"social_{n}"
+    for node in graph.nodes():
+        graph.set_node_attr(node, "kind", "person")
+        graph.set_node_attr(node, "name", f"user_{node}")
+    return graph
+
+
+def knowledge_graph(n_entities: int = 40, n_facts: int = 120,
+                    seed: int = 0) -> DiGraph:
+    """A typed knowledge graph of entities and relation-labelled arcs.
+
+    Relations follow a fixed type signature (e.g. ``works_at`` connects a
+    person to an organization), which gives the cleaning scenario
+    learnable regularities.  Each node has ``kind="entity"`` and an
+    ``entity_type``; each arc has a ``relation`` label.
+    """
+    rng = random.Random(seed)
+    graph = DiGraph(name=f"kg_{n_entities}")
+    by_type: dict[str, list[str]] = {t: [] for t in KG_ENTITY_TYPES}
+    for i in range(n_entities):
+        etype = KG_ENTITY_TYPES[i % len(KG_ENTITY_TYPES)]
+        node = f"{etype}_{i}"
+        graph.add_node(node, kind="entity", entity_type=etype)
+        by_type[etype].append(node)
+    signatures = {
+        "works_at": ("person", "organization"),
+        "located_in": ("organization", "city"),
+        "founded": ("person", "organization"),
+        "produces": ("organization", "product"),
+        "born_in": ("person", "city"),
+        "ceo_of": ("person", "organization"),
+    }
+    added = 0
+    attempts = 0
+    while added < n_facts and attempts < n_facts * 20:
+        attempts += 1
+        relation = rng.choice(KG_RELATIONS)
+        src_type, dst_type = signatures[relation]
+        src = rng.choice(by_type[src_type])
+        dst = rng.choice(by_type[dst_type])
+        if src != dst and not graph.has_edge(src, dst):
+            graph.add_edge(src, dst, relation=relation)
+            added += 1
+    return graph
+
+
+def molecule_like_graph(n_rings: int = 2, chain_length: int = 3,
+                        seed: int = 0) -> Graph:
+    """A molecule-shaped graph: fused hexagonal rings plus a chain.
+
+    Nodes carry an ``element`` attribute (mostly carbon with occasional
+    heteroatoms) and ``kind="atom"``; edges carry a bond ``order``.
+    This is a structural stand-in where a full parsed molecule
+    (:mod:`repro.chem`) is not required.
+    """
+    rng = random.Random(seed)
+    graph = Graph(name="molecule_like")
+    node = 0
+
+    def fresh(element: str) -> int:
+        nonlocal node
+        graph.add_node(node, kind="atom", element=element)
+        node += 1
+        return node - 1
+
+    previous_ring: list[int] = []
+    for _ in range(max(n_rings, 0)):
+        ring = [fresh("C") for _ in range(6)]
+        for i, atom in enumerate(ring):
+            graph.add_edge(atom, ring[(i + 1) % 6], order=1)
+        if previous_ring:
+            graph.add_edge(previous_ring[3], ring[0], order=1)
+        previous_ring = ring
+    attach = previous_ring[2] if previous_ring else fresh("C")
+    for i in range(chain_length):
+        element = "O" if rng.random() < 0.2 else ("N" if rng.random() < 0.1
+                                                  else "C")
+        atom = fresh(element)
+        graph.add_edge(attach, atom, order=1)
+        attach = atom
+    return graph

@@ -1,0 +1,137 @@
+"""Graph serialization: edge lists, adjacency mappings and JSON-able dicts.
+
+These formats back the "upload a graph" slot of the chat session: users
+paste an edge-list text or a JSON document, and the session parses it
+into a :class:`~repro.graphs.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import GraphIOError
+from .graph import DiGraph, Graph, Node
+
+
+def to_edgelist(graph: Graph) -> list[tuple[Node, Node]]:
+    """Return the list of edges of ``graph``."""
+    return list(graph.edges())
+
+
+def from_edgelist(edges: Iterable[tuple[Node, Node]],
+                  directed: bool = False) -> Graph:
+    """Build a graph from ``(u, v)`` pairs."""
+    graph: Graph = DiGraph() if directed else Graph()
+    graph.add_edges(edges)
+    return graph
+
+
+def parse_edgelist_text(text: str, directed: bool = False) -> Graph:
+    """Parse a whitespace-separated edge-list text.
+
+    Each non-empty, non-comment (``#``) line is ``u v [key=value ...]``.
+    Node tokens are kept as strings; attribute values are parsed as JSON
+    scalars when possible, else kept as strings.
+    """
+    graph: Graph = DiGraph() if directed else Graph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) == 1:
+            graph.add_node(tokens[0])
+            continue
+        u, v, *rest = tokens
+        attrs: dict[str, Any] = {}
+        for item in rest:
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise GraphIOError(
+                    f"line {lineno}: expected key=value, got {item!r}")
+            attrs[key] = _parse_scalar(value)
+        graph.add_edge(u, v, **attrs)
+    return graph
+
+
+def _parse_scalar(token: str) -> Any:
+    try:
+        return json.loads(token)
+    except json.JSONDecodeError:
+        return token
+
+
+def read_edgelist(path: str | Path, directed: bool = False) -> Graph:
+    """Read an edge-list file (see :func:`parse_edgelist_text`)."""
+    with open(path, encoding="utf-8") as handle:
+        return parse_edgelist_text(handle.read(), directed=directed)
+
+
+def write_edgelist(graph: Graph, path: str | Path) -> None:
+    """Write ``graph`` as an edge-list file with JSON-encoded attributes."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for node in graph.nodes():
+            if graph.degree(node) == 0:
+                handle.write(f"{node}\n")
+        for u, v in graph.edges():
+            parts = [str(u), str(v)]
+            for key, value in graph.edge_attrs(u, v).items():
+                parts.append(f"{key}={json.dumps(value)}")
+            handle.write(" ".join(parts) + "\n")
+
+
+def to_adjacency(graph: Graph) -> dict[Node, list[Node]]:
+    """Return an adjacency mapping ``node -> sorted neighbor list``."""
+    adjacency: dict[Node, list[Node]] = {}
+    step = (graph.successors if isinstance(graph, DiGraph)
+            else graph.neighbors)
+    for node in graph.nodes():
+        adjacency[node] = sorted(step(node), key=repr)
+    return adjacency
+
+
+def from_adjacency(adjacency: Mapping[Node, Iterable[Node]],
+                   directed: bool = False) -> Graph:
+    """Build a graph from an adjacency mapping."""
+    graph: Graph = DiGraph() if directed else Graph()
+    for node, neighbors in adjacency.items():
+        graph.add_node(node)
+        for neighbor in neighbors:
+            graph.add_edge(node, neighbor)
+    return graph
+
+
+def to_dict(graph: Graph) -> dict[str, Any]:
+    """Serialize ``graph`` to a JSON-able dict.
+
+    The format is ``{"directed", "name", "nodes": [{"id", **attrs}],
+    "edges": [{"source", "target", **attrs}]}``.
+    """
+    return {
+        "directed": graph.directed,
+        "name": graph.name,
+        "nodes": [{"id": node, **graph.node_attrs(node)}
+                  for node in graph.nodes()],
+        "edges": [{"source": u, "target": v, **graph.edge_attrs(u, v)}
+                  for u, v in graph.edges()],
+    }
+
+
+def from_dict(data: Mapping[str, Any]) -> Graph:
+    """Deserialize the :func:`to_dict` format (raises on malformed input)."""
+    try:
+        directed = bool(data.get("directed", False))
+        graph: Graph = DiGraph(name=data.get("name", "")) if directed \
+            else Graph(name=data.get("name", ""))
+        for entry in data.get("nodes", []):
+            attrs = {k: v for k, v in entry.items() if k != "id"}
+            graph.add_node(entry["id"], **attrs)
+        for entry in data.get("edges", []):
+            attrs = {k: v for k, v in entry.items()
+                     if k not in ("source", "target")}
+            graph.add_edge(entry["source"], entry["target"], **attrs)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise GraphIOError(f"malformed graph document: {exc}") from exc
+    return graph

@@ -1,0 +1,78 @@
+"""Summary statistics for graphs (used by reports and type prediction)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .graph import DiGraph, Graph
+
+
+def density(graph: Graph) -> float:
+    """Edge density in ``[0, 1]`` (0 for graphs with < 2 nodes)."""
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    m = graph.number_of_edges()
+    possible = n * (n - 1)
+    if not graph.directed:
+        possible //= 2
+    return m / possible
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map ``degree -> number of nodes with that degree``."""
+    histogram: dict[int, int] = {}
+    for node in graph.nodes():
+        d = graph.degree(node)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Compact numeric profile of a graph."""
+
+    n_nodes: int
+    n_edges: int
+    directed: bool
+    density: float
+    max_degree: int
+    mean_degree: float
+    n_isolated: int
+    node_labels: tuple[str, ...]
+    edge_labels: tuple[str, ...]
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "directed": self.directed,
+            "density": self.density,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "n_isolated": self.n_isolated,
+            "node_labels": list(self.node_labels),
+            "edge_labels": list(self.edge_labels),
+        }
+
+
+def summarize(graph: Graph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    node_keys: set[str] = set()
+    for node in graph.nodes():
+        node_keys.update(graph.node_attrs(node))
+    edge_keys: set[str] = set()
+    for u, v in graph.edges():
+        edge_keys.update(graph.edge_attrs(u, v))
+    return GraphSummary(
+        n_nodes=graph.number_of_nodes(),
+        n_edges=graph.number_of_edges(),
+        directed=isinstance(graph, DiGraph) and graph.directed,
+        density=density(graph),
+        max_degree=max(degrees, default=0),
+        mean_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        n_isolated=sum(1 for d in degrees if d == 0),
+        node_labels=tuple(sorted(node_keys)),
+        edge_labels=tuple(sorted(edge_keys)),
+    )

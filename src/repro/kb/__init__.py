@@ -1,0 +1,25 @@
+"""Knowledge-graph substrate for the cleaning scenario (paper Fig. 6).
+
+Triples + typed entities (:mod:`triples`), rule mining over them
+(:mod:`rules`: relation type signatures and 2-hop path rules), error
+detection / missing-link prediction (:mod:`inference`), and the
+confirm-then-edit cleaning plan (:mod:`cleaning`).
+"""
+
+from .triples import Triple, TripleStore
+from .rules import PathRule, RuleMiner, TypeSignature
+from .inference import EdgeFinding, KnowledgeInferencer
+from .cleaning import CleaningPlan, apply_cleaning_plan, corrupt_store
+
+__all__ = [
+    "Triple",
+    "TripleStore",
+    "PathRule",
+    "RuleMiner",
+    "TypeSignature",
+    "EdgeFinding",
+    "KnowledgeInferencer",
+    "CleaningPlan",
+    "apply_cleaning_plan",
+    "corrupt_store",
+]

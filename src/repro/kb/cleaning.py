@@ -1,0 +1,115 @@
+"""Cleaning plans: confirm-then-edit, plus noise injection for evaluation."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import KnowledgeBaseError
+from .inference import EdgeFinding
+from .triples import Triple, TripleStore
+
+
+@dataclass
+class CleaningPlan:
+    """Proposed edits to a knowledge graph, pending user confirmation."""
+
+    removals: list[EdgeFinding] = field(default_factory=list)
+    additions: list[EdgeFinding] = field(default_factory=list)
+
+    @property
+    def n_edits(self) -> int:
+        return len(self.removals) + len(self.additions)
+
+    def render(self) -> str:
+        lines = [f"cleaning plan: {len(self.removals)} removals, "
+                 f"{len(self.additions)} additions"]
+        lines.extend("  - remove " + f.render() for f in self.removals)
+        lines.extend("  - add    " + f.render() for f in self.additions)
+        return "\n".join(lines)
+
+
+def apply_cleaning_plan(store: TripleStore, plan: CleaningPlan,
+                        confirm: Callable[[str, EdgeFinding], bool]
+                        | None = None) -> TripleStore:
+    """Apply ``plan`` to a copy of ``store``.
+
+    ``confirm(question, finding)`` is asked per edit (paper Fig. 6 shows
+    this confirmation loop); ``None`` approves everything.  Returns the
+    cleaned copy; the input store is never mutated.
+    """
+    cleaned = store.copy()
+    for finding in plan.removals:
+        if finding.kind != "incorrect":
+            raise KnowledgeBaseError(
+                f"removal plan holds non-incorrect finding {finding.kind!r}")
+        if confirm is not None and not confirm(
+                f"Remove suspected-wrong fact {finding.triple.render()}?",
+                finding):
+            continue
+        if finding.triple in cleaned:
+            cleaned.remove(finding.triple)
+    for finding in plan.additions:
+        if finding.kind != "missing":
+            raise KnowledgeBaseError(
+                f"addition plan holds non-missing finding {finding.kind!r}")
+        if confirm is not None and not confirm(
+                f"Add inferred fact {finding.triple.render()}?", finding):
+            continue
+        cleaned.add(finding.triple)
+    return cleaned
+
+
+def corrupt_store(store: TripleStore, corruption_rate: float = 0.05,
+                  removal_rate: float = 0.05,
+                  seed: int = 0) -> tuple[TripleStore, set[Triple],
+                                          set[Triple]]:
+    """Inject noise for cleaning evaluation.
+
+    Returns ``(noisy_store, injected_wrong, removed_true)``:
+
+    * a fraction ``corruption_rate`` of facts get their tail replaced by
+      a random entity of a *different* type (type-violating noise);
+    * a fraction ``removal_rate`` of facts are deleted (recoverable by
+      rule-based prediction when redundancy exists).
+    """
+    if not 0.0 <= corruption_rate <= 1.0 or not 0.0 <= removal_rate <= 1.0:
+        raise KnowledgeBaseError("rates must be in [0, 1]")
+    rng = random.Random(seed)
+    noisy = store.copy()
+    triples = sorted(store)
+    entities = store.entities()
+    rng.shuffle(triples)
+
+    n_corrupt = int(len(triples) * corruption_rate)
+    n_remove = int(len(triples) * removal_rate)
+    injected: set[Triple] = set()
+    removed: set[Triple] = set()
+
+    # (head, tail) pairs already present; the property-graph view holds
+    # one relation per node pair, so injected noise must not collide
+    used_pairs = {(t.head, t.tail) for t in store}
+
+    for triple in triples[:n_corrupt]:
+        tail_type = store.entity_type(triple.tail)
+        others = [e for e in entities
+                  if store.entity_type(e) not in (None, tail_type)
+                  and e != triple.head
+                  and (triple.head, e) not in used_pairs]
+        if not others:
+            continue
+        bad = Triple(triple.head, triple.relation, rng.choice(others))
+        if bad in noisy:
+            continue
+        used_pairs.add((bad.head, bad.tail))
+        noisy.remove(triple)
+        noisy.add(bad)
+        injected.add(bad)
+        removed.add(triple)
+
+    for triple in triples[n_corrupt:n_corrupt + n_remove]:
+        if triple in noisy:
+            noisy.remove(triple)
+            removed.add(triple)
+    return noisy, injected, removed

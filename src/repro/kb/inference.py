@@ -1,0 +1,160 @@
+"""Knowledge inference: detect incorrect edges, predict missing edges.
+
+The cleaning scenario (paper Fig. 6) first invokes knowledge inference
+APIs to flag wrong facts and propose absent ones, then asks the user to
+confirm before graph-edit APIs apply the changes.  Detection combines
+mined type signatures (a fact violating its relation's high-confidence
+signature is suspect) with a duplication check; prediction fires mined
+2-hop path rules.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .rules import PathRule, RuleMiner, TypeSignature
+from .triples import Triple, TripleStore
+
+
+@dataclass(frozen=True)
+class EdgeFinding:
+    """One suspected-incorrect or predicted-missing fact."""
+
+    triple: Triple
+    #: "incorrect" or "missing".
+    kind: str
+    #: In [0, 1]; how sure the inferencer is.
+    confidence: float
+    reason: str
+
+    def render(self) -> str:
+        return (f"[{self.kind} {self.confidence:.2f}] "
+                f"{self.triple.render()} — {self.reason}")
+
+
+class KnowledgeInferencer:
+    """Mines rules once, then answers detection/prediction queries.
+
+    Example::
+
+        inferencer = KnowledgeInferencer.fit(store)
+        wrong = inferencer.detect_incorrect_edges()
+        absent = inferencer.predict_missing_edges()
+    """
+
+    def __init__(self, store: TripleStore,
+                 signatures: dict[str, TypeSignature],
+                 rules: list[PathRule]) -> None:
+        self.store = store
+        self.signatures = signatures
+        self.rules = rules
+
+    @classmethod
+    def fit(cls, store: TripleStore,
+            miner: RuleMiner | None = None) -> "KnowledgeInferencer":
+        miner = miner or RuleMiner()
+        return cls(store=store,
+                   signatures=miner.mine_type_signatures(store),
+                   rules=miner.mine_path_rules(store))
+
+    # ------------------------------------------------------------------
+    def detect_incorrect_edges(self,
+                               min_confidence: float = 0.5
+                               ) -> list[EdgeFinding]:
+        """Facts violating a learned high-confidence type signature."""
+        findings: list[EdgeFinding] = []
+        for triple in self.store:
+            signature = self.signatures.get(triple.relation)
+            if signature is None:
+                continue
+            if signature.matches(self.store, triple):
+                continue
+            head_type = self.store.entity_type(triple.head) or "?"
+            tail_type = self.store.entity_type(triple.tail) or "?"
+            confidence = signature.confidence
+            if confidence < min_confidence:
+                continue
+            findings.append(EdgeFinding(
+                triple=triple,
+                kind="incorrect",
+                confidence=confidence,
+                reason=(f"{triple.relation} links {head_type}->{tail_type} "
+                        f"but {signature.confidence:.0%} of facts link "
+                        f"{signature.head_type}->{signature.tail_type}"),
+            ))
+        findings.sort(key=lambda f: (-f.confidence, f.triple))
+        return findings
+
+    # ------------------------------------------------------------------
+    def infer_entity_types(self) -> dict[str, tuple[str, float]]:
+        """Type untyped entities from the signatures of their relations.
+
+        Each fact votes: if ``works_at`` has signature person ->
+        organization (confidence c), its head votes "person" with weight
+        c and its tail votes "organization".  Returns
+        ``entity -> (type, normalized vote share)`` for entities without
+        a declared type that received any votes.
+        """
+        votes: dict[str, dict[str, float]] = {}
+        for triple in self.store:
+            signature = self.signatures.get(triple.relation)
+            if signature is None:
+                continue
+            for entity, etype in ((triple.head, signature.head_type),
+                                  (triple.tail, signature.tail_type)):
+                if self.store.entity_type(entity) is not None:
+                    continue
+                votes.setdefault(entity, {})
+                votes[entity][etype] = votes[entity].get(etype, 0.0) \
+                    + signature.confidence
+        inferred: dict[str, tuple[str, float]] = {}
+        for entity, ballot in votes.items():
+            total = sum(ballot.values())
+            best_type, weight = max(ballot.items(),
+                                    key=lambda kv: (kv[1], kv[0]))
+            inferred[entity] = (best_type, weight / total)
+        return inferred
+
+    # ------------------------------------------------------------------
+    def predict_missing_edges(self, min_confidence: float = 0.5,
+                              limit: int | None = None) -> list[EdgeFinding]:
+        """Head triples of firing path rules that are absent from the store.
+
+        A prediction must also satisfy the head relation's type signature
+        (when one was mined), which suppresses rule-noise predictions.
+        """
+        out_edges: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        for triple in self.store:
+            out_edges[triple.head].append((triple.relation, triple.tail))
+
+        best: dict[Triple, tuple[float, PathRule]] = {}
+        for rule in self.rules:
+            if rule.confidence < min_confidence:
+                continue
+            for x, firsts in out_edges.items():
+                for r1, z in firsts:
+                    if r1 != rule.body_first:
+                        continue
+                    for r2, y in out_edges.get(z, ()):
+                        if r2 != rule.body_second or x == y:
+                            continue
+                        candidate = Triple(x, rule.head_relation, y)
+                        if candidate in self.store:
+                            continue
+                        signature = self.signatures.get(rule.head_relation)
+                        if signature is not None and not signature.matches(
+                                self.store, candidate):
+                            continue
+                        current = best.get(candidate)
+                        if current is None or rule.confidence > current[0]:
+                            best[candidate] = (rule.confidence, rule)
+
+        findings = [EdgeFinding(
+            triple=triple, kind="missing", confidence=confidence,
+            reason=f"implied by rule {rule.render()}")
+            for triple, (confidence, rule) in best.items()]
+        findings.sort(key=lambda f: (-f.confidence, f.triple))
+        if limit is not None:
+            findings = findings[:limit]
+        return findings

@@ -1,0 +1,125 @@
+"""Rule mining over a triple store (AMIE-lite).
+
+Two rule families feed the cleaning scenario:
+
+* :class:`TypeSignature` — per-relation dominant (head type, tail type)
+  pairs with confidence; facts violating a high-confidence signature are
+  suspect.
+* :class:`PathRule` — 2-hop implications ``r(x, y) <= r1(x, z), r2(z, y)``
+  with support and standard confidence; firing rules whose head triple is
+  absent predicts missing edges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from .triples import Triple, TripleStore
+
+
+@dataclass(frozen=True)
+class TypeSignature:
+    """Dominant type signature of one relation."""
+
+    relation: str
+    head_type: str
+    tail_type: str
+    #: Fraction of the relation's facts matching the signature.
+    confidence: float
+    #: Number of facts the signature was learned from.
+    support: int
+
+    def matches(self, store: TripleStore, triple: Triple) -> bool:
+        return (store.entity_type(triple.head) == self.head_type
+                and store.entity_type(triple.tail) == self.tail_type)
+
+
+@dataclass(frozen=True)
+class PathRule:
+    """``head_relation(x, y) <= r1(x, z), r2(z, y)``."""
+
+    head_relation: str
+    body_first: str
+    body_second: str
+    #: Number of (x, y) pairs where body and head both hold.
+    support: int
+    #: support / number of pairs where the body holds.
+    confidence: float
+
+    def render(self) -> str:
+        return (f"{self.head_relation}(x, y) <= "
+                f"{self.body_first}(x, z), {self.body_second}(z, y) "
+                f"[supp={self.support}, conf={self.confidence:.2f}]")
+
+
+class RuleMiner:
+    """Mine type signatures and path rules from a triple store."""
+
+    def __init__(self, min_signature_confidence: float = 0.7,
+                 min_rule_support: int = 2,
+                 min_rule_confidence: float = 0.5) -> None:
+        self.min_signature_confidence = min_signature_confidence
+        self.min_rule_support = min_rule_support
+        self.min_rule_confidence = min_rule_confidence
+
+    # ------------------------------------------------------------------
+    def mine_type_signatures(self,
+                             store: TripleStore) -> dict[str, TypeSignature]:
+        """Dominant (head type, tail type) per relation, when confident."""
+        signatures: dict[str, TypeSignature] = {}
+        for relation in store.relations():
+            facts = store.by_relation(relation)
+            typed = [(store.entity_type(t.head), store.entity_type(t.tail))
+                     for t in facts]
+            typed = [(h, t) for h, t in typed if h is not None
+                     and t is not None]
+            if not typed:
+                continue
+            (head_type, tail_type), count = \
+                Counter(typed).most_common(1)[0]
+            confidence = count / len(typed)
+            if confidence >= self.min_signature_confidence:
+                signatures[relation] = TypeSignature(
+                    relation=relation, head_type=head_type,
+                    tail_type=tail_type, confidence=confidence,
+                    support=len(typed))
+        return signatures
+
+    # ------------------------------------------------------------------
+    def mine_path_rules(self, store: TripleStore) -> list[PathRule]:
+        """2-hop path rules with enough support and confidence."""
+        # index: head entity -> list of (relation, tail)
+        out_edges: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        pair_relations: dict[tuple[str, str], set[str]] = defaultdict(set)
+        for triple in store:
+            out_edges[triple.head].append((triple.relation, triple.tail))
+            pair_relations[(triple.head, triple.tail)].add(triple.relation)
+
+        # body instantiation counts: (r1, r2) -> set of (x, y)
+        body_pairs: dict[tuple[str, str], set[tuple[str, str]]] = \
+            defaultdict(set)
+        for x, firsts in out_edges.items():
+            for r1, z in firsts:
+                for r2, y in out_edges.get(z, ()):
+                    if x != y:
+                        body_pairs[(r1, r2)].add((x, y))
+
+        rules: list[PathRule] = []
+        for (r1, r2), pairs in body_pairs.items():
+            head_hits: Counter = Counter()
+            for x, y in pairs:
+                for head_relation in pair_relations.get((x, y), ()):
+                    head_hits[head_relation] += 1
+            for head_relation, support in head_hits.items():
+                confidence = support / len(pairs)
+                if support >= self.min_rule_support \
+                        and confidence >= self.min_rule_confidence:
+                    rules.append(PathRule(
+                        head_relation=head_relation, body_first=r1,
+                        body_second=r2, support=support,
+                        confidence=confidence))
+        rules.sort(key=lambda r: (-r.confidence, -r.support,
+                                  r.head_relation, r.body_first,
+                                  r.body_second))
+        return rules

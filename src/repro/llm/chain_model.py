@@ -1,0 +1,295 @@
+"""The trainable conditional chain generator (the "LLM" substrate).
+
+This is the offline stand-in for the paper's finetuned LLM backbone
+(see the substitution note in DESIGN.md).  It is an autoregressive
+log-linear model over the API vocabulary:
+
+    P(next api | prompt, graph, retrieved APIs, prefix)
+        = softmax(W @ phi(state))
+
+where ``phi`` hashes prompt-text tokens, sequentialized-graph tokens,
+retrieved-API indicators, the previous API and the position into one
+sparse feature vector.  Training is SGD; the plain cross-entropy updates
+here are the *baseline* objective — the paper's node matching-based loss
+and search-based prediction live in :mod:`repro.finetune` and drive this
+same model through :meth:`train_weighted_step`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+from ..embedding.tokenizer import tokenize
+
+#: End-of-chain token (always the last vocabulary entry).
+EOS = "<eos>"
+
+_TEXT_BUCKETS = 256
+_GRAPH_BUCKETS = 64
+
+
+def _bucket(feature: str, buckets: int) -> int:
+    digest = hashlib.md5(feature.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little") % buckets
+
+
+@dataclass(frozen=True)
+class GenerationState:
+    """Everything the model conditions on at one decoding step."""
+
+    prompt_text: str
+    #: Bag of sequentializer tokens of the prompt graph (may be empty).
+    graph_tokens: tuple[tuple[str, int], ...] = ()
+    #: Names of the retrieved candidate APIs (order = retrieval rank).
+    retrieved: tuple[str, ...] = ()
+    #: APIs generated so far.
+    prefix: tuple[str, ...] = ()
+    #: Decodable API names (e.g. the graph type's category-routed set);
+    #: empty means "fall back to the retrieved set / full vocabulary".
+    allowed: tuple[str, ...] = ()
+
+    def advance(self, api_name: str) -> "GenerationState":
+        return GenerationState(
+            prompt_text=self.prompt_text,
+            graph_tokens=self.graph_tokens,
+            retrieved=self.retrieved,
+            prefix=self.prefix + (api_name,),
+            allowed=self.allowed,
+        )
+
+    @staticmethod
+    def graph_tokens_from_counter(counts: Counter) -> tuple[
+            tuple[str, int], ...]:
+        return tuple(sorted(counts.items()))
+
+
+@dataclass(frozen=True)
+class TrainingExample:
+    """One finetuning pair: a question and its ground-truth chain(s).
+
+    ``target_chains`` may hold several equivalent chains (the paper's
+    second chain property); losses take the minimum over them.
+    """
+
+    question: str
+    target_chains: tuple[tuple[str, ...], ...]
+    graph_tokens: tuple[tuple[str, int], ...] = ()
+    retrieved: tuple[str, ...] = ()
+    allowed: tuple[str, ...] = ()
+
+    def state(self) -> GenerationState:
+        return GenerationState(prompt_text=self.question,
+                               graph_tokens=self.graph_tokens,
+                               retrieved=self.retrieved,
+                               allowed=self.allowed)
+
+
+@dataclass
+class ChainLanguageModel:
+    """Log-linear autoregressive model over an API vocabulary.
+
+    Example::
+
+        model = ChainLanguageModel(api_names=registry.names())
+        dist = model.next_distribution(state)   # ndarray over vocab
+        model.train_step(state, "count_nodes")  # one SGD update
+    """
+
+    api_names: Sequence[str]
+    learning_rate: float = 0.5
+    l2: float = 1e-3
+    seed: int = 0
+    #: Restrict candidates to the retrieved APIs (+EOS) when retrieval
+    #: supplied any — the paper's "reduce the space of prediction".
+    restrict_to_retrieved: bool = True
+    _vocab: dict[str, int] = field(init=False, default_factory=dict)
+    _weights: np.ndarray = field(init=False, default=None)  # type: ignore
+
+    def __post_init__(self) -> None:
+        if not self.api_names:
+            raise ModelError("api vocabulary is empty")
+        names = list(dict.fromkeys(self.api_names))  # dedupe, keep order
+        self._vocab = {name: i for i, name in enumerate(names)}
+        self._vocab[EOS] = len(names)
+        rng = np.random.default_rng(self.seed)
+        self._weights = rng.normal(
+            scale=0.01, size=(len(self._vocab), self.n_features))
+
+    # ------------------------------------------------------------------
+    # vocabulary
+    # ------------------------------------------------------------------
+    @property
+    def vocab_size(self) -> int:
+        return len(self._vocab)
+
+    @property
+    def eos_id(self) -> int:
+        return self._vocab[EOS]
+
+    def token_id(self, name: str) -> int:
+        try:
+            return self._vocab[name]
+        except KeyError:
+            raise ModelError(f"API {name!r} not in model vocabulary") \
+                from None
+
+    def token_name(self, token_id: int) -> str:
+        for name, tid in self._vocab.items():
+            if tid == token_id:
+                return name
+        raise ModelError(f"no token with id {token_id}")
+
+    # ------------------------------------------------------------------
+    # features
+    # ------------------------------------------------------------------
+    @property
+    def n_features(self) -> int:
+        # text + graph + retrieved-indicator + prev-token + position + bias
+        return (_TEXT_BUCKETS + _GRAPH_BUCKETS + len(self._vocab)
+                + len(self._vocab) + 8 + 1)
+
+    def featurize(self, state: GenerationState) -> dict[int, float]:
+        """Sparse feature vector of a decoding state."""
+        features: dict[int, float] = {}
+        base = 0
+        tokens = tokenize(state.prompt_text)
+        if tokens:
+            weight = 1.0 / math.sqrt(len(tokens))
+            for token in tokens:
+                idx = base + _bucket("t:" + token, _TEXT_BUCKETS)
+                features[idx] = features.get(idx, 0.0) + weight
+        base += _TEXT_BUCKETS
+        total_graph = sum(count for __, count in state.graph_tokens)
+        if total_graph:
+            for token, count in state.graph_tokens:
+                idx = base + _bucket("g:" + token, _GRAPH_BUCKETS)
+                features[idx] = features.get(idx, 0.0) + count / total_graph
+        base += _GRAPH_BUCKETS
+        for rank, name in enumerate(state.retrieved):
+            if name in self._vocab:
+                features[base + self._vocab[name]] = 1.0 / (1.0 + rank)
+        base += len(self._vocab)
+        prev = state.prefix[-1] if state.prefix else None
+        if prev is not None and prev in self._vocab:
+            features[base + self._vocab[prev]] = 1.0
+        base += len(self._vocab)
+        position = min(len(state.prefix), 7)
+        features[base + position] = 1.0
+        base += 8
+        features[base] = 1.0  # bias
+        return features
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def _logits(self, features: dict[int, float]) -> np.ndarray:
+        idx = np.fromiter(features.keys(), dtype=np.int64)
+        vals = np.fromiter(features.values(), dtype=np.float64)
+        return self._weights[:, idx] @ vals
+
+    def candidate_ids(self, state: GenerationState) -> list[int]:
+        """Token ids decodable from ``state``.
+
+        The prediction space is reduced (paper Sec. II-A) to the state's
+        ``allowed`` set when given (the graph type's category-routed
+        APIs), else to the retrieved APIs, else the full vocabulary.
+        APIs already in the prefix are masked — chains never invoke the
+        same API twice, so this prevents degenerate loops.  The
+        *retrieved* set additionally biases scores through rank features.
+        """
+        if state.allowed:
+            ids = {self._vocab[name] for name in state.allowed
+                   if name in self._vocab}
+        elif self.restrict_to_retrieved and state.retrieved:
+            ids = {self._vocab[name] for name in state.retrieved
+                   if name in self._vocab}
+        else:
+            ids = set(range(self.vocab_size))
+        ids -= {self._vocab[name] for name in state.prefix
+                if name in self._vocab}
+        ids.add(self.eos_id)
+        return sorted(ids)
+
+    def next_distribution(self, state: GenerationState,
+                          temperature: float = 1.0) -> np.ndarray:
+        """Distribution over the full vocabulary (masked to candidates)."""
+        if temperature <= 0:
+            raise ModelError("temperature must be > 0")
+        logits = self._logits(self.featurize(state)) / temperature
+        mask = np.full(self.vocab_size, -np.inf)
+        mask[self.candidate_ids(state)] = 0.0
+        logits = logits + mask
+        logits -= logits.max()
+        probs = np.exp(logits)
+        probs /= probs.sum()
+        return probs
+
+    def log_prob(self, state: GenerationState, api_name: str) -> float:
+        """log P(api_name | state)."""
+        probs = self.next_distribution(state)
+        return float(np.log(max(probs[self.token_id(api_name)], 1e-300)))
+
+    def chain_log_prob(self, state: GenerationState,
+                       chain: Iterable[str]) -> float:
+        """log P(chain, EOS | initial state)."""
+        total = 0.0
+        current = state
+        for name in chain:
+            total += self.log_prob(current, name)
+            current = current.advance(name)
+        total += self.log_prob(current, EOS)
+        return total
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def train_step(self, state: GenerationState, target: str,
+                   learning_rate: float | None = None) -> float:
+        """One cross-entropy SGD step; returns the step's loss."""
+        return self.train_weighted_step(state, {target: 1.0}, learning_rate)
+
+    def train_weighted_step(self, state: GenerationState,
+                            target_weights: dict[str, float],
+                            learning_rate: float | None = None) -> float:
+        """SGD toward a *distribution* over targets.
+
+        The finetuning module converts its chain-level matching loss into
+        per-step target weights and calls this; plain training passes a
+        single target with weight 1.
+        """
+        lr = self.learning_rate if learning_rate is None else learning_rate
+        total = sum(target_weights.values())
+        if total <= 0:
+            raise ModelError("target weights must sum to > 0")
+        features = self.featurize(state)
+        probs = self.next_distribution(state)
+        target_vec = np.zeros(self.vocab_size)
+        for name, weight in target_weights.items():
+            target_vec[self.token_id(name)] = weight / total
+        error = probs - target_vec  # gradient of CE wrt logits
+        idx = np.fromiter(features.keys(), dtype=np.int64)
+        vals = np.fromiter(features.values(), dtype=np.float64)
+        self._weights[:, idx] -= lr * np.outer(error, vals)
+        if self.l2 > 0:
+            self._weights[:, idx] *= (1.0 - lr * self.l2)
+        loss = -float(np.sum(target_vec * np.log(np.maximum(probs, 1e-300))))
+        return loss
+
+    def train_chain(self, example: TrainingExample,
+                    learning_rate: float | None = None) -> float:
+        """Teacher-forced CE training on the first target chain (baseline)."""
+        chain = example.target_chains[0]
+        state = example.state()
+        loss = 0.0
+        for name in chain:
+            loss += self.train_step(state, name, learning_rate)
+            state = state.advance(name)
+        loss += self.train_step(state, EOS, learning_rate)
+        return loss / (len(chain) + 1)

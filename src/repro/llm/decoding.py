@@ -1,0 +1,99 @@
+"""Chain decoding strategies: greedy, beam and temperature sampling.
+
+The paper's search-based prediction (random rollouts scored by the node
+matching-based loss) is the *training-time* decoder and lives in
+:mod:`repro.finetune.rollout`; the strategies here are the inference-
+time decoders the chat pipeline uses.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import numpy as np
+
+from ..errors import ModelError
+from .chain_model import EOS, ChainLanguageModel, GenerationState
+
+
+def greedy_decode(model: ChainLanguageModel, state: GenerationState,
+                  max_length: int = 8) -> list[str]:
+    """Always take the argmax next API; stop at EOS or ``max_length``."""
+    if max_length < 1:
+        raise ModelError("max_length must be >= 1")
+    chain: list[str] = []
+    current = state
+    for __ in range(max_length):
+        probs = model.next_distribution(current)
+        token_id = int(np.argmax(probs))
+        if token_id == model.eos_id:
+            break
+        name = model.token_name(token_id)
+        chain.append(name)
+        current = current.advance(name)
+    return chain
+
+
+def beam_decode(model: ChainLanguageModel, state: GenerationState,
+                beam_width: int = 4, max_length: int = 8) -> list[str]:
+    """Length-normalized beam search; returns the best finished chain."""
+    if beam_width < 1:
+        raise ModelError("beam_width must be >= 1")
+    # beams: (neg mean log prob, tiebreak, chain, state, finished)
+    beams: list[tuple[float, int, tuple[str, ...], GenerationState, bool]]
+    beams = [(0.0, 0, (), state, False)]
+    tie = 0
+    for __ in range(max_length + 1):
+        if all(finished for *_, finished in beams):
+            break
+        expanded: list[tuple[float, int, tuple[str, ...], GenerationState,
+                             bool]] = []
+        for score, __tie, chain, current, finished in beams:
+            if finished:
+                expanded.append((score, __tie, chain, current, True))
+                continue
+            total_logp = -score * (len(chain) + 1)
+            probs = model.next_distribution(current)
+            candidate_ids = np.argsort(probs)[::-1][:beam_width]
+            for token_id in candidate_ids:
+                logp = float(np.log(max(probs[token_id], 1e-300)))
+                tie += 1
+                if int(token_id) == model.eos_id:
+                    new_score = -(total_logp + logp) / (len(chain) + 2)
+                    expanded.append((new_score, tie, chain, current, True))
+                else:
+                    name = model.token_name(int(token_id))
+                    new_chain = chain + (name,)
+                    new_score = -(total_logp + logp) / (len(new_chain) + 1)
+                    expanded.append((new_score, tie, new_chain,
+                                     current.advance(name), False))
+        beams = heapq.nsmallest(beam_width, expanded)
+    finished_beams = [b for b in beams if b[4]] or beams
+    best = min(finished_beams)
+    return list(best[2])
+
+
+def sample_decode(model: ChainLanguageModel, state: GenerationState,
+                  temperature: float = 1.0, max_length: int = 8,
+                  rng: random.Random | None = None) -> list[str]:
+    """Sample a chain token by token (used for random rollouts)."""
+    rng = rng or random.Random(0)
+    chain: list[str] = []
+    current = state
+    for __ in range(max_length):
+        probs = model.next_distribution(current, temperature=temperature)
+        threshold = rng.random()
+        cumulative = 0.0
+        token_id = model.eos_id
+        for tid, p in enumerate(probs):
+            cumulative += float(p)
+            if threshold <= cumulative:
+                token_id = tid
+                break
+        if token_id == model.eos_id:
+            break
+        name = model.token_name(token_id)
+        chain.append(name)
+        current = current.advance(name)
+    return chain

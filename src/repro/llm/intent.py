@@ -1,0 +1,133 @@
+"""Graph-type and intent classification.
+
+Scenario 1 (Fig. 4) begins with "ChatGraph first predicts the type of
+G": social networks route to community/connectivity APIs, molecule
+graphs to chemistry APIs, knowledge graphs to inference APIs.  The
+:class:`GraphTypePredictor` is a transparent structural classifier —
+attribute signals when present, degree/clustering heuristics otherwise.
+
+:class:`IntentClassifier` maps prompt *text* to a coarse task intent
+(understand / compare / clean / compute) used for suggested questions
+and chain post-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..algorithms.clustering import average_clustering
+from ..apis.registry import Category
+from ..graphs.graph import DiGraph, Graph
+from ..chem.elements import ELEMENTS
+from ..embedding.tokenizer import tokenize
+
+GRAPH_TYPES = ("social", "molecule", "knowledge", "generic")
+INTENTS = ("understand", "compare", "clean", "compute")
+
+#: graph type -> API categories retrieval may return (scenario-1 routing).
+CATEGORY_ROUTING: dict[str, tuple[Category, ...]] = {
+    "social": (Category.SOCIAL, Category.GENERIC, Category.REPORT,
+               Category.EDIT),
+    "molecule": (Category.MOLECULE, Category.GENERIC, Category.REPORT),
+    "knowledge": (Category.KNOWLEDGE, Category.GENERIC, Category.REPORT,
+                  Category.EDIT),
+    "generic": tuple(Category),
+}
+
+
+@dataclass(frozen=True)
+class TypePrediction:
+    """Predicted graph type with score breakdown (for the report)."""
+
+    graph_type: str
+    scores: dict[str, float]
+    evidence: tuple[str, ...]
+
+
+class GraphTypePredictor:
+    """Structural + attribute graph-type classifier."""
+
+    def predict(self, graph: Graph) -> TypePrediction:
+        scores = {t: 0.0 for t in GRAPH_TYPES}
+        evidence: list[str] = []
+
+        kinds = {graph.get_node_attr(node, "kind") for node in graph.nodes()}
+        # attribute signals are near-decisive when present
+        if "atom" in kinds:
+            scores["molecule"] += 3.0
+            evidence.append("nodes carry kind='atom'")
+        if "person" in kinds:
+            scores["social"] += 3.0
+            evidence.append("nodes carry kind='person'")
+        if "entity" in kinds:
+            scores["knowledge"] += 3.0
+            evidence.append("nodes carry kind='entity'")
+        elements = {graph.get_node_attr(node, "element")
+                    for node in graph.nodes()} - {None}
+        if elements and all(e in ELEMENTS for e in elements):
+            scores["molecule"] += 2.0
+            evidence.append(f"element labels {sorted(elements)[:4]}")
+        has_relations = any("relation" in graph.edge_attrs(u, v)
+                            for u, v in graph.edges())
+        if has_relations:
+            scores["knowledge"] += 2.0
+            evidence.append("edges carry relation labels")
+
+        # structural signals
+        if isinstance(graph, DiGraph):
+            scores["knowledge"] += 1.0
+            evidence.append("directed")
+        else:
+            n = graph.number_of_nodes()
+            if n and graph.number_of_edges() > 0:
+                degrees = [graph.degree(node) for node in graph.nodes()]
+                max_degree = max(degrees)
+                if 0 < max_degree <= 4:
+                    scores["molecule"] += 1.0
+                    evidence.append("max degree <= 4 (valence-like)")
+                clustering = average_clustering(graph)
+                if clustering > 0.1 and n >= 10:
+                    scores["social"] += 1.0
+                    evidence.append(f"clustered ({clustering:.2f})")
+        best = max(scores.items(), key=lambda kv: kv[1])
+        graph_type = best[0] if best[1] > 0 else "generic"
+        return TypePrediction(graph_type=graph_type, scores=scores,
+                              evidence=tuple(evidence))
+
+
+def predict_graph_type(graph: Graph) -> str:
+    """Convenience wrapper returning just the type string."""
+    return GraphTypePredictor().predict(graph).graph_type
+
+
+#: keyword -> intent vote tables for the text-intent classifier.
+_INTENT_KEYWORDS: dict[str, tuple[str, ...]] = {
+    "understand": ("report", "describe", "summarize", "summary", "overview",
+                   "understand", "profile", "analyze", "tell", "about",
+                   "brief"),
+    "compare": ("similar", "similarity", "compare", "comparison", "closest",
+                "alike", "resemble", "match", "nearest"),
+    "clean": ("clean", "cleaning", "noise", "noisy", "fix", "repair",
+              "incorrect", "wrong", "missing", "mislabel", "errors",
+              "denoise", "correct"),
+    "compute": ("count", "compute", "calculate", "find", "rank", "top",
+                "shortest", "path", "diameter", "density", "degree",
+                "communities", "influencers", "triangles", "toxicity",
+                "solubility", "formula", "weight"),
+}
+
+
+class IntentClassifier:
+    """Keyword-vote intent classifier over prompt text."""
+
+    def predict(self, text: str) -> str:
+        tokens = set(tokenize(text, drop_stop_words=False))
+        votes = {intent: sum(1 for kw in keywords if kw in tokens)
+                 for intent, keywords in _INTENT_KEYWORDS.items()}
+        # "clean"/"compare" keywords outrank the broad "compute" bucket
+        for intent in ("clean", "compare", "understand"):
+            if votes[intent] > 0 and votes[intent] >= max(
+                    v for i, v in votes.items() if i != intent):
+                return intent
+        best = max(votes.items(), key=lambda kv: kv[1])
+        return best[0] if best[1] > 0 else "understand"

@@ -1,0 +1,68 @@
+"""Save/load the chain model (so finetuned models can be reused).
+
+The format is a single ``.npz`` file holding the weight matrix plus a
+JSON-encoded header with the vocabulary and hyper-parameters; loading
+reconstructs an identical :class:`ChainLanguageModel` (bit-for-bit same
+distributions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ModelError
+from .chain_model import EOS, ChainLanguageModel
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: ChainLanguageModel, path: str | Path) -> None:
+    """Serialize ``model`` to ``path`` (``.npz``)."""
+    names = [model.token_name(i) for i in range(model.vocab_size)]
+    if names[-1] != EOS:
+        raise ModelError("corrupt vocabulary: EOS not last")
+    header = {
+        "version": _FORMAT_VERSION,
+        "api_names": names[:-1],
+        "learning_rate": model.learning_rate,
+        "l2": model.l2,
+        "seed": model.seed,
+        "restrict_to_retrieved": model.restrict_to_retrieved,
+    }
+    np.savez(
+        Path(path),
+        header=np.frombuffer(json.dumps(header).encode("utf-8"),
+                             dtype=np.uint8),
+        weights=model._weights,
+    )
+
+
+def load_model(path: str | Path) -> ChainLanguageModel:
+    """Reconstruct a model saved by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"no model file at {path}")
+    with np.load(path) as archive:
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+            weights = archive["weights"]
+        except KeyError as exc:
+            raise ModelError(f"malformed model file {path}: {exc}") from exc
+    if header.get("version") != _FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported model format version {header.get('version')}")
+    model = ChainLanguageModel(
+        api_names=header["api_names"],
+        learning_rate=header["learning_rate"],
+        l2=header["l2"],
+        seed=header["seed"],
+        restrict_to_retrieved=header["restrict_to_retrieved"],
+    )
+    if weights.shape != model._weights.shape:
+        raise ModelError(
+            f"weight shape {weights.shape} does not match vocabulary")
+    model._weights = weights.astype(np.float64)
+    return model

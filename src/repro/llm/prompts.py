@@ -1,0 +1,28 @@
+"""Prompt objects: the (text, graph) pairs users submit (paper Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graphs.graph import Graph
+
+
+@dataclass
+class Prompt:
+    """One user prompt: natural-language text plus an optional graph.
+
+    ``attachments`` carries extra uploads (a SMILES string under
+    ``"molecule"``, a molecule database under ``"database"``...).
+    """
+
+    text: str
+    graph: Graph | None = None
+    attachments: dict[str, Any] = field(default_factory=dict)
+
+    def has_graph(self) -> bool:
+        return self.graph is not None
+
+    def __repr__(self) -> str:
+        graph_part = f" + {self.graph!r}" if self.graph is not None else ""
+        return f"<Prompt {self.text!r}{graph_part}>"

@@ -1,0 +1,10 @@
+"""API retrieval module (paper Sec. II-A).
+
+Embeds every API description, indexes the vectors with the tau-MG
+proximity graph, and answers "which APIs match this prompt text" —
+the candidate set the LLM's prediction space is restricted to.
+"""
+
+from .api_retriever import APIRetriever, RetrievedAPI
+
+__all__ = ["APIRetriever", "RetrievedAPI"]

@@ -1,0 +1,114 @@
+"""Embedding + ANN retrieval over API descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ann.base import AnnIndex
+from ..ann.brute_force import BruteForceIndex
+from ..ann.tau_mg import TauMGIndex
+from ..apis.registry import APIRegistry, Category
+from ..config import RetrievalConfig
+from ..embedding.hashing import HashingEmbedder
+from ..errors import IndexError_
+
+
+@dataclass(frozen=True)
+class RetrievedAPI:
+    """One retrieval hit."""
+
+    name: str
+    distance: float
+    rank: int
+
+
+class APIRetriever:
+    """Find the APIs most relevant to a prompt text.
+
+    The retriever embeds each registered API's description (name tokens
+    folded in) once at construction, builds a tau-MG index over the
+    vectors, and serves top-k queries.  A category filter supports the
+    graph-type routing of scenario 1 (e.g. only social + generic +
+    report APIs for a social network).
+
+    Example::
+
+        retriever = APIRetriever(registry, RetrievalConfig())
+        hits = retriever.retrieve("find communities in my network", k=4)
+    """
+
+    def __init__(self, registry: APIRegistry,
+                 config: RetrievalConfig | None = None,
+                 index: AnnIndex | None = None,
+                 use_idf: bool = False) -> None:
+        self.registry = registry
+        self.config = config or RetrievalConfig()
+        self._names = registry.names()
+        if not self._names:
+            raise IndexError_("registry is empty; nothing to retrieve")
+        descriptions = [self._document(name) for name in self._names]
+        tfidf = None
+        if use_idf:
+            # weight rare description terms higher (fit on the catalog)
+            from ..embedding.tfidf import TfidfModel
+            tfidf = TfidfModel.fit(descriptions)
+        self.embedder = HashingEmbedder(dim=self.config.embedding_dim,
+                                        tfidf=tfidf)
+        self._vectors = self.embedder.embed_batch(descriptions)
+        if index is None:
+            if len(self._names) >= 8:
+                index = TauMGIndex(tau=self.config.tau,
+                                   ef_search=self.config.ef_search)
+            else:
+                index = BruteForceIndex()
+        self.index = index.build(self._vectors)
+
+    def _document(self, name: str) -> str:
+        spec = self.registry.get(name)
+        return f"{name.replace('_', ' ')}. {spec.description}"
+
+    # ------------------------------------------------------------------
+    def retrieve(self, text: str, k: int | None = None,
+                 categories: tuple[Category, ...] | None = None
+                 ) -> list[RetrievedAPI]:
+        """Top-k APIs for ``text``, optionally filtered by category.
+
+        The category filter is applied *after* ANN search with an
+        enlarged candidate pool, so filtered queries still return k
+        results whenever k are available.
+        """
+        k = k or self.config.top_k_apis
+        query = self.embedder.embed(text)
+        pool = k if categories is None else min(len(self._names), 4 * k)
+        hits = self.index.search(query, k=pool)
+        results: list[RetrievedAPI] = []
+        for hit in hits:
+            name = self._names[hit.vector_id]
+            if categories is not None:
+                if self.registry.get(name).category not in categories:
+                    continue
+            results.append(RetrievedAPI(name=name, distance=hit.distance,
+                                        rank=len(results)))
+            if len(results) == k:
+                break
+        return results
+
+    def retrieve_names(self, text: str, k: int | None = None,
+                       categories: tuple[Category, ...] | None = None
+                       ) -> tuple[str, ...]:
+        """Like :meth:`retrieve` but returns just the ranked names."""
+        return tuple(hit.name for hit in self.retrieve(text, k, categories))
+
+    # ------------------------------------------------------------------
+    def exact_retrieve(self, text: str, k: int | None = None
+                       ) -> list[RetrievedAPI]:
+        """Brute-force retrieval (ground truth for recall benchmarks)."""
+        k = k or self.config.top_k_apis
+        query = self.embedder.embed(text)
+        distances = np.linalg.norm(self._vectors - query, axis=1)
+        order = np.argsort(distances, kind="stable")[:k]
+        return [RetrievedAPI(name=self._names[int(i)],
+                             distance=float(distances[i]), rank=rank)
+                for rank, i in enumerate(order)]

@@ -1,0 +1,159 @@
+"""Length-constrained path cover (paper Sec. II-B).
+
+For each node ``u`` of ``G`` we emit paths starting at ``u`` of length at
+most ``l`` that cover the subgraph of ``G`` within ``l`` hops of ``u``:
+
+* *node coverage* comes from the truncated-BFS tree of ``u`` — every
+  root-to-node tree path is emitted;
+* *edge coverage* adds, for every non-tree edge ``(a, b)`` inside the
+  ball, the tree path to ``a`` extended by ``(a, b)`` when that stays a
+  simple path of length <= ``l``, else the bare edge path ``(a, b)``.
+
+Each per-node ball of radius ``l`` holds at most O(2^l) paths for
+bounded-degree graphs, matching the paper's O(|G| * 2^l) total bound.
+The cover is deduplicated globally (a path kept once even if several
+start nodes generate it).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import SequencerError
+from ..graphs.graph import DiGraph, Graph, Node
+
+
+@dataclass(frozen=True)
+class CoverStats:
+    """Bookkeeping of one path-cover run (benchmarked in E7)."""
+
+    n_paths: int
+    max_path_length: int
+    covered_nodes: int
+    covered_edges: int
+    total_nodes: int
+    total_edges: int
+
+    @property
+    def node_coverage(self) -> float:
+        if self.total_nodes == 0:
+            return 1.0
+        return self.covered_nodes / self.total_nodes
+
+    @property
+    def edge_coverage(self) -> float:
+        if self.total_edges == 0:
+            return 1.0
+        return self.covered_edges / self.total_edges
+
+
+def _ball_tree(graph: Graph, source: Node,
+               radius: int) -> tuple[dict[Node, Node], dict[Node, int]]:
+    """Truncated BFS: parent pointers and depths within ``radius`` hops."""
+    step = (graph.successors if isinstance(graph, DiGraph)
+            else graph.neighbors)
+    parents: dict[Node, Node] = {}
+    depth: dict[Node, int] = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        if depth[node] == radius:
+            continue
+        for neighbor in step(node):
+            if neighbor not in depth:
+                depth[neighbor] = depth[node] + 1
+                parents[neighbor] = node
+                queue.append(neighbor)
+    return parents, depth
+
+
+def _tree_path(parents: dict[Node, Node], source: Node,
+               target: Node) -> tuple[Node, ...]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return tuple(path)
+
+
+def length_constrained_path_cover(
+        graph: Graph, max_length: int,
+        max_paths: int | None = None) -> tuple[list[tuple[Node, ...]],
+                                               CoverStats]:
+    """Compute the length-constrained path cover of ``graph``.
+
+    Returns ``(paths, stats)``; each path is a node tuple with at most
+    ``max_length`` edges.  ``max_paths`` truncates the output (stats then
+    reflect the truncated cover).
+    """
+    if max_length < 1:
+        raise SequencerError("max_length must be >= 1")
+    paths: list[tuple[Node, ...]] = []
+    seen_paths: set[tuple[Node, ...]] = set()
+    covered_nodes: set[Node] = set()
+    covered_edges: set[frozenset[Node] | tuple[Node, Node]] = set()
+    directed = isinstance(graph, DiGraph)
+
+    def edge_key(a: Node, b: Node):
+        return (a, b) if directed else frozenset((a, b))
+
+    def emit(path: tuple[Node, ...]) -> bool:
+        """Record ``path``; returns False when the cap is hit."""
+        if path in seen_paths:
+            return True
+        seen_paths.add(path)
+        paths.append(path)
+        covered_nodes.update(path)
+        for a, b in zip(path, path[1:]):
+            covered_edges.add(edge_key(a, b))
+        return max_paths is None or len(paths) < max_paths
+
+    capped = False
+    for source in graph.nodes():
+        if capped:
+            break
+        parents, depth = _ball_tree(graph, source, max_length)
+        # node coverage: root-to-node tree paths (leaves suffice, but
+        # emitting all keeps short contexts for interior nodes too)
+        for node in depth:
+            if node == source:
+                if graph.degree(source) == 0 and not emit((source,)):
+                    capped = True
+                    break
+                continue
+            if not emit(_tree_path(parents, source, node)):
+                capped = True
+                break
+        if capped:
+            break
+        # edge coverage: non-tree edges inside the ball
+        step = (graph.successors if directed else graph.neighbors)
+        for a in depth:
+            for b in step(a):
+                if b not in depth:
+                    continue
+                if parents.get(b) == a or parents.get(a) == b:
+                    continue  # tree edge, already covered
+                if edge_key(a, b) in covered_edges:
+                    continue
+                tree = _tree_path(parents, source, a)
+                if b not in tree and len(tree) <= max_length:
+                    candidate = tree + (b,)
+                else:
+                    candidate = (a, b)
+                if not emit(candidate):
+                    capped = True
+                    break
+            if capped:
+                break
+
+    stats = CoverStats(
+        n_paths=len(paths),
+        max_path_length=max((len(p) - 1 for p in paths), default=0),
+        covered_nodes=len(covered_nodes),
+        covered_edges=len(covered_edges),
+        total_nodes=graph.number_of_nodes(),
+        total_edges=graph.number_of_edges(),
+    )
+    return paths, stats

@@ -1,0 +1,137 @@
+"""Serialize a graph into token sequences for the language model.
+
+The :class:`GraphSequentializer` wires the path cover and the super-graph
+together (multi-level mode) and renders each path as a token sequence:
+
+    ``["<n:C>", "<e>", "<n:C>", "<e>", "<n:O>"]``
+
+where node tokens carry the node's label (``label``/``element``/
+``entity_type``/``kind`` attribute, first one present) and ``<e>``
+separates hops.  The aggregate bag-of-tokens (``feature_counts``) is
+what the simulated LLM conditions on.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..config import SequencerConfig
+from ..graphs.graph import Graph, Node
+from .path_cover import CoverStats, length_constrained_path_cover
+from .supergraph import SuperGraph, build_supergraph
+
+#: Node attributes consulted (in order) for a node's token label.
+LABEL_KEYS = ("label", "element", "entity_type", "kind")
+
+EDGE_TOKEN = "<e>"
+LEVEL_BASE = "<level:0>"
+LEVEL_SUPER = "<level:1>"
+
+
+def node_token(graph: Graph, node: Node) -> str:
+    """Token for one node: ``<n:LABEL>`` or ``<n:*>`` when unlabeled."""
+    for key in LABEL_KEYS:
+        value = graph.get_node_attr(node, key)
+        if value is not None:
+            return f"<n:{value}>"
+    return "<n:*>"
+
+
+@dataclass(frozen=True)
+class GraphSequences:
+    """Everything the sequentializer hands to the LLM for one graph."""
+
+    #: Base-level token sequences, one per cover path.
+    sequences: tuple[tuple[str, ...], ...]
+    #: Super-graph-level token sequences (empty unless multi-level).
+    super_sequences: tuple[tuple[str, ...], ...]
+    #: Path-cover bookkeeping of the base level.
+    cover_stats: CoverStats
+    #: The super-graph (None unless multi-level).
+    supergraph: SuperGraph | None
+    #: Bag of all tokens across both levels.
+    feature_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self.sequences) + len(self.super_sequences)
+
+    def flat_tokens(self) -> list[str]:
+        """All tokens in order (level markers included), for the LLM."""
+        tokens: list[str] = []
+        for seq in self.sequences:
+            tokens.append(LEVEL_BASE)
+            tokens.extend(seq)
+        for seq in self.super_sequences:
+            tokens.append(LEVEL_SUPER)
+            tokens.extend(seq)
+        return tokens
+
+
+class GraphSequentializer:
+    """Transform graphs into sequences per a :class:`SequencerConfig`.
+
+    Example::
+
+        seqr = GraphSequentializer(SequencerConfig(path_length=2))
+        out = seqr.sequentialize(graph)
+        out.sequences[0]   # ('<n:C>', '<e>', '<n:C>', ...)
+    """
+
+    def __init__(self, config: SequencerConfig | None = None) -> None:
+        self.config = config or SequencerConfig()
+
+    def sequentialize(self, graph: Graph) -> GraphSequences:
+        """Produce the (possibly multi-level) sequences of ``graph``."""
+        config = self.config
+        paths, stats = length_constrained_path_cover(
+            graph, config.path_length, max_paths=config.max_paths)
+        sequences = tuple(self._render(graph, path) for path in paths)
+
+        super_sequences: tuple[tuple[str, ...], ...] = ()
+        supergraph: SuperGraph | None = None
+        if config.multi_level and graph.number_of_nodes() > 0:
+            supergraph = build_supergraph(
+                graph, min_motif_size=config.min_motif_size)
+            coarse_budget = max(1, config.max_paths // 4)
+            coarse_paths, __ = length_constrained_path_cover(
+                supergraph.graph, config.path_length,
+                max_paths=coarse_budget)
+            super_sequences = tuple(
+                self._render_super(supergraph.graph, path)
+                for path in coarse_paths)
+
+        features: Counter = Counter()
+        for seq in sequences:
+            features.update(seq)
+        for seq in super_sequences:
+            features.update(seq)
+        return GraphSequences(
+            sequences=sequences,
+            super_sequences=super_sequences,
+            cover_stats=stats,
+            supergraph=supergraph,
+            feature_counts=features,
+        )
+
+    @staticmethod
+    def _render(graph: Graph, path: tuple[Node, ...]) -> tuple[str, ...]:
+        tokens: list[str] = []
+        for i, node in enumerate(path):
+            if i:
+                tokens.append(EDGE_TOKEN)
+            tokens.append(node_token(graph, node))
+        return tuple(tokens)
+
+    @staticmethod
+    def _render_super(coarse: Graph,
+                      path: tuple[Node, ...]) -> tuple[str, ...]:
+        tokens: list[str] = []
+        for i, node in enumerate(path):
+            if i:
+                tokens.append(EDGE_TOKEN)
+            motif = coarse.get_node_attr(node, "motif", "singleton")
+            size = coarse.get_node_attr(node, "size", 1)
+            tokens.append(f"<m:{motif}:{size}>")
+        return tuple(tokens)

@@ -1,0 +1,79 @@
+"""ASCII rendering for the headless chat surface.
+
+The paper's Gradio UI draws graphs; our terminal stand-in renders them
+as text: adjacency dot-matrices, degree-histogram bars, community
+blocks, and molecule formulas.  Used by the CLI's ``/show`` command and
+available to report consumers.
+"""
+
+from __future__ import annotations
+
+from .algorithms.community import label_propagation
+from .graphs.graph import DiGraph, Graph
+from .graphs.properties import degree_histogram
+
+
+def render_adjacency(graph: Graph, max_nodes: int = 24) -> str:
+    """Dot-matrix adjacency picture (truncated beyond ``max_nodes``).
+
+    ``#`` marks an edge, ``.`` a non-edge; rows/columns follow node
+    order.  Directed graphs show arcs row -> column.
+    """
+    nodes = list(graph.nodes())[:max_nodes]
+    truncated = graph.number_of_nodes() > len(nodes)
+    labels = [str(node)[:6] for node in nodes]
+    width = max((len(label) for label in labels), default=1)
+    lines = []
+    for u, label in zip(nodes, labels):
+        cells = []
+        for v in nodes:
+            if u == v:
+                cells.append("\\")
+            elif graph.has_edge(u, v):
+                cells.append("#")
+            else:
+                cells.append(".")
+        lines.append(f"{label:>{width}} " + " ".join(cells))
+    if truncated:
+        lines.append(f"... ({graph.number_of_nodes() - len(nodes)} "
+                     f"more nodes not shown)")
+    return "\n".join(lines)
+
+
+def render_degree_histogram(graph: Graph, width: int = 40) -> str:
+    """Horizontal bar chart of the degree distribution."""
+    histogram = degree_histogram(graph)
+    if not histogram:
+        return "(empty graph)"
+    peak = max(histogram.values())
+    lines = [f"degree  count  {'(each bar = nodes)':>{width}}"]
+    for degree in sorted(histogram):
+        count = histogram[degree]
+        bar = "#" * max(1, round(count / peak * width))
+        lines.append(f"{degree:>6} {count:>6}  {bar}")
+    return "\n".join(lines)
+
+
+def render_communities(graph: Graph, seed: int = 0,
+                       max_members: int = 8) -> str:
+    """Communities as labelled member blocks (undirected graphs)."""
+    undirected = graph.to_undirected() if isinstance(graph, DiGraph) \
+        else graph
+    communities = label_propagation(undirected, seed=seed)
+    lines = [f"{len(communities)} communities"]
+    for cid, community in enumerate(communities):
+        members = sorted(community, key=repr)
+        shown = ", ".join(str(m) for m in members[:max_members])
+        more = f", ... (+{len(members) - max_members})" \
+            if len(members) > max_members else ""
+        lines.append(f"  [{cid}] n={len(members)}: {shown}{more}")
+    return "\n".join(lines)
+
+
+def render_graph_summary_card(graph: Graph) -> str:
+    """A compact one-card overview: counts + histogram + adjacency."""
+    header = (f"{graph.name or 'graph'}: {graph.number_of_nodes()} nodes, "
+              f"{graph.number_of_edges()} edges"
+              f"{' (directed)' if graph.directed else ''}")
+    return "\n".join((header, "-" * len(header),
+                      render_degree_histogram(graph, width=30)))

@@ -1,0 +1,119 @@
+"""Tests for centrality measures, cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    betweenness_centrality,
+    closeness_centrality,
+    degree_centrality,
+    pagerank,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    complete_graph,
+    er_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(g.nodes())
+    G.add_edges_from(g.edges())
+    return G
+
+
+class TestDegreeCentrality:
+    def test_complete_graph_all_one(self):
+        dc = degree_centrality(complete_graph(5))
+        assert all(abs(v - 1.0) < 1e-12 for v in dc.values())
+
+    def test_star_center(self):
+        dc = degree_centrality(star_graph(4))
+        assert dc[0] == 1.0
+        assert dc[1] == pytest.approx(0.25)
+
+    def test_tiny_graph_zero(self):
+        g = Graph()
+        g.add_node(1)
+        assert degree_centrality(g) == {1: 0.0}
+
+
+class TestCloseness:
+    def test_matches_networkx(self):
+        for seed in range(5):
+            g = er_graph(25, 0.15, seed=seed)
+            ours = closeness_centrality(g)
+            theirs = nx.closeness_centrality(to_nx(g), wf_improved=True)
+            for node in ours:
+                assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_isolated_zero(self):
+        g = Graph()
+        g.add_node("x")
+        g.add_edge(1, 2)
+        assert closeness_centrality(g)["x"] == 0.0
+
+
+class TestBetweenness:
+    def test_path_middle_highest(self):
+        bc = betweenness_centrality(path_graph(5))
+        assert bc[2] > bc[1] > bc[0]
+
+    def test_matches_networkx(self):
+        for seed in range(5):
+            g = er_graph(20, 0.15, seed=seed)
+            ours = betweenness_centrality(g)
+            theirs = nx.betweenness_centrality(to_nx(g))
+            for node in ours:
+                assert ours[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_directed(self):
+        d = DiGraph()
+        d.add_edges([("a", "b"), ("b", "c")])
+        bc = betweenness_centrality(d)
+        assert bc["b"] > 0
+        D = nx.DiGraph([("a", "b"), ("b", "c")])
+        theirs = nx.betweenness_centrality(D)
+        for node in bc:
+            assert bc[node] == pytest.approx(theirs[node], abs=1e-9)
+
+    def test_unnormalized(self):
+        bc = betweenness_centrality(path_graph(3), normalized=False)
+        assert bc[1] == pytest.approx(1.0)
+
+
+class TestPagerank:
+    def test_sums_to_one(self):
+        g = er_graph(30, 0.1, seed=3)
+        assert sum(pagerank(g).values()) == pytest.approx(1.0)
+
+    def test_matches_networkx(self):
+        for seed in range(4):
+            g = er_graph(25, 0.12, seed=seed)
+            ours = pagerank(g)
+            theirs = nx.pagerank(to_nx(g))
+            for node in ours:
+                assert ours[node] == pytest.approx(theirs[node], abs=1e-5)
+
+    def test_star_center_wins(self):
+        pr = pagerank(star_graph(6))
+        assert pr[0] == max(pr.values())
+
+    def test_dangling_nodes_directed(self):
+        d = DiGraph()
+        d.add_edges([("a", "b"), ("c", "b")])  # b is dangling
+        pr = pagerank(d)
+        assert sum(pr.values()) == pytest.approx(1.0)
+        assert pr["b"] == max(pr.values())
+
+    def test_bad_damping(self):
+        with pytest.raises(GraphError):
+            pagerank(path_graph(3), damping=1.5)
+
+    def test_empty_graph(self):
+        assert pagerank(Graph()) == {}

@@ -1,0 +1,141 @@
+"""Tests for clustering coefficients and community detection."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    average_clustering,
+    clustering_coefficient,
+    greedy_modularity_communities,
+    label_propagation,
+    modularity,
+    transitivity,
+    triangles,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    complete_graph,
+    cycle_graph,
+    er_graph,
+    path_graph,
+    social_network,
+    star_graph,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(g.nodes())
+    G.add_edges_from(g.edges())
+    return G
+
+
+class TestClustering:
+    def test_triangle_counts_complete(self):
+        tri = triangles(complete_graph(4))
+        assert all(v == 3 for v in tri.values())
+
+    def test_no_triangles_in_star(self):
+        assert all(v == 0 for v in triangles(star_graph(5)).values())
+
+    def test_coefficient_complete_one(self):
+        cc = clustering_coefficient(complete_graph(5))
+        assert all(v == pytest.approx(1.0) for v in cc.values())
+
+    def test_coefficient_degree_below_two_zero(self):
+        cc = clustering_coefficient(path_graph(3))
+        assert cc[0] == 0.0
+
+    def test_matches_networkx(self):
+        for seed in range(5):
+            g = er_graph(25, 0.2, seed=seed)
+            ours = clustering_coefficient(g)
+            theirs = nx.clustering(to_nx(g))
+            for node in ours:
+                assert ours[node] == pytest.approx(theirs[node])
+            assert transitivity(g) == pytest.approx(
+                nx.transitivity(to_nx(g)))
+            assert average_clustering(g) == pytest.approx(
+                nx.average_clustering(to_nx(g)))
+
+    def test_empty_average(self):
+        assert average_clustering(Graph()) == 0.0
+
+    def test_transitivity_no_triads(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert transitivity(g) == 0.0
+
+    def test_directed_rejected(self):
+        d = DiGraph()
+        d.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            triangles(d)
+
+
+class TestModularity:
+    def test_perfect_split(self):
+        g = Graph()
+        g.add_edges([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        q = modularity(g, [{0, 1, 2}, {3, 4, 5}])
+        assert q == pytest.approx(0.5)
+
+    def test_single_community_zero(self):
+        g = complete_graph(4)
+        assert modularity(g, [set(g.nodes())]) == pytest.approx(0.0)
+
+    def test_matches_networkx(self):
+        g = social_network(40, 4, seed=2)
+        communities = label_propagation(g, seed=0)
+        ours = modularity(g, communities)
+        theirs = nx.algorithms.community.modularity(
+            to_nx(g), [set(c) for c in communities])
+        assert ours == pytest.approx(theirs)
+
+    def test_overlapping_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            modularity(g, [{0, 1}, {1, 2}])
+
+    def test_incomplete_cover_rejected(self):
+        g = path_graph(3)
+        with pytest.raises(GraphError):
+            modularity(g, [{0, 1}])
+
+    def test_empty_graph(self):
+        assert modularity(Graph(), []) == 0.0
+
+
+class TestDetection:
+    def test_label_prop_recovers_planted(self):
+        g = social_network(60, 3, p_in=0.35, p_out=0.01, seed=4)
+        communities = label_propagation(g, seed=1)
+        assert modularity(g, communities) > 0.4
+
+    def test_label_prop_deterministic(self):
+        g = social_network(30, 3, seed=1)
+        assert label_propagation(g, seed=5) == label_propagation(g, seed=5)
+
+    def test_greedy_modularity_positive(self):
+        g = social_network(45, 3, p_in=0.35, p_out=0.02, seed=0)
+        communities = greedy_modularity_communities(g)
+        assert modularity(g, communities) > 0.3
+
+    def test_greedy_covers_all_nodes(self):
+        g = er_graph(20, 0.15, seed=2)
+        communities = greedy_modularity_communities(g)
+        covered = set().union(*communities)
+        assert covered == set(g.nodes())
+
+    def test_greedy_no_edges(self):
+        g = Graph()
+        g.add_nodes(range(4))
+        assert len(greedy_modularity_communities(g)) == 4
+
+    def test_sorted_by_size(self):
+        g = social_network(40, 2, p_in=0.3, p_out=0.02, seed=3)
+        communities = label_propagation(g, seed=0)
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)

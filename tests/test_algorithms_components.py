@@ -1,0 +1,133 @@
+"""Tests for connectivity algorithms, cross-validated against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    articulation_points,
+    bridges,
+    connected_components,
+    is_connected,
+    largest_component,
+    strongly_connected_components,
+)
+from repro.errors import GraphError
+from repro.graphs import DiGraph, Graph, complete_graph, er_graph, path_graph
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(g.nodes())
+    G.add_edges_from(g.edges())
+    return G
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(complete_graph(4))) == 1
+
+    def test_two_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        comps = connected_components(g)
+        assert sorted(map(len, comps)) == [2, 2]
+
+    def test_isolated_nodes_are_components(self):
+        g = Graph()
+        g.add_nodes([1, 2, 3])
+        assert len(connected_components(g)) == 3
+
+    def test_weak_components_for_digraph(self):
+        d = DiGraph()
+        d.add_edge("a", "b")
+        assert len(connected_components(d)) == 1
+
+    def test_is_connected(self):
+        assert is_connected(path_graph(3))
+        assert not is_connected(Graph())
+        g = Graph()
+        g.add_nodes([1, 2])
+        assert not is_connected(g)
+
+    def test_largest_component(self):
+        g = Graph()
+        g.add_edges([(1, 2), (2, 3)])
+        g.add_edge(9, 10)
+        assert largest_component(g) == {1, 2, 3}
+
+    def test_largest_component_empty_raises(self):
+        with pytest.raises(GraphError):
+            largest_component(Graph())
+
+
+class TestBridgesArticulation:
+    def test_bridge_in_barbell(self):
+        g = complete_graph(3)
+        h = Graph()
+        for u, v in g.edges():
+            h.add_edge(u, v)
+            h.add_edge(u + 10, v + 10)
+        h.add_edge(0, 10)
+        assert {frozenset(b) for b in bridges(h)} == {frozenset((0, 10))}
+        assert articulation_points(h) == {0, 10}
+
+    def test_no_bridges_in_cycle(self):
+        from repro.graphs import cycle_graph
+        assert bridges(cycle_graph(5)) == []
+        assert articulation_points(cycle_graph(5)) == set()
+
+    def test_every_tree_edge_is_bridge(self):
+        g = path_graph(5)
+        assert len(bridges(g)) == 4
+        assert articulation_points(g) == {1, 2, 3}
+
+    def test_matches_networkx_random(self):
+        for seed in range(8):
+            g = er_graph(25, 0.1, seed=seed)
+            G = to_nx(g)
+            assert {frozenset(b) for b in bridges(g)} == \
+                {frozenset(b) for b in nx.bridges(G)}
+            assert articulation_points(g) == \
+                set(nx.articulation_points(G))
+
+    def test_directed_rejected(self):
+        d = DiGraph()
+        d.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            bridges(d)
+        with pytest.raises(GraphError):
+            articulation_points(d)
+
+
+class TestStronglyConnected:
+    def test_cycle_is_one_scc(self):
+        d = DiGraph()
+        d.add_edges([(1, 2), (2, 3), (3, 1)])
+        assert strongly_connected_components(d) == [{1, 2, 3}]
+
+    def test_dag_all_singletons(self):
+        d = DiGraph()
+        d.add_edges([(1, 2), (2, 3)])
+        comps = strongly_connected_components(d)
+        assert sorted(map(len, comps)) == [1, 1, 1]
+
+    def test_matches_networkx_random(self):
+        import random
+        for seed in range(6):
+            rng = random.Random(seed)
+            d = DiGraph()
+            D = nx.DiGraph()
+            d.add_nodes(range(20))
+            D.add_nodes_from(range(20))
+            for __ in range(60):
+                u, v = rng.randrange(20), rng.randrange(20)
+                if u != v:
+                    d.add_edge(u, v)
+                    D.add_edge(u, v)
+            assert sorted(map(len, strongly_connected_components(d))) == \
+                sorted(map(len, nx.strongly_connected_components(D)))
+
+    def test_undirected_rejected(self):
+        with pytest.raises(GraphError):
+            strongly_connected_components(path_graph(3))

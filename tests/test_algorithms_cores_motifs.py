@@ -1,0 +1,108 @@
+"""Tests for k-core decomposition and motif counting."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    core_number,
+    count_motifs,
+    find_cliques,
+    k_core,
+    motif_census,
+    triangle_count,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    complete_graph,
+    cycle_graph,
+    er_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def to_nx(g):
+    G = nx.Graph()
+    G.add_nodes_from(g.nodes())
+    G.add_edges_from(g.edges())
+    return G
+
+
+class TestCores:
+    def test_complete_graph_core(self):
+        numbers = core_number(complete_graph(5))
+        assert all(v == 4 for v in numbers.values())
+
+    def test_path_core_one(self):
+        numbers = core_number(path_graph(5))
+        assert all(v == 1 for v in numbers.values())
+
+    def test_matches_networkx(self):
+        for seed in range(8):
+            g = er_graph(30, 0.12, seed=seed)
+            assert core_number(g) == nx.core_number(to_nx(g))
+
+    def test_k_core_subgraph(self):
+        g = complete_graph(4)
+        g.add_edge(0, 99)  # pendant
+        sub = k_core(g, 2)
+        assert set(sub.nodes()) == {0, 1, 2, 3}
+
+    def test_k_core_empty_when_k_too_big(self):
+        assert len(k_core(path_graph(4), 5)) == 0
+
+    def test_negative_k_raises(self):
+        with pytest.raises(GraphError):
+            k_core(path_graph(3), -1)
+
+    def test_directed_rejected(self):
+        d = DiGraph()
+        d.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            core_number(d)
+
+
+class TestMotifs:
+    def test_triangle_count(self):
+        assert triangle_count(complete_graph(5)) == 10
+        assert triangle_count(cycle_graph(5)) == 0
+
+    def test_count_motifs_size3(self):
+        assert count_motifs(complete_graph(3), 3) == {"triangle": 1}
+        assert count_motifs(path_graph(3), 3) == {"path_3": 1}
+
+    def test_count_motifs_size4(self):
+        assert count_motifs(complete_graph(4), 4) == {"clique_4": 1}
+        assert count_motifs(cycle_graph(4), 4) == {"cycle_4": 1}
+        assert count_motifs(star_graph(3), 4) == {"star_4": 1}
+        assert count_motifs(path_graph(4), 4) == {"path_4": 1}
+
+    def test_count_motifs_diamond_tadpole(self):
+        diamond = complete_graph(4)
+        diamond.remove_edge(0, 1)
+        assert count_motifs(diamond, 4) == {"diamond": 1}
+        tadpole = complete_graph(3)
+        tadpole.add_edge(2, 3)
+        assert count_motifs(tadpole, 4) == {"tadpole": 1}
+
+    def test_bad_size_raises(self):
+        with pytest.raises(GraphError):
+            count_motifs(path_graph(3), 5)
+
+    def test_census_has_max_clique(self):
+        census = motif_census(complete_graph(4))
+        assert census["max_clique"] == 4
+
+    def test_cliques_match_networkx(self):
+        for seed in range(5):
+            g = er_graph(20, 0.25, seed=seed)
+            ours = {frozenset(c) for c in find_cliques(g)}
+            theirs = {frozenset(c) for c in nx.find_cliques(to_nx(g))}
+            assert ours == theirs
+
+    def test_clique_limit(self):
+        g = complete_graph(3)
+        g.add_edge(10, 11)
+        assert len(list(find_cliques(g, max_cliques=1))) == 1

@@ -1,0 +1,141 @@
+"""Tests for VF2 isomorphism and graph similarity measures."""
+
+import pytest
+
+from repro.algorithms import (
+    degree_sequence_similarity,
+    find_subgraph_isomorphisms,
+    is_isomorphic,
+    jaccard_edge_similarity,
+    subgraph_is_isomorphic,
+    wl_kernel_similarity,
+)
+from repro.errors import GraphError
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+)
+
+
+def element_label(graph, node):
+    return graph.get_node_attr(node, "element")
+
+
+class TestIsomorphism:
+    def test_self_isomorphic(self):
+        assert is_isomorphic(cycle_graph(5), cycle_graph(5))
+
+    def test_relabeled_isomorphic(self):
+        g1 = Graph()
+        g1.add_edges([("a", "b"), ("b", "c")])
+        g2 = path_graph(3)
+        assert is_isomorphic(g1, g2)
+
+    def test_different_structure(self):
+        assert not is_isomorphic(cycle_graph(6), path_graph(6))
+        assert not is_isomorphic(star_graph(3), path_graph(4))
+
+    def test_size_mismatch_fast_reject(self):
+        assert not is_isomorphic(path_graph(3), path_graph(4))
+
+    def test_label_aware(self):
+        g1 = Graph()
+        g1.add_node(0, element="C")
+        g1.add_node(1, element="O")
+        g1.add_edge(0, 1)
+        g2 = Graph()
+        g2.add_node(0, element="C")
+        g2.add_node(1, element="N")
+        g2.add_edge(0, 1)
+        assert is_isomorphic(g1, g2)  # unlabeled view matches
+        assert not is_isomorphic(g1, g2, node_label=element_label)
+
+
+class TestSubgraphIsomorphism:
+    def test_path_in_cycle(self):
+        assert subgraph_is_isomorphic(path_graph(3), cycle_graph(5))
+
+    def test_triangle_not_in_cycle(self):
+        assert not subgraph_is_isomorphic(complete_graph(3), cycle_graph(6))
+
+    def test_induced_vs_monomorphism(self):
+        # path_3 is a (non-induced) subgraph of K3 but not induced
+        assert not subgraph_is_isomorphic(path_graph(3), complete_graph(3),
+                                          induced=True)
+        assert subgraph_is_isomorphic(path_graph(3), complete_graph(3),
+                                      induced=False)
+
+    def test_embedding_count_triangle_in_k4(self):
+        # K4 has 4 triangles x 6 automorphisms = 24 embeddings
+        embeddings = find_subgraph_isomorphisms(complete_graph(3),
+                                                complete_graph(4))
+        assert len(embeddings) == 24
+
+    def test_limit(self):
+        embeddings = find_subgraph_isomorphisms(
+            path_graph(2), complete_graph(5), limit=3)
+        assert len(embeddings) == 3
+
+    def test_pattern_larger_than_target(self):
+        assert find_subgraph_isomorphisms(path_graph(5),
+                                          path_graph(3)) == []
+
+    def test_mixed_directedness_rejected(self):
+        d = DiGraph()
+        d.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            subgraph_is_isomorphic(d, path_graph(3))
+
+    def test_directed_embedding(self):
+        p = DiGraph()
+        p.add_edge("x", "y")
+        t = DiGraph()
+        t.add_edges([(1, 2), (3, 2)])
+        embeddings = find_subgraph_isomorphisms(p, t, induced=False)
+        targets = {(e["x"], e["y"]) for e in embeddings}
+        assert targets == {(1, 2), (3, 2)}
+
+
+class TestSimilarity:
+    def test_wl_identical_is_one(self):
+        assert wl_kernel_similarity(cycle_graph(6),
+                                    cycle_graph(6)) == pytest.approx(1.0)
+
+    def test_wl_isomorphism_invariant(self):
+        g1 = Graph()
+        g1.add_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        assert wl_kernel_similarity(g1,
+                                    complete_graph(3)) == pytest.approx(1.0)
+
+    def test_wl_discriminates(self):
+        sim_close = wl_kernel_similarity(path_graph(6), path_graph(7))
+        sim_far = wl_kernel_similarity(path_graph(6), complete_graph(6))
+        assert sim_close > sim_far
+
+    def test_wl_label_sensitive(self):
+        g1 = Graph()
+        g1.add_node(0, label="C")
+        g2 = Graph()
+        g2.add_node(0, label="O")
+        assert wl_kernel_similarity(g1, g2) < 1.0
+
+    def test_wl_empty_graphs(self):
+        assert wl_kernel_similarity(Graph(), Graph()) == 1.0
+
+    def test_jaccard(self):
+        g1 = Graph()
+        g1.add_edges([(1, 2), (2, 3)])
+        g2 = Graph()
+        g2.add_edges([(1, 2), (3, 4)])
+        assert jaccard_edge_similarity(g1, g2) == pytest.approx(1 / 3)
+        assert jaccard_edge_similarity(Graph(), Graph()) == 1.0
+
+    def test_degree_sequence(self):
+        assert degree_sequence_similarity(
+            cycle_graph(5), cycle_graph(9)) == pytest.approx(1.0)
+        assert degree_sequence_similarity(
+            star_graph(5), cycle_graph(5)) < 1.0

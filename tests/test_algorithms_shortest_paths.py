@@ -1,0 +1,109 @@
+"""Tests for shortest paths, eccentricity and diameter."""
+
+import pytest
+
+from repro.algorithms import (
+    all_pairs_shortest_lengths,
+    diameter,
+    dijkstra,
+    eccentricity,
+    shortest_path,
+    shortest_path_length,
+)
+from repro.errors import GraphError, NodeNotFoundError
+from repro.graphs import DiGraph, Graph, cycle_graph, grid_graph, path_graph
+
+
+class TestShortestPath:
+    def test_path_endpoints(self):
+        g = grid_graph(3, 3)
+        path = shortest_path(g, (0, 0), (2, 2))
+        assert path[0] == (0, 0) and path[-1] == (2, 2)
+        assert len(path) == 5
+
+    def test_source_equals_target(self):
+        g = path_graph(3)
+        assert shortest_path(g, 1, 1) == [1]
+
+    def test_consecutive_nodes_adjacent(self):
+        g = grid_graph(4, 4)
+        path = shortest_path(g, (0, 0), (3, 3))
+        for u, v in zip(path, path[1:]):
+            assert g.has_edge(u, v)
+
+    def test_no_path_raises(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(GraphError):
+            shortest_path(g, 1, 3)
+
+    def test_missing_target_raises(self):
+        g = path_graph(2)
+        with pytest.raises(NodeNotFoundError):
+            shortest_path(g, 0, 99)
+
+    def test_length(self):
+        assert shortest_path_length(cycle_graph(6), 0, 3) == 3
+
+    def test_directed(self):
+        d = DiGraph()
+        d.add_edges([("a", "b"), ("b", "c")])
+        assert shortest_path(d, "a", "c") == ["a", "b", "c"]
+        with pytest.raises(GraphError):
+            shortest_path(d, "c", "a")
+
+
+class TestDijkstra:
+    def test_default_unit_weights(self):
+        g = path_graph(4)
+        assert dijkstra(g, 0)[3] == 3.0
+
+    def test_weighted_detour(self):
+        g = Graph()
+        g.add_edge("a", "b", weight=10.0)
+        g.add_edge("a", "c", weight=1.0)
+        g.add_edge("c", "b", weight=1.0)
+        assert dijkstra(g, "a")["b"] == 2.0
+
+    def test_negative_weight_raises(self):
+        g = Graph()
+        g.add_edge(1, 2, weight=-1.0)
+        with pytest.raises(GraphError):
+            dijkstra(g, 1)
+
+    def test_unreachable_absent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert 3 not in dijkstra(g, 1)
+
+
+class TestDiameterEccentricity:
+    def test_path_diameter(self):
+        assert diameter(path_graph(6)) == 5
+
+    def test_cycle_diameter(self):
+        assert diameter(cycle_graph(8)) == 4
+
+    def test_eccentricity_center_vs_leaf(self):
+        g = path_graph(5)
+        assert eccentricity(g, 2) == 2
+        assert eccentricity(g, 0) == 4
+
+    def test_disconnected_raises(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        with pytest.raises(GraphError):
+            eccentricity(g, 1)
+
+    def test_empty_diameter_raises(self):
+        with pytest.raises(GraphError):
+            diameter(Graph())
+
+    def test_all_pairs(self):
+        g = path_graph(3)
+        table = dict(all_pairs_shortest_lengths(g))
+        assert table[0][2] == 2
+        assert table[2][0] == 2

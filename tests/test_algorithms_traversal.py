@@ -1,0 +1,89 @@
+"""Tests for BFS/DFS traversal and bounded simple paths."""
+
+import pytest
+
+from repro.algorithms import (
+    bfs_distances,
+    bfs_order,
+    bfs_tree,
+    dfs_order,
+    simple_paths,
+)
+from repro.errors import NodeNotFoundError
+from repro.graphs import DiGraph, Graph, cycle_graph, path_graph, star_graph
+
+
+class TestBfs:
+    def test_distances_on_path(self):
+        g = path_graph(5)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_distances_unreachable_absent(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        d = bfs_distances(g, 1)
+        assert 3 not in d
+
+    def test_order_starts_at_source(self):
+        g = star_graph(4)
+        order = bfs_order(g, 0)
+        assert order[0] == 0
+        assert set(order) == set(g.nodes())
+
+    def test_tree_parents(self):
+        g = path_graph(4)
+        parents = bfs_tree(g, 0)
+        assert parents == {1: 0, 2: 1, 3: 2}
+
+    def test_directed_follows_arcs(self):
+        d = DiGraph()
+        d.add_edges([("a", "b"), ("c", "a")])
+        assert bfs_distances(d, "a") == {"a": 0, "b": 1}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            bfs_distances(Graph(), "x")
+
+
+class TestDfs:
+    def test_preorder_on_path(self):
+        g = path_graph(4)
+        assert dfs_order(g, 0) == [0, 1, 2, 3]
+
+    def test_reaches_component_only(self):
+        g = Graph()
+        g.add_edges([(1, 2)])
+        g.add_edge(3, 4)
+        assert set(dfs_order(g, 1)) == {1, 2}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(NodeNotFoundError):
+            dfs_order(Graph(), 0)
+
+
+class TestSimplePaths:
+    def test_includes_trivial_path(self):
+        g = path_graph(3)
+        paths = set(simple_paths(g, 0, 0))
+        assert paths == {(0,)}
+
+    def test_length_bound(self):
+        g = path_graph(5)
+        paths = set(simple_paths(g, 0, 2))
+        assert (0, 1, 2) in paths
+        assert (0, 1, 2, 3) not in paths
+
+    def test_paths_are_simple(self):
+        g = cycle_graph(4)
+        for path in simple_paths(g, 0, 3):
+            assert len(set(path)) == len(path)
+
+    def test_count_on_cycle(self):
+        g = cycle_graph(4)
+        # from node 0 with l=2: (0,), (0,1), (0,1,2), (0,3), (0,3,2)
+        assert len(list(simple_paths(g, 0, 2))) == 5
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            list(simple_paths(path_graph(2), 0, -1))

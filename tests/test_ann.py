@@ -1,0 +1,157 @@
+"""Tests for the ANN indexes (brute force, MRNG, tau-MG, HNSW)."""
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    BruteForceIndex,
+    HNSWIndex,
+    MRNGIndex,
+    TauMGIndex,
+    evaluate_index,
+    recall_at_k,
+)
+from repro.ann.evaluation import ground_truth
+from repro.errors import IndexError_
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    return rng.normal(size=(600, 12))
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(43)
+    return rng.normal(size=(25, 12))
+
+
+class TestBruteForce:
+    def test_exact_nearest(self, data):
+        index = BruteForceIndex().build(data)
+        hits = index.search(data[17], k=1)
+        assert hits[0].vector_id == 17
+        assert hits[0].distance == pytest.approx(0.0)
+
+    def test_sorted_by_distance(self, data):
+        index = BruteForceIndex().build(data)
+        hits = index.search(np.zeros(12), k=10)
+        distances = [h.distance for h in hits]
+        assert distances == sorted(distances)
+
+    def test_k_capped_at_n(self):
+        index = BruteForceIndex().build(np.eye(3))
+        assert len(index.search(np.zeros(3), k=10)) == 3
+
+    def test_counts_distances(self, data):
+        index = BruteForceIndex().build(data)
+        index.reset_counters()
+        index.search(np.zeros(12), k=1)
+        assert index.distance_computations == len(data)
+
+
+class TestValidation:
+    def test_search_before_build(self):
+        with pytest.raises(IndexError_):
+            BruteForceIndex().search(np.zeros(3))
+
+    def test_bad_data_shape(self):
+        with pytest.raises(IndexError_):
+            BruteForceIndex().build(np.zeros((0, 4)))
+        with pytest.raises(IndexError_):
+            BruteForceIndex().build(np.zeros(5))
+
+    def test_bad_query_dim(self, data):
+        index = BruteForceIndex().build(data)
+        with pytest.raises(IndexError_):
+            index.search(np.zeros(5))
+
+    def test_bad_k(self, data):
+        index = BruteForceIndex().build(data)
+        with pytest.raises(IndexError_):
+            index.search(np.zeros(12), k=0)
+
+    def test_bad_tau(self):
+        with pytest.raises(IndexError_):
+            TauMGIndex(tau=-0.1)
+
+
+class TestProximityGraphs:
+    @pytest.mark.parametrize("index_cls", [MRNGIndex, TauMGIndex])
+    def test_high_recall(self, data, queries, index_cls):
+        index = index_cls().build(data)
+        truth = ground_truth(data, queries, 10)
+        result = evaluate_index(index, data, queries, k=10, truth=truth)
+        assert result.recall > 0.85
+
+    def test_tau_mg_superset_of_mrng_edges(self, data):
+        """Def. 3 with tau>0 occludes *less*, so tau-MG keeps >= edges."""
+        mrng = MRNGIndex(max_degree=16).build(data)
+        taumg = TauMGIndex(tau=0.1, max_degree=16).build(data)
+        assert taumg.n_edges() >= mrng.n_edges()
+
+    def test_every_node_reachable(self, data):
+        index = TauMGIndex().build(data)
+        reachable = index._reachable_from_entry(len(data))
+        assert len(reachable) == len(data)
+
+    def test_single_point(self):
+        index = TauMGIndex().build(np.array([[1.0, 2.0]]))
+        hits = index.search(np.array([0.0, 0.0]), k=1)
+        assert hits[0].vector_id == 0
+
+    def test_self_query_found(self, data):
+        index = TauMGIndex().build(data)
+        hits = index.search(data[5], k=1)
+        assert hits[0].vector_id == 5
+
+    def test_routing_hops_bounded(self, data, queries):
+        index = TauMGIndex().build(data)
+        for q in queries[:5]:
+            assert index.routing_hops(q) < len(data)
+
+    def test_fewer_distances_than_brute_force(self, data, queries):
+        index = TauMGIndex().build(data)
+        index.reset_counters()
+        for q in queries:
+            index.search(q, k=10)
+        per_query = index.distance_computations / len(queries)
+        assert per_query < len(data) / 2
+
+
+class TestHNSW:
+    def test_high_recall(self, data, queries):
+        index = HNSWIndex(seed=1).build(data)
+        truth = ground_truth(data, queries, 10)
+        result = evaluate_index(index, data, queries, k=10, truth=truth)
+        assert result.recall > 0.85
+
+    def test_deterministic_per_seed(self, data):
+        a = HNSWIndex(seed=7).build(data)
+        b = HNSWIndex(seed=7).build(data)
+        q = np.zeros(12)
+        assert [h.vector_id for h in a.search(q, 5)] == \
+            [h.vector_id for h in b.search(q, 5)]
+
+    def test_bad_params(self):
+        with pytest.raises(IndexError_):
+            HNSWIndex(m=0)
+
+
+class TestEvaluation:
+    def test_recall_at_k(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+        assert recall_at_k([], []) == 1.0
+
+    def test_brute_force_perfect(self, data, queries):
+        index = BruteForceIndex().build(data)
+        result = evaluate_index(index, data, queries, k=5)
+        assert result.recall == 1.0
+        assert result.epsilon_satisfaction == 1.0
+
+    def test_result_row_renders(self, data, queries):
+        index = BruteForceIndex().build(data)
+        result = evaluate_index(index, data, queries[:3], k=5, name="bf")
+        assert "bf" in result.row()
+        assert "recall" in result.row()

@@ -1,0 +1,137 @@
+"""Tests for the monitored chain executor."""
+
+import pytest
+
+from repro.apis import (
+    APIChain,
+    APIRegistry,
+    APISpec,
+    Category,
+    ChainContext,
+    ChainExecutor,
+    ChainNode,
+)
+from repro.errors import ChainExecutionError
+
+
+@pytest.fixture()
+def toy_registry():
+    registry = APIRegistry()
+    registry.register(APISpec(
+        "ok_api", "always works", Category.GENERIC, lambda ctx: "fine"))
+    registry.register(APISpec(
+        "echo_api", "echoes its param", Category.GENERIC,
+        lambda ctx, value=None: value, params={"value": None}))
+    registry.register(APISpec(
+        "boom_api", "always fails", Category.GENERIC,
+        lambda ctx: (_ for _ in ()).throw(RuntimeError("boom"))))
+    registry.register(APISpec(
+        "reads_previous", "reads the previous result", Category.GENERIC,
+        lambda ctx: ctx.latest("ok_api")))
+    return registry
+
+
+class TestExecution:
+    def test_linear_execution(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        record = executor.execute(APIChain.from_names(["ok_api"]),
+                                  ChainContext())
+        assert record.ok
+        assert record.final_result == "fine"
+        assert record.steps[0].seconds >= 0
+
+    def test_params_forwarded(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        chain = APIChain([ChainNode("echo_api", {"value": 99})])
+        record = executor.execute(chain, ChainContext())
+        assert record.final_result == 99
+
+    def test_context_carries_results(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        chain = APIChain.from_names(["ok_api", "reads_previous"])
+        record = executor.execute(chain, ChainContext())
+        assert record.final_result == "fine"
+
+    def test_results_by_name(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        record = executor.execute(
+            APIChain.from_names(["ok_api", "echo_api"]), ChainContext())
+        assert record.results_by_name() == {"ok_api": "fine",
+                                            "echo_api": None}
+
+    def test_failure_raises_by_default(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        with pytest.raises(ChainExecutionError):
+            executor.execute(APIChain.from_names(["boom_api"]),
+                             ChainContext())
+
+    def test_failure_continues_when_asked(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        record = executor.execute(
+            APIChain.from_names(["boom_api", "ok_api"]), ChainContext(),
+            stop_on_error=False)
+        assert not record.ok
+        assert record.steps[0].error == "boom"
+        assert record.steps[1].ok
+        assert record.final_result == "fine"
+
+
+class TestEvents:
+    def test_event_stream(self, toy_registry):
+        events = []
+        executor = ChainExecutor(toy_registry)
+        executor.add_listener(events.append)
+        executor.execute(APIChain.from_names(["ok_api", "ok_api"]),
+                         ChainContext())
+        kinds = [e.kind for e in events]
+        assert kinds == ["chain_started", "step_started", "step_finished",
+                         "step_started", "step_finished", "chain_finished"]
+
+    def test_failure_events(self, toy_registry):
+        events = []
+        executor = ChainExecutor(toy_registry)
+        executor.add_listener(events.append)
+        with pytest.raises(ChainExecutionError):
+            executor.execute(APIChain.from_names(["boom_api"]),
+                             ChainContext())
+        kinds = [e.kind for e in events]
+        assert "step_failed" in kinds and "chain_failed" in kinds
+
+    def test_remove_listener(self, toy_registry):
+        events = []
+        executor = ChainExecutor(toy_registry)
+        executor.add_listener(events.append)
+        executor.remove_listener(events.append)
+        executor.execute(APIChain.from_names(["ok_api"]), ChainContext())
+        assert events == []
+
+    def test_event_render(self, toy_registry):
+        events = []
+        executor = ChainExecutor(toy_registry)
+        executor.add_listener(events.append)
+        executor.execute(APIChain.from_names(["ok_api"]), ChainContext())
+        text = events[1].render()
+        assert "step_started" in text and "ok_api" in text
+
+
+class TestContext:
+    def test_ask_defaults_to_approve(self):
+        assert ChainContext().ask("ok?", None) is True
+
+    def test_ask_uses_callback(self):
+        asked = []
+
+        def deny(question, payload):
+            asked.append(question)
+            return False
+
+        context = ChainContext(confirm=deny)
+        assert context.ask("sure?", {"x": 1}) is False
+        assert asked == ["sure?"]
+
+    def test_latest_returns_most_recent(self):
+        context = ChainContext()
+        context.results = {0: "old", 2: "new"}
+        context.step_names = {0: "api_x", 2: "api_x"}
+        assert context.latest("api_x") == "new"
+        assert context.latest("missing") is None

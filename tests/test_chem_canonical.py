@@ -1,0 +1,139 @@
+"""Tests for canonical SMILES and aromaticity perception."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem import (
+    BUILTIN_LIBRARY,
+    MoleculeDatabase,
+    canonical_ranks,
+    canonical_smiles,
+    parse_smiles,
+    perceive_aromaticity,
+    random_molecule,
+)
+from repro.chem.canonical import renumber
+from repro.errors import SmilesError
+
+
+class TestCanonicalRanks:
+    def test_ranks_are_permutation(self):
+        mol = parse_smiles("CC(=O)Oc1ccccc1C(=O)O")
+        ranks = canonical_ranks(mol)
+        assert sorted(ranks) == list(range(mol.n_atoms))
+
+    def test_empty_molecule(self):
+        from repro.chem import Molecule
+        assert canonical_ranks(Molecule()) == []
+
+    def test_symmetric_atoms_get_distinct_ranks(self):
+        # benzene: all atoms equivalent; tie-breaking must still yield
+        # a total order
+        ranks = canonical_ranks(parse_smiles("c1ccccc1"))
+        assert sorted(ranks) == list(range(6))
+
+    def test_renumber_bad_ranks(self):
+        mol = parse_smiles("CC")
+        with pytest.raises(SmilesError):
+            renumber(mol, [0])
+
+
+class TestCanonicalSmiles:
+    @pytest.mark.parametrize("a,b", [
+        ("CCO", "OCC"),
+        ("CC(C)C", "C(C)(C)C"),
+        ("c1ccccc1O", "Oc1ccccc1"),
+        ("CC(=O)O", "OC(C)=O"),
+        ("CCN", "NCC"),
+    ])
+    def test_textual_variants_identical(self, a, b):
+        assert canonical_smiles(parse_smiles(a)) == \
+            canonical_smiles(parse_smiles(b))
+
+    def test_different_molecules_differ(self):
+        assert canonical_smiles(parse_smiles("CCO")) != \
+            canonical_smiles(parse_smiles("CCN"))
+        assert canonical_smiles(parse_smiles("CCC")) != \
+            canonical_smiles(parse_smiles("CC"))
+
+    @pytest.mark.parametrize("name", sorted(BUILTIN_LIBRARY)[:20])
+    def test_order_invariance_builtin(self, name):
+        mol = parse_smiles(BUILTIN_LIBRARY[name])
+        rng = random.Random(42)
+        perm = list(range(mol.n_atoms))
+        rng.shuffle(perm)
+        assert canonical_smiles(renumber(mol, perm)) == \
+            canonical_smiles(mol)
+
+    @given(st.integers(3, 14), st.integers(0, 2), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_order_invariance_random(self, n_atoms, n_rings, seed):
+        mol = random_molecule(n_atoms, n_rings, seed=seed)
+        rng = random.Random(seed)
+        perm = list(range(mol.n_atoms))
+        rng.shuffle(perm)
+        assert canonical_smiles(renumber(mol, perm)) == \
+            canonical_smiles(mol)
+
+    def test_canonical_roundtrips(self):
+        for smiles in ("CC(=O)Oc1ccccc1C(=O)O", "CCO", "c1ccccc1"):
+            canon = canonical_smiles(parse_smiles(smiles))
+            assert canonical_smiles(parse_smiles(canon)) == canon
+
+
+class TestAromaticityPerception:
+    def test_kekule_benzene(self):
+        kekule = perceive_aromaticity(parse_smiles("C1=CC=CC=C1"))
+        assert all(atom.aromatic for atom in kekule.atoms)
+        assert canonical_smiles(kekule) == \
+            canonical_smiles(parse_smiles("c1ccccc1"))
+
+    def test_kekule_pyridine(self):
+        kekule = perceive_aromaticity(parse_smiles("C1=CC=NC=C1"))
+        assert canonical_smiles(kekule) == \
+            canonical_smiles(parse_smiles("c1ccncc1"))
+
+    def test_kekule_furan(self):
+        kekule = perceive_aromaticity(parse_smiles("C1=CC=CO1"))
+        assert canonical_smiles(kekule) == \
+            canonical_smiles(parse_smiles("c1ccoc1"))
+
+    def test_cyclohexane_not_aromatic(self):
+        out = perceive_aromaticity(parse_smiles("C1CCCCC1"))
+        assert not any(atom.aromatic for atom in out.atoms)
+
+    def test_cyclohexene_not_aromatic(self):
+        out = perceive_aromaticity(parse_smiles("C1=CCCCC1"))
+        assert not any(atom.aromatic for atom in out.atoms)
+
+    def test_already_aromatic_preserved(self):
+        out = perceive_aromaticity(parse_smiles("c1ccccc1"))
+        assert all(atom.aromatic for atom in out.atoms)
+
+    def test_acyclic_untouched(self):
+        out = perceive_aromaticity(parse_smiles("CC=CC"))
+        assert not any(atom.aromatic for atom in out.atoms)
+        assert out.n_bonds == 3
+
+
+class TestDatabaseLookup:
+    def test_lookup_by_variant_smiles(self, molecule_db):
+        assert molecule_db.lookup(parse_smiles("OCC")) == "ethanol"
+        assert molecule_db.lookup(parse_smiles("Oc1ccccc1")) == "phenol"
+
+    def test_lookup_kekule_form(self, molecule_db):
+        assert molecule_db.lookup(parse_smiles("C1=CC=CC=C1")) == "benzene"
+
+    def test_lookup_miss(self, molecule_db):
+        assert molecule_db.lookup(
+            parse_smiles("FC(F)(F)C(F)(F)F")) is None
+
+    def test_cache_invalidates_on_add(self):
+        db = MoleculeDatabase()
+        db.add("ethanol", "CCO")
+        assert db.lookup(parse_smiles("OCC")) == "ethanol"
+        db.add("propanol", "CCCO")
+        assert db.lookup(parse_smiles("OCCC")) == "propanol"

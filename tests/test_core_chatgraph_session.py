@@ -1,0 +1,152 @@
+"""Tests for the ChatGraph facade and the chat session."""
+
+import pytest
+
+from repro import ChatGraph, ChatGraphConfig, ChatSession
+from repro.core.monitoring import ChainMonitor
+from repro.errors import ChainError, SessionError
+from repro.graphs import social_network
+
+
+class TestChatGraphFacade:
+    def test_ask_round_trip(self, chatgraph, social_graph):
+        response = chatgraph.ask("write a brief report for G",
+                                 graph=social_graph)
+        assert response.record.ok
+        assert "Graph report" in response.answer
+        assert response.seconds > 0
+        assert response.monitor.finished
+
+    def test_ask_without_graph(self, chatgraph):
+        response = chatgraph.ask("hello, what can you do?")
+        assert isinstance(response.answer, str)
+
+    def test_propose_does_not_execute(self, chatgraph, social_graph):
+        result = chatgraph.propose("count the nodes", social_graph)
+        assert result.chain.api_names() == ["count_nodes"]
+
+    def test_execute_edited_chain(self, chatgraph, social_graph):
+        from repro.apis import APIChain
+        result = chatgraph.propose("count the nodes", social_graph)
+        record, __ = chatgraph.execute(
+            result, chain=APIChain.from_names(["count_edges"]))
+        assert record.steps[0].api_name == "count_edges"
+
+    def test_invalid_edited_chain_rejected(self, chatgraph, social_graph):
+        from repro.apis import APIChain
+        result = chatgraph.propose("count the nodes", social_graph)
+        with pytest.raises(ChainError):
+            chatgraph.execute(result,
+                              chain=APIChain.from_names(["bogus"]))
+
+    def test_results_accessor(self, chatgraph, social_graph):
+        response = chatgraph.ask("count the nodes", graph=social_graph)
+        assert response.results()["count_nodes"] == 40
+
+    def test_default_database_attached(self, chatgraph):
+        assert chatgraph.database is not None
+        assert "aspirin" in chatgraph.database
+
+    def test_finetune_report(self):
+        cg = ChatGraph(config=ChatGraphConfig())
+        from repro.finetune import CorpusSpec
+        report = cg.finetune(CorpusSpec(n_examples=60, seed=3),
+                             objective="token")
+        assert report.final_metrics is not None
+        assert report.epochs == cg.config.finetune.epochs
+
+
+class TestChatSession:
+    @pytest.fixture()
+    def session(self, chatgraph):
+        return ChatSession(chatgraph)
+
+    def test_upload_logged(self, session, social_graph):
+        session.upload_graph(social_graph)
+        assert session.graph is social_graph
+        assert any("uploaded" in turn.text for turn in session.history)
+
+    def test_suggestions_follow_graph_type(self, session, social_graph,
+                                           kg_graph):
+        assert "Write a brief report for G" in session.suggestions()
+        session.upload_graph(social_graph)
+        assert any("communities" in s for s in session.suggestions())
+        session.upload_graph(kg_graph)
+        assert "Clean G" in session.suggestions()
+
+    def test_send_round_trip(self, session, social_graph):
+        session.upload_graph(social_graph)
+        response = session.send("count the nodes")
+        assert response.record.ok
+        roles = [turn.role for turn in session.history]
+        assert roles.count("user") == 1
+        assert roles.count("assistant") == 2  # proposal + answer
+
+    def test_propose_confirm_flow(self, session, social_graph):
+        session.upload_graph(social_graph)
+        proposal = session.propose("write a brief report for G")
+        assert session.pending_chain is proposal.chain
+        response = session.confirm()
+        assert response.record.ok
+        with pytest.raises(SessionError):
+            session.confirm()  # nothing pending anymore
+
+    def test_pending_chain_requires_proposal(self, session):
+        with pytest.raises(SessionError):
+            __ = session.pending_chain
+
+    def test_edit_chain(self, session, social_graph):
+        session.upload_graph(social_graph)
+        session.propose("write a brief report for G")
+        before = len(session.pending_chain)
+        session.edit_chain(remove=1)
+        assert len(session.pending_chain) == before - 1
+        session.edit_chain(append="count_nodes")
+        assert session.pending_chain.api_names()[-1] == "count_nodes"
+        response = session.confirm()
+        assert response.record.ok
+
+    def test_edit_invalid_rejected(self, session, social_graph):
+        session.upload_graph(social_graph)
+        session.propose("count the nodes")
+        with pytest.raises(ChainError):
+            session.edit_chain(append="not_an_api")
+
+    def test_reject(self, session, social_graph):
+        session.upload_graph(social_graph)
+        session.propose("count the nodes")
+        session.reject()
+        with pytest.raises(SessionError):
+            session.confirm()
+
+    def test_reject_requires_pending(self, session):
+        with pytest.raises(SessionError):
+            session.reject()
+
+    def test_monitor_attached(self, session, social_graph):
+        session.upload_graph(social_graph)
+        session.propose("count the nodes")
+        monitor = ChainMonitor()
+        session.confirm(monitor=monitor)
+        assert monitor.finished
+        assert monitor.progress == 1.0
+
+    def test_transcript(self, session, social_graph):
+        session.upload_graph(social_graph)
+        session.send("count the nodes")
+        transcript = session.transcript()
+        assert "user" in transcript and "assistant" in transcript
+
+    def test_cleaning_updates_session_graph(self, chatgraph, kg_graph):
+        from repro.kb import TripleStore, corrupt_store
+        store = TripleStore.from_graph(kg_graph)
+        noisy, injected, __ = corrupt_store(store, 0.08, 0.0, seed=1)
+        session = ChatSession(chatgraph)
+        noisy_graph = noisy.to_graph()
+        session.upload_graph(noisy_graph)
+        response = session.send("clean G")
+        assert response.record.ok
+        # the session graph was replaced by the cleaned export
+        assert session.graph is not noisy_graph
+        assert session.graph.number_of_edges() < \
+            noisy_graph.number_of_edges() + 1

@@ -1,0 +1,207 @@
+"""Tests for the finetuning module: losses, rollouts, dataset, trainer."""
+
+import random
+
+import pytest
+
+from repro.config import FinetuneConfig
+from repro.errors import FinetuneError
+from repro.finetune import (
+    CorpusSpec,
+    Finetuner,
+    build_corpus,
+    chain_ged,
+    evaluate_model,
+    min_matching_loss,
+    node_matching_loss,
+    rollout_decode,
+    score_candidates,
+)
+from repro.llm import ChainLanguageModel, TrainingExample
+from repro.llm.chain_model import GenerationState
+
+
+class TestNodeMatchingLoss:
+    def test_identical_zero(self):
+        assert node_matching_loss(["a", "b"], ["a", "b"]) == 0.0
+
+    def test_substitution(self):
+        # one label substitution, edges preserved by the matching
+        assert node_matching_loss(["a", "x"], ["a", "b"]) == 1.0
+
+    def test_deletion_includes_regularizer(self):
+        # extra node: 1 node del + 1 edge del + alpha * 1 unmatched
+        assert node_matching_loss(["a", "b", "c"], ["a", "b"],
+                                  alpha=1.0) == 3.0
+        assert node_matching_loss(["a", "b", "c"], ["a", "b"],
+                                  alpha=0.0) == 2.0
+
+    def test_symmetric(self):
+        a, b = ["a", "b", "c"], ["a", "c"]
+        assert node_matching_loss(a, b) == node_matching_loss(b, a)
+
+    def test_order_sensitivity_via_edges(self):
+        # same multiset, swapped order: node matches are free but chain
+        # edges mismatch
+        loss = node_matching_loss(["b", "a"], ["a", "b"])
+        assert loss > 0.0
+        assert chain_ged(["b", "a"], ["a", "b"]) > 0
+
+    def test_empty_chains(self):
+        assert node_matching_loss([], []) == 0.0
+        assert node_matching_loss(["a"], [], alpha=1.0) == 2.0
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            node_matching_loss(["a"], ["a"], alpha=-1)
+
+    def test_min_over_equivalents(self):
+        truths = [["a", "b"], ["b", "a"]]
+        assert min_matching_loss(["b", "a"], truths) == 0.0
+        assert min_matching_loss(["a", "b"], truths) == 0.0
+
+    def test_min_requires_truths(self):
+        with pytest.raises(ValueError):
+            min_matching_loss(["a"], [])
+
+
+class TestRollout:
+    @pytest.fixture()
+    def model(self):
+        return ChainLanguageModel(api_names=["a", "b", "c", "d"], seed=0)
+
+    def test_score_candidates_keys(self, model):
+        s = GenerationState(prompt_text="q", retrieved=("a", "b"))
+        scores = score_candidates(model, s, [("a", "b")], rollouts=2)
+        assert set(scores) == {"a", "b", "<eos>"}
+
+    def test_gold_start_scores_best(self, model):
+        s = GenerationState(prompt_text="q", retrieved=("a", "b", "c"))
+        scores = score_candidates(model, s, [("a",)], rollouts=4)
+        assert scores["a"] <= min(scores["b"], scores["c"])
+
+    def test_rollout_decode_recovers_gold_untrained(self, model):
+        """With gold chains as guidance, rollout decoding is an oracle."""
+        s = GenerationState(prompt_text="q",
+                            retrieved=("a", "b", "c", "d"))
+        out = rollout_decode(model, s, [("c", "a")], rollouts=4,
+                             rng=random.Random(0))
+        assert out == ["c", "a"]
+
+    def test_rollout_zero_still_guided(self, model):
+        s = GenerationState(prompt_text="q", retrieved=("a", "b"))
+        out = rollout_decode(model, s, [("b",)], rollouts=0)
+        assert out == ["b"]
+
+    def test_eos_wins_on_complete_prefix(self, model):
+        s = GenerationState(prompt_text="q", retrieved=("a", "b"),
+                            prefix=("a",))
+        scores = score_candidates(model, s, [("a",)], rollouts=2)
+        assert scores["<eos>"] == 0.0
+
+
+class TestDataset:
+    def test_build_sizes(self, registry):
+        train, test = build_corpus(registry,
+                                   CorpusSpec(n_examples=50, seed=0))
+        assert len(train) + len(test) == 50
+        assert len(test) == 10
+
+    def test_deterministic(self, registry):
+        spec = CorpusSpec(n_examples=30, seed=7)
+        a, __ = build_corpus(registry, spec)
+        b, __ = build_corpus(registry, spec)
+        assert [x.question for x in a] == [y.question for y in b]
+
+    def test_gold_always_decodable(self, registry):
+        train, __ = build_corpus(registry, CorpusSpec(n_examples=40))
+        for example in train:
+            decodable = set(example.allowed or example.retrieved)
+            for chain in example.target_chains:
+                assert set(chain) <= decodable
+
+    def test_chains_reference_registry(self, registry):
+        train, __ = build_corpus(registry, CorpusSpec(n_examples=40))
+        names = set(registry.names())
+        for example in train:
+            for chain in example.target_chains:
+                assert set(chain) <= names
+
+    def test_too_small_rejected(self, registry):
+        with pytest.raises(FinetuneError):
+            build_corpus(registry, CorpusSpec(n_examples=1))
+
+    def test_graph_tokens_attached(self, registry):
+        train, __ = build_corpus(registry, CorpusSpec(n_examples=60))
+        assert any(example.graph_tokens for example in train)
+
+
+class TestTrainer:
+    @pytest.fixture(scope="class")
+    def corpus(self, registry):
+        return build_corpus(registry, CorpusSpec(n_examples=200, seed=2))
+
+    def test_token_objective_learns(self, registry, corpus):
+        train, test = corpus
+        model = ChainLanguageModel(api_names=registry.names(), seed=0)
+        report = Finetuner(model, FinetuneConfig(epochs=4)).train(
+            train, test, objective="token")
+        assert report.final_metrics.exact_match > 0.6
+        assert report.train_losses[-1] < report.train_losses[0]
+
+    def test_matching_objective_learns(self, registry, corpus):
+        train, test = corpus
+        model = ChainLanguageModel(api_names=registry.names(), seed=0)
+        report = Finetuner(model, FinetuneConfig(
+            epochs=4, rollouts=2)).train(train, test, objective="matching")
+        assert report.final_metrics.exact_match > 0.5
+
+    def test_bad_objective(self, registry, corpus):
+        model = ChainLanguageModel(api_names=registry.names())
+        with pytest.raises(FinetuneError):
+            Finetuner(model).train(corpus[0], objective="magic")
+
+    def test_empty_corpus_rejected(self, registry):
+        model = ChainLanguageModel(api_names=registry.names())
+        with pytest.raises(FinetuneError):
+            Finetuner(model).train([])
+
+    def test_eval_history_length(self, registry, corpus):
+        train, test = corpus
+        model = ChainLanguageModel(api_names=registry.names())
+        report = Finetuner(model, FinetuneConfig(epochs=2)).train(
+            train[:40], test[:10], objective="token")
+        assert len(report.eval_history) == 2
+        assert len(report.train_losses) == 2
+
+
+class TestMetrics:
+    def test_perfect_decoder(self, registry):
+        model = ChainLanguageModel(api_names=registry.names())
+        examples = [TrainingExample("q", (("count_nodes",),))]
+        metrics = evaluate_model(
+            model, examples, decoder=lambda m, ex: ["count_nodes"])
+        assert metrics.exact_match == 1.0
+        assert metrics.mean_matching_loss == 0.0
+
+    def test_set_match_vs_exact(self, registry):
+        model = ChainLanguageModel(api_names=registry.names())
+        examples = [TrainingExample(
+            "q", (("count_nodes", "count_edges"),))]
+        metrics = evaluate_model(
+            model, examples,
+            decoder=lambda m, ex: ["count_edges", "count_nodes"])
+        assert metrics.exact_match == 0.0
+        assert metrics.set_match == 1.0
+
+    def test_requires_examples(self, registry):
+        model = ChainLanguageModel(api_names=registry.names())
+        with pytest.raises(ValueError):
+            evaluate_model(model, [])
+
+    def test_row_renders(self, registry):
+        model = ChainLanguageModel(api_names=registry.names())
+        examples = [TrainingExample("q", (("count_nodes",),))]
+        metrics = evaluate_model(model, examples,
+                                 decoder=lambda m, ex: [])
+        assert "exact" in metrics.row()

@@ -1,0 +1,122 @@
+"""Tests for synthetic graph generators."""
+
+import pytest
+
+from repro.graphs import (
+    ba_graph,
+    complete_graph,
+    cycle_graph,
+    er_graph,
+    grid_graph,
+    knowledge_graph,
+    molecule_like_graph,
+    path_graph,
+    planted_partition_graph,
+    social_network,
+    star_graph,
+)
+from repro.graphs.generators import KG_ENTITY_TYPES, KG_RELATIONS
+
+
+class TestDeterministicShapes:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.number_of_edges() == 6
+        assert all(g.degree(n) == 2 for n in g.nodes())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.number_of_edges() == 10
+
+    def test_star_graph(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.number_of_edges() == 4
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4
+
+
+class TestRandomGraphs:
+    def test_er_deterministic_per_seed(self):
+        assert er_graph(20, 0.2, seed=5) == er_graph(20, 0.2, seed=5)
+
+    def test_er_seed_changes_graph(self):
+        assert er_graph(20, 0.2, seed=1) != er_graph(20, 0.2, seed=2)
+
+    def test_er_p_bounds(self):
+        with pytest.raises(ValueError):
+            er_graph(10, 1.5)
+        assert er_graph(10, 0.0).number_of_edges() == 0
+        assert er_graph(6, 1.0).number_of_edges() == 15
+
+    def test_ba_graph_size(self):
+        g = ba_graph(50, 2, seed=0)
+        assert g.number_of_nodes() == 50
+        # clique edges + 2 per new node
+        assert g.number_of_edges() == 3 + 2 * 47
+
+    def test_ba_bad_params(self):
+        with pytest.raises(ValueError):
+            ba_graph(3, 3)
+
+    def test_ba_has_hubs(self):
+        g = ba_graph(200, 2, seed=1)
+        degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+        assert degrees[0] > 10  # preferential attachment creates hubs
+
+
+class TestDomainGraphs:
+    def test_planted_partition_membership(self):
+        g = planted_partition_graph([10, 10], 0.5, 0.01, seed=0)
+        communities = {g.get_node_attr(n, "community") for n in g.nodes()}
+        assert communities == {0, 1}
+
+    def test_social_network_attrs(self):
+        g = social_network(30, 3, seed=0)
+        assert g.number_of_nodes() == 30
+        node = next(iter(g.nodes()))
+        assert g.get_node_attr(node, "kind") == "person"
+        assert g.get_node_attr(node, "name").startswith("user_")
+
+    def test_social_network_bad_params(self):
+        with pytest.raises(ValueError):
+            social_network(2, 5)
+
+    def test_knowledge_graph_typed(self):
+        kg = knowledge_graph(20, 60, seed=0)
+        for node in kg.nodes():
+            assert kg.get_node_attr(node, "entity_type") in KG_ENTITY_TYPES
+        for u, v in kg.edges():
+            assert kg.get_edge_attr(u, v, "relation") in KG_RELATIONS
+
+    def test_knowledge_graph_signature_respected(self):
+        kg = knowledge_graph(40, 120, seed=1)
+        for u, v in kg.edges():
+            if kg.get_edge_attr(u, v, "relation") == "works_at":
+                assert kg.get_node_attr(u, "entity_type") == "person"
+                assert kg.get_node_attr(v, "entity_type") == "organization"
+
+    def test_molecule_like_graph(self):
+        g = molecule_like_graph(2, 3, seed=0)
+        elements = {g.get_node_attr(n, "element") for n in g.nodes()}
+        assert "C" in elements
+        assert all(g.get_node_attr(n, "kind") == "atom" for n in g.nodes())
+        # two fused 6-rings plus chain
+        assert g.number_of_nodes() == 15
+
+    def test_molecule_like_no_rings(self):
+        g = molecule_like_graph(0, 4, seed=0)
+        assert g.number_of_edges() == g.number_of_nodes() - 1

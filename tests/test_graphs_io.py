@@ -1,0 +1,107 @@
+"""Tests for graph serialization (edge lists, adjacency, JSON dicts)."""
+
+import pytest
+
+from repro.errors import GraphIOError
+from repro.graphs import (
+    DiGraph,
+    Graph,
+    from_adjacency,
+    from_dict,
+    from_edgelist,
+    parse_edgelist_text,
+    read_edgelist,
+    to_adjacency,
+    to_dict,
+    to_edgelist,
+    write_edgelist,
+)
+
+
+class TestEdgelist:
+    def test_roundtrip_list(self):
+        g = from_edgelist([(1, 2), (2, 3)])
+        assert sorted(map(sorted, to_edgelist(g))) == [[1, 2], [2, 3]]
+
+    def test_directed_flag(self):
+        g = from_edgelist([("a", "b")], directed=True)
+        assert isinstance(g, DiGraph)
+        assert not g.has_edge("b", "a")
+
+    def test_parse_text_basic(self):
+        g = parse_edgelist_text("a b\nb c\n")
+        assert g.number_of_edges() == 2
+
+    def test_parse_text_comments_and_blanks(self):
+        g = parse_edgelist_text("# comment\n\na b\n")
+        assert g.number_of_edges() == 1
+
+    def test_parse_text_attrs(self):
+        g = parse_edgelist_text('a b weight=2.5 kind="road"')
+        assert g.get_edge_attr("a", "b", "weight") == 2.5
+        assert g.get_edge_attr("a", "b", "kind") == "road"
+
+    def test_parse_text_isolated_node(self):
+        g = parse_edgelist_text("lonely\na b\n")
+        assert g.has_node("lonely")
+        assert g.degree("lonely") == 0
+
+    def test_parse_text_bad_attr_raises(self):
+        with pytest.raises(GraphIOError):
+            parse_edgelist_text("a b notakv")
+
+    def test_file_roundtrip(self, tmp_path):
+        g = Graph()
+        g.add_edge("x", "y", w=1)
+        g.add_node("solo")
+        path = tmp_path / "g.edges"
+        write_edgelist(g, path)
+        g2 = read_edgelist(path)
+        assert g2.has_edge("x", "y")
+        assert g2.get_edge_attr("x", "y", "w") == 1
+        assert g2.has_node("solo")
+
+
+class TestAdjacency:
+    def test_roundtrip(self):
+        g = from_adjacency({1: [2, 3], 2: [1], 3: []})
+        adj = to_adjacency(g)
+        assert adj[1] == [2, 3]
+        assert adj[3] == [1]
+
+    def test_directed_adjacency(self):
+        d = from_adjacency({"a": ["b"], "b": []}, directed=True)
+        assert to_adjacency(d) == {"a": ["b"], "b": []}
+
+
+class TestDictFormat:
+    def test_roundtrip_with_attrs(self):
+        g = Graph(name="test")
+        g.add_node(1, color="red")
+        g.add_edge(1, 2, w=3)
+        doc = to_dict(g)
+        g2 = from_dict(doc)
+        assert g2 == g
+        assert g2.name == "test"
+
+    def test_directed_roundtrip(self):
+        d = DiGraph()
+        d.add_edge("a", "b", relation="works_at")
+        d2 = from_dict(to_dict(d))
+        assert isinstance(d2, DiGraph)
+        assert d2.get_edge_attr("a", "b", "relation") == "works_at"
+
+    def test_json_serializable(self):
+        import json
+        g = Graph()
+        g.add_edge("a", "b", weight=1.5)
+        text = json.dumps(to_dict(g))
+        assert from_dict(json.loads(text)) == g
+
+    def test_malformed_raises(self):
+        with pytest.raises(GraphIOError):
+            from_dict({"nodes": [{"no_id": 1}]})
+
+    def test_edge_without_source_raises(self):
+        with pytest.raises(GraphIOError):
+            from_dict({"nodes": [{"id": 1}], "edges": [{"target": 1}]})

@@ -1,0 +1,119 @@
+"""End-to-end integration tests across modules (the Fig. 1 data flow)."""
+
+import pytest
+
+from repro import ChatGraph, ChatGraphConfig, ChatSession
+from repro.config import LLMConfig, SequencerConfig
+from repro.chem import parse_smiles
+from repro.graphs import knowledge_graph, social_network
+from repro.kb import TripleStore, corrupt_store
+
+
+class TestFullPipeline:
+    def test_understanding_report_mentions_communities(self, chatgraph):
+        g = social_network(50, 4, p_in=0.3, p_out=0.02, seed=9)
+        response = chatgraph.ask("write a brief report for G", graph=g)
+        assert response.record.ok
+        assert "detect communities" in response.answer
+        assert "modularity" in response.answer
+
+    def test_comparison_finds_known_similar(self, chatgraph):
+        mol = parse_smiles("CC(=O)Oc1ccccc1C(=O)O", name="query")
+        response = chatgraph.ask("what molecules are similar to G",
+                                 graph=mol.to_graph(), molecule=mol)
+        hits = response.results()["similar_molecules"]
+        assert hits[0]["name"] == "aspirin"
+
+    def test_cleaning_recovers_injected_noise(self, chatgraph):
+        kg = knowledge_graph(50, 200, seed=11)
+        store = TripleStore.from_graph(kg)
+        noisy, injected, removed_true = corrupt_store(
+            store, corruption_rate=0.06, removal_rate=0.0, seed=5)
+        response = chatgraph.ask("clean G", graph=noisy.to_graph())
+        assert response.record.ok
+        removed = response.results()["remove_flagged_edges"]["removed"]
+        removed_set = set(map(tuple, removed))
+        injected_set = {(t.head, t.tail) for t in injected}
+        assert injected_set <= removed_set
+
+    def test_monitoring_event_completeness(self, chatgraph):
+        g = social_network(30, 3, seed=4)
+        response = chatgraph.ask("write a brief report for G", graph=g)
+        kinds = [e.kind for e in response.monitor.events]
+        n_steps = len(response.chain)
+        assert kinds.count("step_started") == n_steps
+        assert kinds.count("step_finished") == n_steps
+        assert kinds[0] == "chain_started"
+        assert kinds[-1] == "chain_finished"
+
+    def test_multi_turn_session(self, chatgraph):
+        session = ChatSession(chatgraph)
+        g = social_network(30, 3, seed=2)
+        session.upload_graph(g)
+        first = session.send("count the nodes")
+        second = session.send("detect the communities of this network")
+        assert first.record.ok and second.record.ok
+        assert len(session.history) >= 5
+
+    def test_suggested_question_answerable(self, chatgraph):
+        session = ChatSession(chatgraph)
+        g = social_network(30, 3, seed=2)
+        session.upload_graph(g)
+        for question in session.suggestions(limit=2):
+            response = session.send(question)
+            assert response.record is not None
+
+
+class TestConfigEffects:
+    """Every Fig.-3 parameter group has an observable effect (E11)."""
+
+    def test_path_length_changes_sequences(self):
+        g = social_network(25, 3, seed=1)
+        from repro.sequencer import GraphSequentializer
+        short = GraphSequentializer(
+            SequencerConfig(path_length=1)).sequentialize(g)
+        long = GraphSequentializer(
+            SequencerConfig(path_length=2)).sequentialize(g)
+        assert long.cover_stats.max_path_length > \
+            short.cover_stats.max_path_length
+
+    def test_multi_level_toggle(self):
+        g = social_network(25, 3, p_in=0.4, seed=1)
+        from repro.sequencer import GraphSequentializer
+        on = GraphSequentializer(
+            SequencerConfig(multi_level=True)).sequentialize(g)
+        off = GraphSequentializer(
+            SequencerConfig(multi_level=False)).sequentialize(g)
+        assert on.super_sequences and not off.super_sequences
+
+    def test_top_k_changes_retrieval(self, chatgraph):
+        a = chatgraph.retriever.retrieve_names("find communities", k=2)
+        b = chatgraph.retriever.retrieve_names("find communities", k=6)
+        assert len(a) == 2 and len(b) == 6
+
+    def test_model_preset_selectable(self):
+        config = ChatGraphConfig(llm=LLMConfig(model="moss-sim"))
+        cg = ChatGraph(config=config)
+        assert cg.model is not None
+
+    def test_max_chain_length_caps_generation(self):
+        config = ChatGraphConfig(llm=LLMConfig(max_chain_length=2))
+        cg = ChatGraph.pretrained(config=config, corpus_size=150, seed=2)
+        g = social_network(20, 2, seed=0)
+        result = cg.propose("write a brief report for G", g)
+        assert len(result.chain) <= 2 or result.used_fallback
+
+
+class TestErrorRecovery:
+    def test_graphless_prompt_answers_gracefully(self, chatgraph):
+        response = chatgraph.ask("count the nodes")
+        # no graph: the step fails but the dialog survives
+        assert isinstance(response.answer, str)
+        assert response.answer
+
+    def test_empty_graph_prompt(self, chatgraph):
+        from repro.graphs import Graph
+        g = Graph()
+        g.add_node(0)
+        response = chatgraph.ask("write a brief report for G", graph=g)
+        assert isinstance(response.answer, str)

@@ -1,0 +1,98 @@
+"""Behavioral tests for internals that the happy paths exercise only
+indirectly: report rendering, executor summaries, HNSW shrinking, the
+proximity-graph connectivity repair, and TF-IDF weighting details."""
+
+import numpy as np
+import pytest
+
+from repro.ann import HNSWIndex, TauMGIndex
+from repro.apis.executor import _summarize
+from repro.core.reports import _format, render_answer
+from repro.embedding import TfidfModel, Vocabulary
+
+
+class TestReportFormatting:
+    def test_format_float_precision(self):
+        assert _format(0.123456789) == "0.1235"
+
+    def test_format_dict_and_list(self):
+        assert _format({"a": 1}) == "{a=1}"
+        text = _format(list(range(10)))
+        assert "... (4 more)" in text
+
+    def test_format_truncates(self):
+        text = _format("x" * 1000)
+        assert len(text) <= 400
+        assert text.endswith("...")
+
+    def test_render_answer_failure_lines(self):
+        from repro.apis.executor import ChainExecutionRecord, StepRecord
+        from repro.apis.chain import APIChain
+        record = ChainExecutionRecord(chain=APIChain.from_names(["x"]))
+        record.steps.append(StepRecord(
+            index=0, api_name="x", result=None, seconds=0.0,
+            ok=False, error="kaput"))
+        assert "x: failed (kaput)" in render_answer(record)
+
+    def test_render_answer_empty(self):
+        from repro.apis.executor import ChainExecutionRecord
+        from repro.apis.chain import APIChain
+        record = ChainExecutionRecord(chain=APIChain())
+        assert render_answer(record) == "(no results)"
+
+    def test_summarize_caps_length(self):
+        assert len(_summarize({"k": "v" * 200})) <= 70
+
+
+class TestHnswInternals:
+    def test_degree_caps_respected(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(400, 8))
+        index = HNSWIndex(m=6).build(data)
+        for layer_no, layer in enumerate(index.layers):
+            cap = index.m0 if layer_no == 0 else index.m
+            for node, neighbors in layer.items():
+                assert len(neighbors) <= cap, (layer_no, node)
+
+    def test_layer_sizes_shrink(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(600, 8))
+        index = HNSWIndex(seed=2).build(data)
+        sizes = [len(layer) for layer in index.layers]
+        assert sizes[0] == 600
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+
+class TestConnectivityRepair:
+    def test_clustered_data_stays_reachable(self):
+        # two far-apart gaussian blobs: naive occlusion graphs can
+        # disconnect them; the repair must reconnect everything
+        rng = np.random.default_rng(3)
+        blob_a = rng.normal(loc=0.0, size=(150, 8))
+        blob_b = rng.normal(loc=60.0, size=(150, 8))
+        data = np.vstack([blob_a, blob_b])
+        index = TauMGIndex(tau=0.05, candidate_pool=16).build(data)
+        reachable = index._reachable_from_entry(len(data))
+        assert len(reachable) == len(data)
+        # queries near either blob find their true neighbors
+        hit_a = index.search(blob_a[0], 1)[0]
+        assert hit_a.distance < 1e-9
+        hit_b = index.search(blob_b[0], 1)[0]
+        assert hit_b.distance < 1e-9
+
+
+class TestTfidfDetails:
+    def test_idf_decreases_with_frequency(self):
+        model = TfidfModel.fit(["alpha beta", "alpha gamma",
+                                "alpha delta"])
+        assert model.idf("alpha") < model.idf("beta")
+
+    def test_unseen_token_gets_max_idf(self):
+        model = TfidfModel.fit(["alpha beta"])
+        assert model.idf("zeta") >= model.idf("alpha")
+
+    def test_vocabulary_token_order_stable(self):
+        vocab = Vocabulary.from_corpus(["zeta alpha", "beta"])
+        tokens = vocab.tokens()
+        assert [vocab.index(token) for token in tokens] == \
+            list(range(len(tokens)))

@@ -1,0 +1,54 @@
+"""Every model preset drives the full system; the CLI entry point works."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import ChatGraph, ChatGraphConfig
+from repro.config import LLMConfig
+from repro.core import run_graph_understanding
+from repro.graphs import social_network
+
+
+class TestPresetParity:
+    @pytest.mark.parametrize("preset", ["chatglm-sim", "moss-sim",
+                                        "vicuna-sim"])
+    def test_preset_full_scenario(self, preset):
+        config = ChatGraphConfig(llm=LLMConfig(model=preset))
+        chatgraph = ChatGraph.pretrained(config=config, corpus_size=600,
+                                         seed=0)
+        result = run_graph_understanding(
+            chatgraph, social_network(30, 3, seed=1))
+        assert result.response.record.ok
+        assert result.details["graph_type"] == "social"
+        assert "generate_report" in result.chain_names
+
+
+class TestCliMain:
+    def test_scripted_session(self):
+        script = ("/demo social\n"
+                  "how many nodes does the graph have\n"
+                  "/show degrees\n"
+                  "/quit\n")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--corpus", "300"],
+            input=script, capture_output=True, text=True, timeout=240)
+        assert completed.returncode == 0
+        assert "count_nodes: 50" in completed.stdout
+        assert "degree" in completed.stdout
+        assert "bye" in completed.stdout
+
+    def test_graph_flag(self, tmp_path):
+        import json
+        from repro.graphs.io import to_dict
+        path = tmp_path / "g.json"
+        path.write_text(json.dumps(to_dict(social_network(12, 2,
+                                                          seed=0))))
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--corpus", "300",
+             "--graph", str(path)],
+            input="count the nodes\n/quit\n",
+            capture_output=True, text=True, timeout=240)
+        assert completed.returncode == 0
+        assert "count_nodes: 12" in completed.stdout

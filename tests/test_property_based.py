@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import (
+    connected_components,
+    core_number,
+    graph_edit_distance,
+    hungarian,
+    is_isomorphic,
+    wl_kernel_similarity,
+)
+from repro.embedding import HashingEmbedder
+from repro.finetune.losses import min_matching_loss, node_matching_loss
+from repro.graphs import Graph
+from repro.sequencer import length_constrained_path_cover
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(
+        lambda e: e[0] != e[1]),
+    min_size=0, max_size=25)
+
+small_edge_lists = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)).filter(
+        lambda e: e[0] != e[1]),
+    min_size=0, max_size=8)
+
+api_chains = st.lists(st.sampled_from(["a", "b", "c", "d", "e"]),
+                      min_size=0, max_size=6)
+
+
+def graph_from_edges(edges):
+    g = Graph()
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# graph invariants
+# ---------------------------------------------------------------------------
+
+@given(edge_lists)
+def test_components_partition_nodes(edges):
+    g = graph_from_edges(edges)
+    components = connected_components(g)
+    union = set().union(*components) if components else set()
+    assert union == set(g.nodes())
+    assert sum(len(c) for c in components) == g.number_of_nodes()
+
+
+@given(edge_lists)
+def test_core_number_bounded_by_degree(edges):
+    g = graph_from_edges(edges)
+    numbers = core_number(g)
+    for node, core in numbers.items():
+        assert 0 <= core <= g.degree(node)
+
+
+@given(edge_lists)
+def test_subgraph_of_all_nodes_is_equal(edges):
+    g = graph_from_edges(edges)
+    assert g.subgraph(list(g.nodes())) == g
+
+
+@given(edge_lists)
+def test_copy_equals_original(edges):
+    g = graph_from_edges(edges)
+    assert g.copy() == g
+
+
+@given(edge_lists)
+def test_degree_sum_is_twice_edges(edges):
+    g = graph_from_edges(edges)
+    assert sum(g.degree(n) for n in g.nodes()) == 2 * g.number_of_edges()
+
+
+# ---------------------------------------------------------------------------
+# hungarian vs scipy
+# ---------------------------------------------------------------------------
+
+@given(st.integers(1, 6), st.integers(1, 6), st.randoms(use_true_random=False))
+@settings(deadline=None)
+def test_hungarian_matches_scipy(n, m, rnd):
+    from scipy.optimize import linear_sum_assignment
+    cost = [[rnd.random() for __ in range(m)] for __ in range(n)]
+    __, total = hungarian(cost)
+    rows, cols = linear_sum_assignment(np.array(cost))
+    assert math.isclose(total, float(np.array(cost)[rows, cols].sum()),
+                        abs_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# GED metric-like properties
+# ---------------------------------------------------------------------------
+
+@given(small_edge_lists)
+def test_ged_identity(edges):
+    g = graph_from_edges(edges)
+    assert graph_edit_distance(g, g).cost == 0.0
+
+
+@given(small_edge_lists, small_edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_ged_symmetry_and_nonnegativity(e1, e2):
+    g1, g2 = graph_from_edges(e1), graph_from_edges(e2)
+    d12 = graph_edit_distance(g1, g2).cost
+    d21 = graph_edit_distance(g2, g1).cost
+    assert d12 >= 0
+    assert math.isclose(d12, d21, abs_tol=1e-9)
+
+
+@given(small_edge_lists, small_edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_ged_zero_iff_isomorphic(e1, e2):
+    g1, g2 = graph_from_edges(e1), graph_from_edges(e2)
+    if graph_edit_distance(g1, g2).cost == 0.0:
+        assert is_isomorphic(g1, g2)
+
+
+@given(small_edge_lists, small_edge_lists)
+@settings(max_examples=30, deadline=None)
+def test_wl_similarity_bounds(e1, e2):
+    g1, g2 = graph_from_edges(e1), graph_from_edges(e2)
+    sim = wl_kernel_similarity(g1, g2)
+    assert -1e-9 <= sim <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# path cover invariants (paper Sec. II-B)
+# ---------------------------------------------------------------------------
+
+@given(edge_lists, st.integers(1, 3))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.filter_too_much])
+def test_path_cover_complete_and_bounded(edges, max_length):
+    g = graph_from_edges(edges)
+    if g.number_of_nodes() == 0:
+        return
+    paths, stats = length_constrained_path_cover(g, max_length)
+    assert stats.node_coverage == 1.0
+    assert stats.edge_coverage == 1.0
+    assert stats.max_path_length <= max_length
+    for path in paths:
+        assert len(set(path)) == len(path)  # simple
+        for u, v in zip(path, path[1:]):
+            assert g.has_edge(u, v)  # valid walk
+
+
+# ---------------------------------------------------------------------------
+# node matching-based loss (paper Def. 1)
+# ---------------------------------------------------------------------------
+
+@given(api_chains)
+def test_matching_loss_identity(chain):
+    assert node_matching_loss(chain, chain) == 0.0
+
+
+@given(api_chains, api_chains)
+def test_matching_loss_symmetric_nonnegative(c1, c2):
+    loss = node_matching_loss(c1, c2)
+    assert loss >= 0.0
+    assert math.isclose(loss, node_matching_loss(c2, c1), abs_tol=1e-9)
+
+
+@given(api_chains, api_chains, st.floats(0.0, 5.0))
+def test_matching_loss_monotone_in_alpha(c1, c2, alpha):
+    base = node_matching_loss(c1, c2, alpha=0.0)
+    assert node_matching_loss(c1, c2, alpha=alpha) >= base - 1e-9
+
+
+@given(api_chains, st.lists(api_chains, min_size=1, max_size=3))
+def test_min_matching_loss_is_minimum(generated, truths):
+    best = min_matching_loss(generated, truths)
+    assert all(best <= node_matching_loss(generated, t) + 1e-9
+               for t in truths)
+    assert any(math.isclose(best, node_matching_loss(generated, t),
+                            abs_tol=1e-9) for t in truths)
+
+
+# ---------------------------------------------------------------------------
+# embedding invariants
+# ---------------------------------------------------------------------------
+
+@given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+               min_size=3, max_size=40))
+@settings(max_examples=50)
+def test_embedding_unit_norm_and_deterministic(text):
+    embedder = HashingEmbedder(dim=64)
+    try:
+        v1 = embedder.embed(text)
+    except Exception:
+        return  # stop-word-only or degenerate text is allowed to raise
+    v2 = embedder.embed(text)
+    assert np.allclose(v1, v2)
+    assert math.isclose(float(np.linalg.norm(v1)), 1.0, abs_tol=1e-9)

@@ -1,0 +1,76 @@
+"""Tests for the API retrieval module."""
+
+import pytest
+
+from repro.apis import APIRegistry, Category
+from repro.config import RetrievalConfig
+from repro.errors import IndexError_
+from repro.retrieval import APIRetriever
+
+
+class TestRetrieval:
+    def test_relevant_api_first(self, registry):
+        retriever = APIRetriever(registry)
+        names = retriever.retrieve_names(
+            "detect the communities of my social network", k=3)
+        assert "detect_communities" in names
+
+    def test_toxicity_query(self, registry):
+        retriever = APIRetriever(registry)
+        names = retriever.retrieve_names("predict molecule toxicity", k=3)
+        assert names[0] == "predict_toxicity"
+
+    def test_k_respected(self, registry):
+        retriever = APIRetriever(registry)
+        assert len(retriever.retrieve("count nodes", k=5)) == 5
+
+    def test_ranks_sequential(self, registry):
+        retriever = APIRetriever(registry)
+        hits = retriever.retrieve("clean the knowledge graph", k=4)
+        assert [h.rank for h in hits] == [0, 1, 2, 3]
+        distances = [h.distance for h in hits]
+        assert distances == sorted(distances)
+
+    def test_category_filter(self, registry):
+        retriever = APIRetriever(registry)
+        hits = retriever.retrieve("summarize the graph", k=5,
+                                  categories=(Category.MOLECULE,))
+        for hit in hits:
+            assert registry.get(hit.name).category == Category.MOLECULE
+
+    def test_default_k_from_config(self, registry):
+        retriever = APIRetriever(registry,
+                                 RetrievalConfig(top_k_apis=3))
+        assert len(retriever.retrieve("anything graph related")) == 3
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(IndexError_):
+            APIRetriever(APIRegistry())
+
+    def test_exact_vs_ann_agreement(self, registry):
+        """tau-MG retrieval matches brute force on most queries (Def. 2)."""
+        retriever = APIRetriever(registry)
+        queries = [
+            "count the nodes", "find influencers", "molecular formula",
+            "detect incorrect facts", "shortest path between two nodes",
+            "community detection", "solubility of the compound",
+            "report about the graph",
+        ]
+        agree = 0
+        for query in queries:
+            ann = set(retriever.retrieve_names(query, k=5))
+            exact = {h.name for h in retriever.exact_retrieve(query, k=5)}
+            agree += len(ann & exact) / 5
+        assert agree / len(queries) > 0.85
+
+    def test_small_registry_uses_brute_force(self):
+        from repro.ann import BruteForceIndex
+        registry = APIRegistry()
+        from repro.apis import APISpec
+        for i in range(4):
+            registry.register(APISpec(
+                f"api_{i}", f"api number {i} does thing {i}",
+                Category.GENERIC, lambda ctx: None))
+        retriever = APIRetriever(registry)
+        assert isinstance(retriever.index, BruteForceIndex)
+        assert len(retriever.retrieve_names("thing 2", k=2)) == 2

@@ -1,0 +1,112 @@
+"""Robustness tests: typo noise, odd graphs, adversarial-ish inputs."""
+
+import pytest
+
+from repro.apis import default_registry
+from repro.config import FinetuneConfig
+from repro.finetune import CorpusSpec, Finetuner, build_corpus, evaluate_model
+from repro.finetune.dataset import _inject_typo
+from repro.graphs import Graph, complete_graph, star_graph
+from repro.llm import build_model
+
+
+class TestTypoInjection:
+    def test_typo_changes_text(self):
+        import random
+        rng = random.Random(0)
+        changed = sum(
+            _inject_typo("count the triangles of this graph", rng)
+            != "count the triangles of this graph"
+            for __ in range(20))
+        assert changed >= 18
+
+    def test_short_text_untouched(self):
+        import random
+        assert _inject_typo("abc", random.Random(0)) == "abc"
+
+    def test_corpus_typo_rate(self, registry):
+        from repro.finetune.dataset import (
+            AMBIGUOUS_TEMPLATES,
+            TEMPLATES,
+            _FILLERS_PREFIX,
+            _FILLERS_SUFFIX,
+        )
+        noisy, noisy_test = build_corpus(
+            registry, CorpusSpec(n_examples=100, seed=5, typo_rate=1.0))
+        pristine = {
+            prefix + phrasing + suffix
+            for template in TEMPLATES + AMBIGUOUS_TEMPLATES
+            for phrasing in template.phrasings
+            for prefix in _FILLERS_PREFIX
+            for suffix in _FILLERS_SUFFIX}
+        typod = sum(example.question not in pristine
+                    for example in noisy + noisy_test)
+        assert typod > 85  # nearly every question carries a typo
+
+    def test_model_robust_to_typos(self):
+        """Train clean, evaluate on typo'd questions: accuracy degrades
+        gracefully (char n-gram features catch misspellings)."""
+        registry = default_registry()
+        train, __ = build_corpus(registry,
+                                 CorpusSpec(n_examples=400, seed=0))
+        __, noisy_test = build_corpus(registry,
+                                      CorpusSpec(n_examples=400, seed=0,
+                                                 typo_rate=1.0))
+        model = build_model("chatglm-sim", registry.names(), seed=0)
+        Finetuner(model, FinetuneConfig(epochs=5)).train(
+            train, objective="token")
+        clean_metrics = evaluate_model(model, train[:80])
+        noisy_metrics = evaluate_model(model, noisy_test)
+        assert clean_metrics.exact_match > 0.9
+        assert noisy_metrics.exact_match >= \
+            clean_metrics.exact_match - 0.3
+
+
+class TestOddGraphs:
+    """The chat surface must survive degenerate uploads."""
+
+    def test_single_node_graph(self, chatgraph):
+        g = Graph()
+        g.add_node("alone")
+        response = chatgraph.ask("write a brief report for G", graph=g)
+        assert isinstance(response.answer, str)
+
+    def test_self_loop_graph(self, chatgraph):
+        g = Graph()
+        g.add_edge("a", "a")
+        g.add_edge("a", "b")
+        response = chatgraph.ask("count the nodes", graph=g)
+        assert response.results().get("count_nodes") == 2
+
+    def test_huge_star(self, chatgraph):
+        response = chatgraph.ask("count the edges",
+                                 graph=star_graph(500))
+        assert response.results().get("count_edges") == 500
+
+    def test_dense_clique(self, chatgraph):
+        response = chatgraph.ask("how many triangles does the graph "
+                                 "contain", graph=complete_graph(12))
+        assert response.results().get("count_triangles") == 220
+
+    def test_string_and_tuple_node_ids(self, chatgraph):
+        g = Graph()
+        g.add_edge(("a", 1), ("b", 2))
+        g.add_edge("plain", ("a", 1))
+        response = chatgraph.ask("count the nodes", graph=g)
+        assert response.results().get("count_nodes") == 3
+
+
+class TestAdversarialText:
+    def test_empty_question_survives(self, chatgraph, social_graph):
+        response = chatgraph.ask("?", graph=social_graph)
+        assert isinstance(response.answer, str)
+
+    def test_very_long_question(self, chatgraph, social_graph):
+        question = "count the nodes " * 200
+        response = chatgraph.ask(question, graph=social_graph)
+        assert response.record is not None
+
+    def test_unicode_question(self, chatgraph, social_graph):
+        response = chatgraph.ask("how many nodes does the graph have — "
+                                 "s'il vous plaît ✨", graph=social_graph)
+        assert response.results().get("count_nodes") == 40

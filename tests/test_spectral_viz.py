@@ -1,0 +1,162 @@
+"""Tests for spectral partitioning, the viz module and new catalog hooks."""
+
+import pytest
+
+from repro.algorithms import (
+    fiedler_vector,
+    modularity,
+    spectral_bisection,
+    spectral_communities,
+)
+from repro.apis import APIChain, ChainContext, ChainExecutor, ChainNode
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    path_graph,
+    social_network,
+    star_graph,
+)
+from repro import viz
+
+
+def barbell() -> Graph:
+    """Two K4s joined by one edge — the canonical bisection target."""
+    g = Graph()
+    for u, v in complete_graph(4).edges():
+        g.add_edge(u, v)
+        g.add_edge(u + 10, v + 10)
+    g.add_edge(0, 10)
+    return g
+
+
+class TestSpectral:
+    def test_fiedler_signs_split_barbell(self):
+        values = fiedler_vector(barbell())
+        left = {n for n, v in values.items() if v < 0}
+        assert left in ({0, 1, 2, 3}, {10, 11, 12, 13})
+
+    def test_fiedler_needs_connected(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        with pytest.raises(GraphError):
+            fiedler_vector(g)
+
+    def test_fiedler_needs_two_nodes(self):
+        g = Graph()
+        g.add_node(1)
+        with pytest.raises(GraphError):
+            fiedler_vector(g)
+
+    def test_bisection_recovers_barbell(self):
+        left, right = spectral_bisection(barbell())
+        assert {frozenset(left), frozenset(right)} == \
+            {frozenset({0, 1, 2, 3}), frozenset({10, 11, 12, 13})}
+
+    def test_bisection_balanced_on_path(self):
+        left, right = spectral_bisection(path_graph(10))
+        assert abs(len(left) - len(right)) <= 2
+
+    def test_communities_planted(self):
+        g = social_network(45, 3, p_in=0.5, p_out=0.01, seed=6)
+        parts = spectral_communities(g, k=3)
+        assert len(parts) == 3
+        assert modularity(g, parts) > 0.4
+
+    def test_communities_cover_all(self):
+        g = social_network(30, 2, seed=1)
+        parts = spectral_communities(g, k=2)
+        assert set().union(*parts) == set(g.nodes())
+
+    def test_communities_disconnected_uses_components(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        parts = spectral_communities(g, k=2)
+        assert sorted(map(len, parts)) == [2, 2]
+
+    def test_bad_k(self):
+        with pytest.raises(GraphError):
+            spectral_communities(path_graph(3), k=0)
+
+    def test_empty_graph(self):
+        assert spectral_communities(Graph(), k=2) == []
+
+    def test_api_spectral_method(self, registry):
+        executor = ChainExecutor(registry)
+        g = social_network(30, 2, p_in=0.4, p_out=0.02, seed=2)
+        chain = APIChain([ChainNode("detect_communities",
+                                    {"method": "spectral", "k": 2})])
+        result = executor.execute(chain, ChainContext(graph=g)).final_result
+        assert result["method"] == "spectral"
+        assert result["n_communities"] == 2
+
+
+class TestViz:
+    def test_adjacency_matrix_marks(self):
+        g = path_graph(3)
+        art = viz.render_adjacency(g)
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert "\\" in lines[0] and "#" in lines[0]
+
+    def test_adjacency_truncation(self):
+        g = complete_graph(30)
+        art = viz.render_adjacency(g, max_nodes=5)
+        assert "more nodes not shown" in art
+
+    def test_degree_histogram_bars(self):
+        art = viz.render_degree_histogram(star_graph(5))
+        assert "degree" in art
+        assert "#" in art
+        assert viz.render_degree_histogram(Graph()) == "(empty graph)"
+
+    def test_communities_render(self):
+        g = social_network(24, 2, p_in=0.5, p_out=0.01, seed=3)
+        art = viz.render_communities(g)
+        assert "communities" in art
+        assert "[0]" in art
+
+    def test_summary_card(self):
+        g = social_network(10, 2, seed=0)
+        card = viz.render_graph_summary_card(g)
+        assert "10 nodes" in card
+
+
+class TestCliShow:
+    def test_show_variants(self, chatgraph):
+        import io
+        from repro.cli import ChatCli
+        cli = ChatCli(chatgraph, out=io.StringIO())
+        cli.handle("/demo social")
+        for what in ("", "adj", "degrees", "comms"):
+            cli.handle(f"/show {what}".strip())
+        output = cli.out.getvalue()
+        assert "degree" in output
+        assert "communities" in output
+
+    def test_show_without_graph_errors(self, chatgraph):
+        import io
+        from repro.cli import ChatCli
+        cli = ChatCli(chatgraph, out=io.StringIO())
+        cli.handle("/show")
+        assert "error:" in cli.out.getvalue()
+
+
+class TestInferEntityTypesApi:
+    def test_api_infers(self, registry):
+        from repro.kb import Triple, TripleStore
+        store = TripleStore()
+        for entity, etype in (("alice", "person"), ("bob", "person"),
+                              ("acme", "organization")):
+            store.set_entity_type(entity, etype)
+        store.add(Triple("alice", "works_at", "acme"))
+        store.add(Triple("bob", "works_at", "acme"))
+        store.add(Triple("carol", "works_at", "acme"))
+        executor = ChainExecutor(registry)
+        context = ChainContext(graph=store.to_graph())
+        chain = APIChain([ChainNode("infer_entity_types")])
+        result = executor.execute(chain, context).final_result
+        assert result["n_inferred"] == 1
+        assert result["entities"]["carol"]["type"] == "person"
