@@ -26,6 +26,8 @@ Package map (one subpackage per subsystem; see DESIGN.md):
 - :mod:`repro.retrieval` — API retrieval module
 - :mod:`repro.kb` — knowledge-graph inference (cleaning)
 - :mod:`repro.chem` — molecule substrate
+- :mod:`repro.serve` — concurrent service runtime (workers, admission
+  control, caches, sessions, metrics)
 """
 
 from .config import (
@@ -34,21 +36,27 @@ from .config import (
     LLMConfig,
     RetrievalConfig,
     SequencerConfig,
+    ServeConfig,
 )
 from .core.chatgraph import ChatGraph, ChatResponse
 from .core.session import ChatSession
 from .errors import ChatGraphError
+from .serve.engine import ChatGraphServer, ServeRequest, ServeResponse
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ChatGraph",
     "ChatGraphConfig",
+    "ChatGraphServer",
     "ChatResponse",
     "ChatSession",
     "ChatGraphError",
     "RetrievalConfig",
     "SequencerConfig",
+    "ServeConfig",
+    "ServeRequest",
+    "ServeResponse",
     "FinetuneConfig",
     "LLMConfig",
     "__version__",

@@ -65,6 +65,9 @@ class ExecutionEvent:
     api_name: str | None
     elapsed_seconds: float
     detail: str = ""
+    #: Total steps of the chain (set on ``chain_started``); consumers
+    #: should prefer this over parsing ``detail``.
+    n_steps: int | None = None
 
     def render(self) -> str:
         where = "" if self.step_index is None else \
@@ -133,14 +136,20 @@ class ChainExecutor:
     def remove_listener(self, listener: Listener) -> None:
         self._listeners.remove(listener)
 
+    def listeners(self) -> tuple[Listener, ...]:
+        """Snapshot of the registered listeners."""
+        return tuple(self._listeners)
+
     def _emit(self, kind: str, start: float, step_index: int | None = None,
-              api_name: str | None = None, detail: str = "") -> None:
+              api_name: str | None = None, detail: str = "",
+              n_steps: int | None = None) -> None:
         event = ExecutionEvent(
             kind=kind,
             step_index=step_index,
             api_name=api_name,
             elapsed_seconds=time.perf_counter() - start,
             detail=detail,
+            n_steps=n_steps,
         )
         for listener in self._listeners:
             listener(event)
@@ -157,7 +166,8 @@ class ChainExecutor:
         record = ChainExecutionRecord(chain=chain.copy())
         start = time.perf_counter()
         self._emit("chain_started", start,
-                   detail=f"{len(chain)} steps: {chain.render()}")
+                   detail=f"{len(chain)} steps: {chain.render()}",
+                   n_steps=len(chain))
         for index, node in enumerate(chain):
             spec = self.registry.get(node.api_name)
             self._emit("step_started", start, index, node.api_name)

@@ -208,8 +208,77 @@ class ChatCli:
             self.handle(line)
 
 
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not an integer")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"{value!r} must be positive")
+    return parsed
+
+
+def _worker_counts(value: str) -> tuple[int, ...]:
+    counts = tuple(_positive_int(part)
+                   for part in value.split(",") if part.strip())
+    if not counts:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} has no worker counts")
+    return counts
+
+
+def serve_bench_main(argv: list[str]) -> int:
+    """``python -m repro.cli serve-bench``: the serving benchmark."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve-bench",
+        description="Throughput/latency benchmark of the repro.serve "
+                    "runtime (worker scaling + cache ablation)")
+    parser.add_argument("--requests", type=_positive_int, default=48,
+                        help="workload size per configuration")
+    parser.add_argument("--workers", type=_worker_counts,
+                        default=(1, 4, 8),
+                        help="comma-separated worker counts (default "
+                             "1,4,8)")
+    parser.add_argument("--corpus", type=int, default=300,
+                        help="finetuning corpus size (default 300)")
+    parser.add_argument("--backend-latency-ms", type=float, default=10.0,
+                        help="emulated LLM-backend round trip per "
+                             "request (default 10ms)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    parser.add_argument("--stats", action="store_true",
+                        help="also dump the final server.stats() "
+                             "snapshot as JSON")
+    args = parser.parse_args(argv)
+
+    from .serve.bench import run_serve_benchmark
+    worker_counts = args.workers
+    n_requests = 12 if args.quick else args.requests
+    print("loading ChatGraph (finetuning the simulated backbone)...",
+          file=sys.stderr)
+    chatgraph = ChatGraph.pretrained(corpus_size=args.corpus,
+                                     seed=args.seed)
+    report = run_serve_benchmark(
+        chatgraph, n_requests=n_requests, worker_counts=worker_counts,
+        backend_latency_seconds=args.backend_latency_ms / 1000.0)
+    for line in report["lines"]:
+        print(line)
+    if args.stats:
+        print(json.dumps(report["snapshot"], indent=1, default=str))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point of ``python -m repro.cli``."""
+    """Entry point of ``python -m repro.cli``.
+
+    ``python -m repro.cli`` starts the chat REPL;
+    ``python -m repro.cli serve-bench [...]`` runs the serving
+    benchmark (see :mod:`repro.serve.bench`).
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="ChatGraph terminal chat")
     parser.add_argument("--graph", help="graph file to upload at start")

@@ -123,6 +123,65 @@ class LLMConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Parameters of the :mod:`repro.serve` service runtime.
+
+    Standalone on purpose: serving wraps a finished
+    :class:`ChatGraphConfig`-driven system, so the two configs compose
+    (``ChatGraphServer(chatgraph, ServeConfig(...))``) instead of nesting.
+    """
+
+    #: Worker threads consuming the admission queue.
+    workers: int = 4
+    #: Bounded admission-queue depth; a full queue rejects with
+    #: :class:`~repro.errors.BackpressureError` instead of blocking.
+    queue_depth: int = 64
+    #: Seconds a session may stay idle before TTL eviction.
+    session_ttl_seconds: float = 600.0
+    #: Hard cap on live sessions (least-recently-used wins eviction).
+    max_sessions: int = 256
+    #: Master switch for the content-addressed pipeline caches.
+    enable_caches: bool = True
+    #: LRU capacity for prompt-embedding vectors.
+    embedding_cache_size: int = 2048
+    #: LRU capacity for retrieval results (text + routing keyed).
+    retrieval_cache_size: int = 1024
+    #: LRU capacity for graph sequentializations (fingerprint keyed).
+    sequence_cache_size: int = 256
+    #: Token-bucket burst capacity per client; ``0`` disables limiting.
+    rate_limit_capacity: int = 0
+    #: Token-bucket refill rate (tokens per second per client).
+    rate_limit_refill_per_second: float = 0.0
+    #: Emulated LLM-backend round-trip added to each generate call.  The
+    #: offline backbone is CPU-only; real deployments call a remote LLM,
+    #: so benchmarks use this knob to model the I/O-bound regime where
+    #: worker concurrency pays off.
+    backend_latency_seconds: float = 0.0
+    #: Base seed folded into every request's deterministic per-request
+    #: seed (content-keyed, so results are order-independent).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(self.workers >= 1, "workers must be >= 1")
+        _require(self.queue_depth >= 1, "queue_depth must be >= 1")
+        _require(self.session_ttl_seconds > 0.0,
+                 "session_ttl_seconds must be > 0")
+        _require(self.max_sessions >= 1, "max_sessions must be >= 1")
+        _require(self.embedding_cache_size >= 1,
+                 "embedding_cache_size must be >= 1")
+        _require(self.retrieval_cache_size >= 1,
+                 "retrieval_cache_size must be >= 1")
+        _require(self.sequence_cache_size >= 1,
+                 "sequence_cache_size must be >= 1")
+        _require(self.rate_limit_capacity >= 0,
+                 "rate_limit_capacity must be >= 0")
+        _require(self.rate_limit_refill_per_second >= 0.0,
+                 "rate_limit_refill_per_second must be >= 0")
+        _require(self.backend_latency_seconds >= 0.0,
+                 "backend_latency_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
 class ChatGraphConfig:
     """Top-level configuration for a :class:`~repro.core.chatgraph.ChatGraph`.
 

@@ -136,14 +136,17 @@ class ChatGraph:
             extras=dict(prompt.attachments),
             confirm=confirm,
         )
-        self.executor.add_listener(monitor)
-        try:
-            # the chat surface degrades gracefully: a failing step is
-            # reported in the answer instead of aborting the dialog
-            record = self.executor.execute(chain, context,
-                                           stop_on_error=False)
-        finally:
-            self.executor.remove_listener(monitor)
+        # a per-call executor keeps concurrent execute() calls (the
+        # repro.serve worker pool) from racing on a shared listener
+        # list; ``self.executor`` stays for callers that attach their
+        # own long-lived listeners
+        executor = ChainExecutor(self.registry)
+        executor.add_listener(monitor)
+        for listener in self.executor.listeners():
+            executor.add_listener(listener)
+        # the chat surface degrades gracefully: a failing step is
+        # reported in the answer instead of aborting the dialog
+        record = executor.execute(chain, context, stop_on_error=False)
         return record, monitor
 
     def ask(self, text: str, graph: Graph | None = None,
@@ -164,6 +167,15 @@ class ChatGraph:
         )
 
     # ------------------------------------------------------------------
+    def enable_caches(self, caches: Any | None) -> None:
+        """Attach (or with ``None`` detach) a serve-layer cache bundle.
+
+        ``caches`` is a :class:`repro.serve.cache.PipelineCaches`; the
+        pipeline's retrieval and sequentialize stages and the
+        retriever's query embedder become content-addressed lookups.
+        """
+        self.pipeline.attach_caches(caches)
+
     def require_model(self) -> ChainLanguageModel:
         """The chain model, asserting initialization (for type checkers)."""
         if self.model is None:

@@ -24,11 +24,16 @@ class ChainMonitor:
     def __call__(self, event: ExecutionEvent) -> None:
         self.events.append(event)
         if event.kind == "chain_started":
-            prefix = event.detail.split(" steps:", 1)[0]
-            try:
-                self.n_steps = int(prefix)
-            except ValueError:
-                self.n_steps = 0
+            if event.n_steps is not None:
+                self.n_steps = event.n_steps
+            else:
+                # legacy events (pre-``n_steps``) only carry the count
+                # inside the rendered detail string
+                prefix = event.detail.split(" steps:", 1)[0]
+                try:
+                    self.n_steps = int(prefix)
+                except ValueError:
+                    self.n_steps = 0
             self.current_step = -1
             self.finished = self.failed = False
         elif event.kind == "step_started":

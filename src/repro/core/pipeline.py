@@ -86,6 +86,23 @@ class ChatPipeline:
         self.sequentializer = GraphSequentializer(self.config.sequencer)
         self.type_predictor = GraphTypePredictor()
         self.intent_classifier = IntentClassifier()
+        #: Optional :class:`repro.serve.cache.PipelineCaches`; attach via
+        #: :meth:`attach_caches` to memoize the retrieval and
+        #: sequentialize stages across requests.
+        self.caches = None
+
+    def attach_caches(self, caches) -> None:
+        """Wire a cache bundle into the retrieval/sequentialize stages.
+
+        Pass ``None`` to detach.  The embedding cache additionally hooks
+        the retriever's query embedder, so repeated prompt texts skip
+        the hashing-embedder featurization too.
+        """
+        self.caches = caches
+        self.sequentializer.cache = (
+            caches.sequences if caches is not None else None)
+        self.retriever.embed_cache = (
+            caches.embeddings if caches is not None else None)
 
     def process(self, prompt: Prompt) -> PipelineResult:
         """Run every stage for ``prompt`` and return the proposed chain."""
@@ -107,9 +124,7 @@ class ChatPipeline:
         categories = CATEGORY_ROUTING.get(graph_type or "generic",
                                           tuple(Category))
         try:
-            retrieved = self.retriever.retrieve_names(
-                prompt.text, k=self.config.retrieval.top_k_apis,
-                categories=categories)
+            retrieved = self._retrieve(prompt.text, categories)
         except EmbeddingError:
             # unembeddable text (e.g. punctuation only): no retrieval
             # conditioning; the fallback chain covers generation
@@ -163,6 +178,18 @@ class ChatPipeline:
             used_fallback=used_fallback,
             timings=timings,
         )
+
+    def _retrieve(self, text: str,
+                  categories: tuple[Category, ...]) -> tuple[str, ...]:
+        """Retrieval stage, memoized when a cache bundle is attached."""
+        k = self.config.retrieval.top_k_apis
+        if self.caches is None:
+            return self.retriever.retrieve_names(text, k=k,
+                                                 categories=categories)
+        key = (text, k, categories)
+        return self.caches.retrieval.get_or_compute(
+            key, lambda: self.retriever.retrieve_names(
+                text, k=k, categories=categories))
 
     @staticmethod
     def _fallback(graph_type: str | None, intent: str) -> tuple[str, ...]:

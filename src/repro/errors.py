@@ -98,5 +98,31 @@ class SessionError(ChatGraphError):
     """Chat-session protocol violation (e.g. confirming with no pending chain)."""
 
 
+class ServeError(ChatGraphError):
+    """Service-runtime failure (see :mod:`repro.serve`)."""
+
+
+class BackpressureError(ServeError):
+    """The admission queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, retry_after: float, depth: int) -> None:
+        super().__init__(
+            f"admission queue full ({depth} requests queued); "
+            f"retry in {retry_after:.3f}s")
+        self.retry_after = retry_after
+        self.depth = depth
+
+
+class RateLimitError(ServeError):
+    """A client exceeded its token-bucket rate limit."""
+
+    def __init__(self, client_id: str, retry_after: float) -> None:
+        super().__init__(
+            f"client {client_id!r} rate-limited; "
+            f"retry in {retry_after:.3f}s")
+        self.client_id = client_id
+        self.retry_after = retry_after
+
+
 class ConfigError(ChatGraphError):
     """Invalid configuration value."""

@@ -22,6 +22,7 @@ from .generators import (
     star_graph,
 )
 from .io import (
+    fingerprint,
     from_adjacency,
     from_dict,
     from_edgelist,
@@ -40,6 +41,7 @@ __all__ = [
     "Graph",
     "DiGraph",
     "ego_graph",
+    "fingerprint",
     "induced_subgraph",
     "from_adjacency",
     "from_dict",

@@ -7,6 +7,7 @@ into a :class:`~repro.graphs.graph.Graph`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Iterable, Mapping
@@ -117,6 +118,24 @@ def to_dict(graph: Graph) -> dict[str, Any]:
         "edges": [{"source": u, "target": v, **graph.edge_attrs(u, v)}
                   for u, v in graph.edges()],
     }
+
+
+def fingerprint(graph: Graph) -> str:
+    """Stable content hash of ``graph`` (hex digest).
+
+    Two graphs with the same nodes, edges and attributes — regardless of
+    insertion order — hash identically, which makes the digest usable as
+    a cache key (see :mod:`repro.serve.cache`).
+    """
+    document = to_dict(graph)
+    document["nodes"] = sorted(
+        (json.dumps(node, sort_keys=True, default=repr)
+         for node in document["nodes"]))
+    document["edges"] = sorted(
+        (json.dumps(edge, sort_keys=True, default=repr)
+         for edge in document["edges"]))
+    canonical = json.dumps(document, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def from_dict(data: Mapping[str, Any]) -> Graph:

@@ -42,8 +42,13 @@ class APIRetriever:
     def __init__(self, registry: APIRegistry,
                  config: RetrievalConfig | None = None,
                  index: AnnIndex | None = None,
-                 use_idf: bool = False) -> None:
+                 use_idf: bool = False,
+                 embed_cache: "object | None" = None) -> None:
         self.registry = registry
+        #: Optional query-embedding cache (``get``/``put`` duck type,
+        #: e.g. :class:`repro.serve.cache.LRUCache`); cached vectors are
+        #: shared and must not be mutated.
+        self.embed_cache = embed_cache
         self.config = config or RetrievalConfig()
         self._names = registry.names()
         if not self._names:
@@ -69,6 +74,16 @@ class APIRetriever:
         spec = self.registry.get(name)
         return f"{name.replace('_', ' ')}. {spec.description}"
 
+    def _embed_query(self, text: str):
+        """Embed ``text``, consulting the optional query cache."""
+        if self.embed_cache is None:
+            return self.embedder.embed(text)
+        vector = self.embed_cache.get(text)
+        if vector is None:
+            vector = self.embedder.embed(text)
+            self.embed_cache.put(text, vector)
+        return vector
+
     # ------------------------------------------------------------------
     def retrieve(self, text: str, k: int | None = None,
                  categories: tuple[Category, ...] | None = None
@@ -80,7 +95,7 @@ class APIRetriever:
         results whenever k are available.
         """
         k = k or self.config.top_k_apis
-        query = self.embedder.embed(text)
+        query = self._embed_query(text)
         pool = k if categories is None else min(len(self._names), 4 * k)
         hits = self.index.search(query, k=pool)
         results: list[RetrievedAPI] = []
@@ -106,7 +121,7 @@ class APIRetriever:
                        ) -> list[RetrievedAPI]:
         """Brute-force retrieval (ground truth for recall benchmarks)."""
         k = k or self.config.top_k_apis
-        query = self.embedder.embed(text)
+        query = self._embed_query(text)
         distances = np.linalg.norm(self._vectors - query, axis=1)
         order = np.argsort(distances, kind="stable")[:k]
         return [RetrievedAPI(name=self._names[int(i)],

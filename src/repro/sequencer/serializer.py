@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 from ..config import SequencerConfig
 from ..graphs.graph import Graph, Node
@@ -79,11 +80,28 @@ class GraphSequentializer:
         out.sequences[0]   # ('<n:C>', '<e>', '<n:C>', ...)
     """
 
-    def __init__(self, config: SequencerConfig | None = None) -> None:
+    def __init__(self, config: SequencerConfig | None = None,
+                 cache: "Any | None" = None) -> None:
         self.config = config or SequencerConfig()
+        #: Optional content-addressed cache (``get(key)``/``put(key, v)``
+        #: duck type, e.g. :class:`repro.serve.cache.LRUCache`).  Cached
+        #: :class:`GraphSequences` are shared — treat them as immutable.
+        self.cache = cache
 
     def sequentialize(self, graph: Graph) -> GraphSequences:
         """Produce the (possibly multi-level) sequences of ``graph``."""
+        if self.cache is None:
+            return self._sequentialize(graph)
+        from ..graphs.io import fingerprint
+        key = (fingerprint(graph), self.config)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        out = self._sequentialize(graph)
+        self.cache.put(key, out)
+        return out
+
+    def _sequentialize(self, graph: Graph) -> GraphSequences:
         config = self.config
         paths, stats = length_constrained_path_cover(
             graph, config.path_length, max_paths=config.max_paths)

@@ -1,0 +1,50 @@
+"""repro.serve — the concurrent service runtime around ChatGraph.
+
+The library's :class:`~repro.core.chatgraph.ChatGraph` is a synchronous
+single-caller facade; this subsystem makes it a *server*:
+
+* :mod:`engine` — :class:`ChatGraphServer`: worker pool, request
+  dispatch, deterministic per-request seeding, graceful shutdown;
+* :mod:`admission` — bounded queue with backpressure + per-client
+  token-bucket rate limiting;
+* :mod:`sessions` — concurrent TTL/LRU session store;
+* :mod:`cache` — thread-safe content-addressed LRU caches wired into
+  the pipeline's embedding, retrieval and sequentialize stages;
+* :mod:`stats` — per-stage counters and latency histograms;
+* :mod:`bench` — the throughput/latency harness behind
+  ``python -m repro.cli serve-bench`` and ``benchmarks/bench_serve.py``.
+"""
+
+from ..config import ServeConfig
+from ..errors import BackpressureError, RateLimitError, ServeError
+from .admission import AdmissionQueue, RateLimiter, TokenBucket
+from .cache import CacheStats, LRUCache, PipelineCaches
+from .engine import (
+    ChatGraphServer,
+    PendingRequest,
+    ServeRequest,
+    ServeResponse,
+)
+from .sessions import SessionEntry, SessionStore
+from .stats import LatencyHistogram, ServerStats
+
+__all__ = [
+    "AdmissionQueue",
+    "BackpressureError",
+    "CacheStats",
+    "ChatGraphServer",
+    "LRUCache",
+    "LatencyHistogram",
+    "PendingRequest",
+    "PipelineCaches",
+    "RateLimitError",
+    "RateLimiter",
+    "ServeConfig",
+    "ServeError",
+    "ServeRequest",
+    "ServeResponse",
+    "ServerStats",
+    "SessionEntry",
+    "SessionStore",
+    "TokenBucket",
+]

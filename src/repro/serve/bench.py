@@ -1,0 +1,156 @@
+"""Serving benchmark harness shared by the CLI and benchmarks/.
+
+``run_serve_benchmark`` replays a fixed, deterministic workload (mixed
+graph-understanding prompts over a handful of demo graphs) against a
+:class:`~repro.serve.engine.ChatGraphServer` at several worker counts,
+with the pipeline caches on or off, and reports throughput and latency
+quantiles per configuration.
+
+The offline backbone is pure CPU, so the harness defaults to a small
+emulated backend round trip (``backend_latency_seconds``) to model the
+I/O-bound regime of a real LLM deployment — that is where worker
+concurrency, not raw single-thread speed, sets throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..config import ServeConfig
+from ..core.chatgraph import ChatGraph
+from ..graphs.generators import knowledge_graph, social_network
+from .engine import ChatGraphServer, ServeRequest
+
+#: The benchmark's prompt mix (cycled over the workload size).
+PROMPTS: tuple[str, ...] = (
+    "write a brief report for G",
+    "find the communities of this network",
+    "who are the influencers in G",
+    "summarize the uploaded graph",
+    "how dense is this graph",
+    "clean the knowledge graph",
+)
+
+
+def build_workload(n_requests: int,
+                   n_graphs: int = 4) -> list[ServeRequest]:
+    """A deterministic list of propose requests over demo graphs."""
+    graphs = []
+    for index in range(max(1, n_graphs // 2)):
+        graphs.append(social_network(30 + 4 * index, 3, seed=index))
+    for index in range(max(1, n_graphs - len(graphs))):
+        graphs.append(knowledge_graph(24 + 4 * index, 80, seed=index))
+    return [
+        ServeRequest(op="propose",
+                     text=PROMPTS[index % len(PROMPTS)],
+                     graph=graphs[index % len(graphs)],
+                     client_id=f"client-{index % 4}")
+        for index in range(n_requests)
+    ]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark configuration's measurements."""
+
+    workers: int
+    caches: bool
+    n_requests: int
+    seconds: float
+    p50_seconds: float
+    p95_seconds: float
+    cache_hit_rate: float
+
+    @property
+    def throughput(self) -> float:
+        return self.n_requests / self.seconds if self.seconds else 0.0
+
+    def render(self) -> str:
+        caches = "on " if self.caches else "off"
+        return (f"workers={self.workers} caches={caches} "
+                f"n={self.n_requests:>4} "
+                f"throughput={self.throughput:8.2f} req/s "
+                f"p50={self.p50_seconds * 1000:7.2f}ms "
+                f"p95={self.p95_seconds * 1000:7.2f}ms "
+                f"hit_rate={self.cache_hit_rate:.2f}")
+
+
+def run_one(chatgraph: ChatGraph, workload: Sequence[ServeRequest],
+            workers: int, caches: bool,
+            backend_latency_seconds: float = 0.01,
+            warm: bool = False) -> tuple[BenchResult, dict[str, Any]]:
+    """Serve ``workload`` once; returns (result, server-stats snapshot)."""
+    config = ServeConfig(workers=workers,
+                         queue_depth=max(64, 2 * len(workload)),
+                         enable_caches=caches,
+                         backend_latency_seconds=backend_latency_seconds)
+    server = ChatGraphServer(chatgraph, config)
+    with server:
+        if warm and caches:
+            # pre-touch every distinct (text, graph) pair so the timed
+            # run measures warm-cache latency
+            for request in workload:
+                server.request(request)
+        start = time.perf_counter()
+        pending = [server.submit(request) for request in workload]
+        responses = [item.result(timeout=300.0) for item in pending]
+        seconds = time.perf_counter() - start
+        snapshot = server.stats()
+    failed = [r for r in responses if not r.ok]
+    if failed:
+        raise RuntimeError(
+            f"{len(failed)} benchmark requests failed; first error: "
+            f"{failed[0].error}")
+    service = snapshot["latency"].get("total", {})
+    cache_stats = snapshot.get("caches") or {}
+    retrieval = cache_stats.get("retrieval", {})
+    result = BenchResult(
+        workers=workers, caches=caches, n_requests=len(workload),
+        seconds=seconds,
+        p50_seconds=service.get("p50", 0.0),
+        p95_seconds=service.get("p95", 0.0),
+        cache_hit_rate=retrieval.get("hit_rate", 0.0))
+    return result, snapshot
+
+
+def run_serve_benchmark(chatgraph: ChatGraph, n_requests: int = 48,
+                        worker_counts: Sequence[int] = (1, 4, 8),
+                        backend_latency_seconds: float = 0.01
+                        ) -> dict[str, Any]:
+    """The full sweep: worker scaling, then caches on vs off.
+
+    Returns ``{"scaling": [BenchResult...], "caches": [BenchResult...],
+    "lines": [str...]}`` — ``lines`` is the rendered table.
+    """
+    workload = build_workload(n_requests)
+    scaling = []
+    snapshot: dict[str, Any] = {}
+    for workers in worker_counts:
+        result, snapshot = run_one(
+            chatgraph, workload, workers=workers, caches=True,
+            backend_latency_seconds=backend_latency_seconds)
+        scaling.append(result)
+    # cold vs warm cache at a fixed worker count, no emulated backend
+    # pause, so the delta isolates the cached pipeline stages
+    cache_off, __ = run_one(chatgraph, workload, workers=1, caches=False,
+                            backend_latency_seconds=0.0)
+    cache_warm, __ = run_one(chatgraph, workload, workers=1, caches=True,
+                             backend_latency_seconds=0.0, warm=True)
+    lines = ["-- worker scaling (caches on, emulated backend "
+             f"latency {backend_latency_seconds * 1000:.0f}ms) --"]
+    lines.extend(result.render() for result in scaling)
+    base = scaling[0].throughput
+    for result in scaling[1:]:
+        lines.append(f"  speedup x{result.workers}: "
+                     f"{result.throughput / base:.2f}x over 1 worker")
+    lines.append("-- cache ablation (1 worker, no emulated latency) --")
+    lines.append("cold  " + cache_off.render())
+    lines.append("warm  " + cache_warm.render())
+    if cache_warm.p50_seconds:
+        lines.append(f"  warm-cache p50 is "
+                     f"{cache_off.p50_seconds / cache_warm.p50_seconds:.2f}x"
+                     f" faster than cold")
+    return {"scaling": scaling, "caches": [cache_off, cache_warm],
+            "lines": lines, "snapshot": snapshot}

@@ -1,0 +1,397 @@
+"""The service runtime: a worker pool around :class:`ChatGraph`.
+
+``ChatGraphServer`` turns the synchronous, single-caller facade into a
+multi-session service: callers submit :class:`ServeRequest` objects
+(propose / execute / ask) which pass admission control (per-client rate
+limit, bounded queue with backpressure) and are dispatched to N worker
+threads.  Each request gets a deterministic content-keyed seed, so a
+fixed workload produces bit-identical results whether it is served by
+one worker or eight, in any arrival order.
+
+Example::
+
+    from repro import ChatGraph
+    from repro.serve import ChatGraphServer, ServeRequest
+
+    server = ChatGraphServer(ChatGraph.pretrained())
+    with server:
+        response = server.ask("write a brief report for G", graph=g)
+        print(response.value.answer)
+    print(server.stats()["counters"])
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..apis.chain import APIChain
+from ..config import ServeConfig
+from ..core.chatgraph import ChatGraph, ChatResponse
+from ..core.pipeline import PipelineResult
+from ..core.reports import render_answer
+from ..errors import ChatGraphError, ServeError
+from ..graphs.graph import Graph
+from .admission import AdmissionQueue, RateLimiter
+from .cache import PipelineCaches
+from .sessions import SessionStore
+from .stats import ServerStats
+
+#: Operations a :class:`ServeRequest` may name.
+OPS = ("propose", "execute", "ask")
+
+#: Pipeline stages mirrored into per-stage latency histograms.
+_PIPELINE_STAGES = ("intent", "graph_type", "retrieval", "sequentialize",
+                    "generate")
+
+
+@dataclass
+class ServeRequest:
+    """One unit of work submitted to the server.
+
+    ``propose`` and ``ask`` need ``text`` (plus an optional graph);
+    ``execute`` needs the ``pipeline_result`` of an earlier propose and
+    may carry a user-edited ``chain`` (paper scenario 4's confirm/edit
+    loop, server-side).
+    """
+
+    op: str
+    text: str = ""
+    graph: Graph | None = None
+    #: Binds the request to a stateful dialog; None = stateless.
+    session_id: str | None = None
+    #: Rate-limiting principal.
+    client_id: str = "anonymous"
+    #: For ``op="execute"``: the proposal to run.
+    pipeline_result: PipelineResult | None = None
+    #: For ``op="execute"``: optional edited chain replacing the
+    #: proposed one.
+    chain: APIChain | None = None
+    attachments: dict[str, Any] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        if self.op not in OPS:
+            raise ServeError(f"unknown op {self.op!r}; expected one of "
+                             f"{OPS}")
+        if self.op in ("propose", "ask") and not self.text:
+            raise ServeError(f"op {self.op!r} requires text")
+        if self.op == "execute" and self.pipeline_result is None:
+            raise ServeError("op 'execute' requires pipeline_result")
+
+    def content_seed(self, base_seed: int) -> int:
+        """Deterministic seed from request *content* (not arrival order).
+
+        Hashing the identifying fields keeps results reproducible and
+        independent of worker interleaving: the same request under the
+        same base seed always computes with the same seed.
+        """
+        material = "\x1f".join((
+            str(base_seed), self.op, self.text,
+            self.session_id or "", self.client_id,
+        ))
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "little")
+
+
+@dataclass
+class ServeResponse:
+    """Outcome of one served request."""
+
+    request_id: int
+    op: str
+    ok: bool
+    #: ``propose`` -> :class:`PipelineResult`; ``ask`` ->
+    #: :class:`ChatResponse`; ``execute`` -> :class:`ChatResponse`.
+    value: Any = None
+    error: str = ""
+    error_type: str = ""
+    worker: str = ""
+    seed: int = 0
+    queued_seconds: float = 0.0
+    service_seconds: float = 0.0
+
+
+class PendingRequest:
+    """Caller-side handle: a queued request and its future response."""
+
+    def __init__(self, request: ServeRequest, request_id: int,
+                 enqueued_at: float) -> None:
+        self.request = request
+        self.request_id = request_id
+        self.enqueued_at = enqueued_at
+        self._done = threading.Event()
+        self._response: ServeResponse | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> ServeResponse:
+        """Block until the worker resolves this request."""
+        if not self._done.wait(timeout):
+            raise ServeError(
+                f"request {self.request_id} not done after {timeout}s")
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: ServeResponse) -> None:
+        self._response = response
+        self._done.set()
+
+
+class ChatGraphServer:
+    """Concurrent front-end over one shared :class:`ChatGraph`.
+
+    The underlying pipeline is read-only at inference time, so one
+    model serves every worker; per-request state (contexts, monitors,
+    executors) is never shared.  Lifecycle: :meth:`start` -> submit /
+    request -> :meth:`stop` (or use the instance as a context manager).
+    """
+
+    def __init__(self, chatgraph: ChatGraph,
+                 config: ServeConfig | None = None) -> None:
+        self.chatgraph = chatgraph
+        self.config = config or ServeConfig()
+        self.caches: PipelineCaches | None = None
+        if self.config.enable_caches:
+            self.caches = PipelineCaches.with_sizes(
+                embedding=self.config.embedding_cache_size,
+                retrieval=self.config.retrieval_cache_size,
+                sequence=self.config.sequence_cache_size)
+        chatgraph.enable_caches(self.caches)
+        self.sessions = SessionStore(
+            chatgraph, ttl_seconds=self.config.session_ttl_seconds,
+            max_sessions=self.config.max_sessions)
+        self.queue = AdmissionQueue(self.config.queue_depth)
+        self.limiter: RateLimiter | None = None
+        if self.config.rate_limit_capacity > 0:
+            self.limiter = RateLimiter(
+                self.config.rate_limit_capacity,
+                self.config.rate_limit_refill_per_second)
+        self._stats = ServerStats()
+        self._workers: list[threading.Thread] = []
+        self._running = False
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ChatGraphServer":
+        if self._running:
+            raise ServeError("server already started")
+        self.queue.reopen()
+        self._workers = []
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(f"worker-{index}",),
+                name=f"chatgraph-serve-{index}", daemon=True)
+            thread.start()
+            self._workers.append(thread)
+        self._running = True
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, then drain or cancel.
+
+        With ``drain`` (default) queued requests are still served;
+        otherwise they resolve immediately with a shutdown error.
+        """
+        if not self._running:
+            return
+        self.queue.close()
+        if not drain:
+            for item in self.queue.drain():
+                item._resolve(ServeResponse(
+                    request_id=item.request_id, op=item.request.op,
+                    ok=False, error="server stopped before the request "
+                    "was served", error_type="ServeError"))
+        deadline = time.monotonic() + timeout
+        for thread in self._workers:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        self._workers = []
+        self._running = False
+
+    def __enter__(self) -> "ChatGraphServer":
+        if not self._running:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> PendingRequest:
+        """Admit ``request`` and return a handle to its future response.
+
+        Raises :class:`~repro.errors.RateLimitError` or
+        :class:`~repro.errors.BackpressureError` (both carry
+        ``retry_after``) when admission control rejects it.
+        """
+        if not self._running:
+            raise ServeError("server is not running; call start()")
+        request.validate()
+        if self.limiter is not None:
+            try:
+                self.limiter.admit(request.client_id)
+            except ChatGraphError:
+                self._stats.incr("rejected_rate_limit")
+                raise
+        with self._id_lock:
+            self._next_id += 1
+            request_id = self._next_id
+        pending = PendingRequest(request, request_id, time.perf_counter())
+        try:
+            self.queue.put(pending)
+        except ChatGraphError:
+            self._stats.incr("rejected_backpressure")
+            raise
+        self._stats.incr("admitted")
+        return pending
+
+    def request(self, request: ServeRequest,
+                timeout: float | None = None) -> ServeResponse:
+        """Submit and wait: the synchronous convenience path."""
+        return self.submit(request).result(timeout)
+
+    def propose(self, text: str, graph: Graph | None = None,
+                **kwargs: Any) -> ServeResponse:
+        return self.request(ServeRequest(op="propose", text=text,
+                                         graph=graph, **kwargs))
+
+    def ask(self, text: str, graph: Graph | None = None,
+            **kwargs: Any) -> ServeResponse:
+        return self.request(ServeRequest(op="ask", text=text, graph=graph,
+                                         **kwargs))
+
+    def execute(self, pipeline_result: PipelineResult,
+                chain: APIChain | None = None,
+                **kwargs: Any) -> ServeResponse:
+        return self.request(ServeRequest(op="execute",
+                                         pipeline_result=pipeline_result,
+                                         chain=chain, **kwargs))
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker: str) -> None:
+        while True:
+            item = self.queue.get(timeout=0.05)
+            if item is None:
+                if self.queue.closed and len(self.queue) == 0:
+                    return
+                continue
+            queued = time.perf_counter() - item.enqueued_at
+            self._stats.observe("queued", queued)
+            start = time.perf_counter()
+            try:
+                response = self._handle(item, worker)
+                response.ok = not response.error
+            except Exception as exc:  # noqa: BLE001 - keep workers alive
+                self._stats.incr("failed")
+                response = ServeResponse(
+                    request_id=item.request_id, op=item.request.op,
+                    ok=False, error=str(exc),
+                    error_type=type(exc).__name__, worker=worker)
+            service = time.perf_counter() - start
+            response.queued_seconds = queued
+            response.service_seconds = service
+            self.queue.record_service_time(service)
+            self._stats.observe("service", service)
+            self._stats.observe("total", queued + service)
+            self._stats.incr(f"op_{item.request.op}")
+            item._resolve(response)
+
+    def _handle(self, item: PendingRequest, worker: str) -> ServeResponse:
+        request = item.request
+        seed = request.content_seed(self.config.seed)
+        response = ServeResponse(request_id=item.request_id, op=request.op,
+                                 ok=True, worker=worker, seed=seed)
+        if request.op == "propose":
+            response.value = self._serve_propose(request, seed)
+        elif request.op == "execute":
+            response.value = self._serve_execute(request, seed)
+        else:
+            response.value = self._serve_ask(request, seed)
+        return response
+
+    def _backend_pause(self) -> None:
+        """Emulate the remote-LLM round trip (see ServeConfig)."""
+        if self.config.backend_latency_seconds > 0:
+            time.sleep(self.config.backend_latency_seconds)
+
+    def _record_pipeline(self, result: PipelineResult) -> None:
+        for stage in _PIPELINE_STAGES:
+            if stage in result.timings:
+                self._stats.observe(stage, result.timings[stage])
+        if result.used_fallback:
+            self._stats.incr("fallback_chains")
+
+    def _serve_propose(self, request: ServeRequest,
+                       seed: int) -> PipelineResult:
+        self._backend_pause()
+        attachments = dict(request.attachments)
+        attachments.setdefault("request_seed", seed)
+        result = self.chatgraph.propose(request.text, request.graph,
+                                        **attachments)
+        self._record_pipeline(result)
+        return result
+
+    def _serve_execute(self, request: ServeRequest,
+                       seed: int) -> ChatResponse:
+        assert request.pipeline_result is not None
+        start = time.perf_counter()
+        record, monitor = self.chatgraph.execute(
+            request.pipeline_result, chain=request.chain)
+        self._stats.observe("execute", time.perf_counter() - start)
+        return ChatResponse(
+            prompt=request.pipeline_result.prompt,
+            pipeline=request.pipeline_result,
+            record=record,
+            answer=render_answer(record),
+            monitor=monitor,
+            seconds=record.total_seconds,
+        )
+
+    def _serve_ask(self, request: ServeRequest, seed: int) -> ChatResponse:
+        self._backend_pause()
+        if request.session_id is not None:
+            entry = self.sessions.get_or_create(request.session_id)
+            with entry.lock:
+                if request.graph is not None:
+                    entry.session.upload_graph(request.graph,
+                                               **request.attachments)
+                chat_response = entry.session.send(request.text)
+        else:
+            attachments = dict(request.attachments)
+            attachments.setdefault("request_seed", seed)
+            chat_response = self.chatgraph.ask(request.text, request.graph,
+                                               **attachments)
+        self._record_pipeline(chat_response.pipeline)
+        if chat_response.record is not None:
+            self._stats.observe(
+                "execute", chat_response.record.total_seconds)
+        return chat_response
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """One merged snapshot: counters, latency, caches, sessions,
+        queue."""
+        snapshot = self._stats.snapshot()
+        snapshot["queue"] = {"depth": self.queue.maxsize,
+                             "size": len(self.queue)}
+        snapshot["sessions"] = self.sessions.stats()
+        snapshot["caches"] = (self.caches.stats()
+                              if self.caches is not None else {})
+        snapshot["workers"] = self.config.workers
+        return snapshot

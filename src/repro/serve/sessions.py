@@ -1,0 +1,141 @@
+"""Concurrent session store: TTL + max-size eviction over ChatSession.
+
+The store owns every :class:`~repro.core.session.ChatSession` the
+server hands out.  Each entry carries its own lock — two requests that
+name the same ``session_id`` serialize against each other (dialog order
+matters) while distinct sessions proceed in parallel.  Idle sessions
+expire after ``ttl_seconds``; when the store is full the least recently
+used session is evicted first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.chatgraph import ChatGraph
+from ..core.session import ChatSession
+from ..errors import SessionError
+
+Clock = Callable[[], float]
+
+
+@dataclass
+class SessionEntry:
+    """One live session plus its bookkeeping."""
+
+    session_id: str
+    session: ChatSession
+    created: float
+    last_used: float
+    requests: int = 0
+    #: Serializes requests that target this session.
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class SessionStore:
+    """Thread-safe ``session_id -> ChatSession`` map with eviction.
+
+    Example::
+
+        store = SessionStore(chatgraph, ttl_seconds=600, max_sessions=64)
+        entry = store.get_or_create("alice")
+        with entry.lock:
+            entry.session.send("how many nodes does G have?")
+    """
+
+    def __init__(self, chatgraph: ChatGraph, ttl_seconds: float = 600.0,
+                 max_sessions: int = 256,
+                 clock: Clock = time.monotonic) -> None:
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be > 0")
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        self.chatgraph = chatgraph
+        self.ttl_seconds = ttl_seconds
+        self.max_sessions = max_sessions
+        self._clock = clock
+        self._entries: OrderedDict[str, SessionEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self._created = 0
+        self._evicted_ttl = 0
+        self._evicted_lru = 0
+
+    # ------------------------------------------------------------------
+    def get_or_create(self, session_id: str) -> SessionEntry:
+        """The entry for ``session_id``, creating (and evicting) as needed."""
+        now = self._clock()
+        with self._lock:
+            self._evict_expired_locked(now)
+            entry = self._entries.get(session_id)
+            if entry is not None:
+                entry.last_used = now
+                entry.requests += 1
+                self._entries.move_to_end(session_id)
+                return entry
+            while len(self._entries) >= self.max_sessions:
+                self._entries.popitem(last=False)
+                self._evicted_lru += 1
+            entry = SessionEntry(session_id=session_id,
+                                 session=ChatSession(self.chatgraph),
+                                 created=now, last_used=now, requests=1)
+            self._entries[session_id] = entry
+            self._created += 1
+            return entry
+
+    def get(self, session_id: str) -> SessionEntry:
+        """The entry for ``session_id``; raises SessionError if absent."""
+        now = self._clock()
+        with self._lock:
+            self._evict_expired_locked(now)
+            entry = self._entries.get(session_id)
+            if entry is None:
+                raise SessionError(f"no such session: {session_id!r}")
+            entry.last_used = now
+            self._entries.move_to_end(session_id)
+            return entry
+
+    def drop(self, session_id: str) -> bool:
+        """Remove a session; True if it existed."""
+        with self._lock:
+            return self._entries.pop(session_id, None) is not None
+
+    def evict_expired(self) -> int:
+        """Evict every session idle for longer than the TTL."""
+        with self._lock:
+            return self._evict_expired_locked(self._clock())
+
+    def _evict_expired_locked(self, now: float) -> int:
+        expired = [sid for sid, entry in self._entries.items()
+                   if now - entry.last_used > self.ttl_seconds]
+        for session_id in expired:
+            del self._entries[session_id]
+            self._evicted_ttl += 1
+        return len(expired)
+
+    # ------------------------------------------------------------------
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, session_id: object) -> bool:
+        with self._lock:
+            return session_id in self._entries
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "active": len(self._entries),
+                "created": self._created,
+                "evicted_ttl": self._evicted_ttl,
+                "evicted_lru": self._evicted_lru,
+                "max_sessions": self.max_sessions,
+                "ttl_seconds": self.ttl_seconds,
+            }

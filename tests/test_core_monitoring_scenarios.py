@@ -16,9 +16,10 @@ from repro.core.suggestions import suggested_questions
 from repro.kb import TripleStore, corrupt_store
 
 
-def event(kind, step=None, api=None, detail=""):
+def event(kind, step=None, api=None, detail="", n_steps=None):
     return ExecutionEvent(kind=kind, step_index=step, api_name=api,
-                          elapsed_seconds=0.1, detail=detail)
+                          elapsed_seconds=0.1, detail=detail,
+                          n_steps=n_steps)
 
 
 class TestChainMonitor:
@@ -51,6 +52,31 @@ class TestChainMonitor:
         bar = monitor.render_progress(width=8)
         assert bar.startswith("[##......]")
         assert "1/4" in bar
+
+    def test_structured_step_count_preferred(self):
+        """chain_started carries n_steps; detail parsing is a fallback."""
+        monitor = ChainMonitor()
+        # structured field wins even when detail disagrees
+        monitor(event("chain_started", detail="99 steps: junk",
+                      n_steps=3))
+        assert monitor.n_steps == 3
+        # legacy event without n_steps: parse the detail string
+        monitor(event("chain_started", detail="2 steps: a -> b"))
+        assert monitor.n_steps == 2
+        # legacy event with an unparseable detail degrades to zero
+        monitor(event("chain_started", detail="no count here"))
+        assert monitor.n_steps == 0
+
+    def test_executor_emits_structured_step_count(self, chatgraph,
+                                                  social_graph):
+        """Live executions populate ExecutionEvent.n_steps."""
+        response = chatgraph.ask("write a brief report for G",
+                                 graph=social_graph)
+        started = [e for e in response.monitor.events
+                   if e.kind == "chain_started"]
+        assert len(started) == 1
+        assert started[0].n_steps == len(response.chain)
+        assert response.monitor.n_steps == len(response.chain)
 
     def test_transcript_and_reset(self):
         monitor = ChainMonitor()

@@ -85,3 +85,31 @@ class TestBeamConfig:
         result = cg.pipeline.process(
             Prompt("detect the communities of this network", social_graph))
         assert "detect_communities" in result.chain.api_names()
+
+
+class TestFallbackChainValidity:
+    """Repairs must never propose unexecutable chains (ISSUE 1)."""
+
+    def test_every_fallback_chain_resolves_and_validates(self, registry):
+        from repro.apis.chain import APIChain
+        from repro.core.pipeline import DEFAULT_FALLBACK, FALLBACK_CHAINS
+
+        known = set(registry.names())
+        chains = dict(FALLBACK_CHAINS)
+        chains[("generic", "default")] = DEFAULT_FALLBACK
+        for key, names in chains.items():
+            missing = [name for name in names if name not in known]
+            assert not missing, (f"fallback {key} references unknown "
+                                 f"APIs: {missing}")
+            # structural validation too: ordering/arity rules hold
+            APIChain.from_names(list(names)).validate(registry)
+
+    def test_pipeline_fallback_lookup_covers_every_key(self, registry):
+        from repro.core.pipeline import FALLBACK_CHAINS, ChatPipeline
+
+        for (graph_type, intent), names in FALLBACK_CHAINS.items():
+            assert ChatPipeline._fallback(graph_type, intent) == names
+        from repro.core.pipeline import DEFAULT_FALLBACK
+        assert ChatPipeline._fallback(None, "understand") in (
+            FALLBACK_CHAINS.get(("generic", "understand")),
+            DEFAULT_FALLBACK)
