@@ -20,7 +20,10 @@ from .executor import (
     ChainContext,
     ChainExecutionRecord,
     ChainExecutor,
+    DegradedStep,
     ExecutionEvent,
+    ExecutionPolicy,
+    StepPolicy,
     StepRecord,
 )
 
@@ -35,6 +38,9 @@ __all__ = [
     "ChainContext",
     "ChainExecutor",
     "ChainExecutionRecord",
+    "DegradedStep",
     "ExecutionEvent",
+    "ExecutionPolicy",
+    "StepPolicy",
     "StepRecord",
 ]

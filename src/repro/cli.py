@@ -269,16 +269,113 @@ def serve_bench_main(argv: list[str]) -> int:
     return 0
 
 
+def chaos_main(argv: list[str]) -> int:
+    """``python -m repro.cli chaos``: seeded chaos run of the serve
+    engine.
+
+    Wraps a deterministic sample of registry APIs with injected
+    failures (each fails its first N calls, then recovers), serves a
+    workload through :class:`~repro.serve.engine.ChatGraphServer` with
+    step timeouts + retries + circuit breakers enabled, and verifies
+    that every request resolves and the retry layer absorbed the
+    injected faults.  Exit code 0 = the invariants held.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli chaos",
+        description="Seeded fault-injection (chaos) run of the "
+                    "repro.serve runtime")
+    parser.add_argument("--requests", type=_positive_int, default=24,
+                        help="number of ask requests (default 24)")
+    parser.add_argument("--workers", type=_positive_int, default=2)
+    parser.add_argument("--corpus", type=int, default=200,
+                        help="finetuning corpus size (default 200)")
+    parser.add_argument("--faulty-apis", type=_positive_int, default=6,
+                        help="APIs to fault (seeded sample, default 6)")
+    parser.add_argument("--fail-times", type=_positive_int, default=2,
+                        help="injected failures per faulty API "
+                             "(default 2)")
+    parser.add_argument("--retries", type=_positive_int, default=3,
+                        help="step retry budget (default 3)")
+    parser.add_argument("--timeout-ms", type=float, default=500.0,
+                        help="per-step timeout (default 500ms)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload for CI smoke runs")
+    args = parser.parse_args(argv)
+
+    from .finetune.dataset import CorpusSpec
+    from .serve import ChatGraphServer, ServeConfig, ServeRequest
+    from .testing.faults import chaos_registry
+    from .apis.registry import default_registry
+    from .graphs.generators import knowledge_graph, social_network
+
+    n_requests = 8 if args.quick else args.requests
+    registry, injector, faults = chaos_registry(
+        default_registry(), seed=args.seed, n_faulty=args.faulty_apis,
+        fail_times=args.fail_times)
+    print(f"faulted APIs (fail first {args.fail_times} calls): "
+          f"{', '.join(sorted(faults))}", file=sys.stderr)
+
+    print("loading ChatGraph (finetuning the simulated backbone)...",
+          file=sys.stderr)
+    chatgraph = ChatGraph(registry=registry)
+    chatgraph.finetune(CorpusSpec(n_examples=args.corpus, seed=args.seed))
+
+    config = ServeConfig(
+        workers=args.workers,
+        step_timeout_seconds=args.timeout_ms / 1000.0,
+        step_max_retries=args.retries,
+        retry_backoff_seconds=0.005,
+        seed=args.seed)
+    prompts = ("write a brief report for G", "count the nodes",
+               "find communities", "compute the graph density")
+    graphs = (social_network(30, 3, seed=args.seed),
+              knowledge_graph(20, 60, seed=args.seed))
+    failures = 0
+    degraded = 0
+    with ChatGraphServer(chatgraph, config) as server:
+        pending = [server.submit(ServeRequest(
+            op="ask", text=prompts[i % len(prompts)],
+            graph=graphs[i % len(graphs)], client_id=f"chaos-{i % 4}"))
+            for i in range(n_requests)]
+        for item in pending:
+            response = item.result(timeout=120.0)
+            if not response.ok:
+                failures += 1
+            record = getattr(response.value, "record", None)
+            if record is not None and record.is_degraded:
+                degraded += 1
+        snapshot = server.stats()
+
+    counters = snapshot["counters"]
+    injected = sum(injector.stats()["injected_failures"].values())
+    retried = counters.get("step_retried", 0)
+    print(f"requests: {n_requests}  unresolved/errored: {failures}  "
+          f"degraded: {degraded}")
+    print(f"injected failures: {injected}  step_retried: {retried}  "
+          f"step_timed_out: {counters.get('step_timed_out', 0)}  "
+          f"breaker_opened: {counters.get('breaker_opened', 0)}")
+    print(f"breakers: {json.dumps(snapshot['breakers'], indent=1)}")
+    ok = failures == 0 and injected > 0 and retried >= injected - \
+        counters.get("step_failed", 0)
+    print("chaos run: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro.cli``.
 
     ``python -m repro.cli`` starts the chat REPL;
     ``python -m repro.cli serve-bench [...]`` runs the serving
-    benchmark (see :mod:`repro.serve.bench`).
+    benchmark (see :mod:`repro.serve.bench`);
+    ``python -m repro.cli chaos [...]`` runs the seeded
+    fault-injection check of the serve engine.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="ChatGraph terminal chat")
     parser.add_argument("--graph", help="graph file to upload at start")

@@ -152,6 +152,27 @@ class ServeConfig:
     rate_limit_capacity: int = 0
     #: Token-bucket refill rate (tokens per second per client).
     rate_limit_refill_per_second: float = 0.0
+    #: Seconds an untouched, fully-refilled client bucket may idle
+    #: before the rate limiter evicts it (bounds per-client state).
+    rate_limit_idle_seconds: float = 600.0
+    #: Wall-clock limit per chain-step attempt; ``0`` disables step
+    #: timeouts.
+    step_timeout_seconds: float = 0.0
+    #: Extra attempts after a failed/timed-out chain step.
+    step_max_retries: int = 0
+    #: Base backoff before the first retry (doubles per retry, with
+    #: deterministic seeded jitter).
+    retry_backoff_seconds: float = 0.02
+    #: Master switch for the shared per-API circuit breakers.
+    enable_breakers: bool = True
+    #: Failures in the sliding window needed to trip a breaker.
+    breaker_failure_threshold: int = 5
+    #: Windowed failure rate (0..1] needed to trip a breaker.
+    breaker_failure_rate: float = 0.5
+    #: Sliding-window length (recent calls) per API breaker.
+    breaker_window: int = 20
+    #: Seconds an open breaker waits before a half-open probe.
+    breaker_cooldown_seconds: float = 30.0
     #: Emulated LLM-backend round-trip added to each generate call.  The
     #: offline backbone is CPU-only; real deployments call a remote LLM,
     #: so benchmarks use this knob to model the I/O-bound regime where
@@ -177,6 +198,22 @@ class ServeConfig:
                  "rate_limit_capacity must be >= 0")
         _require(self.rate_limit_refill_per_second >= 0.0,
                  "rate_limit_refill_per_second must be >= 0")
+        _require(self.rate_limit_idle_seconds > 0.0,
+                 "rate_limit_idle_seconds must be > 0")
+        _require(self.step_timeout_seconds >= 0.0,
+                 "step_timeout_seconds must be >= 0")
+        _require(self.step_max_retries >= 0,
+                 "step_max_retries must be >= 0")
+        _require(self.retry_backoff_seconds >= 0.0,
+                 "retry_backoff_seconds must be >= 0")
+        _require(self.breaker_failure_threshold >= 1,
+                 "breaker_failure_threshold must be >= 1")
+        _require(0.0 < self.breaker_failure_rate <= 1.0,
+                 "breaker_failure_rate must be in (0, 1]")
+        _require(self.breaker_window >= self.breaker_failure_threshold,
+                 "breaker_window must be >= breaker_failure_threshold")
+        _require(self.breaker_cooldown_seconds > 0.0,
+                 "breaker_cooldown_seconds must be > 0")
         _require(self.backend_latency_seconds >= 0.0,
                  "backend_latency_seconds must be >= 0")
 

@@ -22,6 +22,7 @@ from ..apis.executor import (
     ChainContext,
     ChainExecutionRecord,
     ChainExecutor,
+    ExecutionPolicy,
 )
 from ..apis.registry import APIRegistry, default_registry
 from ..chem.database import MoleculeDatabase
@@ -82,6 +83,10 @@ class ChatGraph:
         self.pipeline = ChatPipeline(self.registry, self.retriever,
                                      self.model, self.config)
         self.executor = ChainExecutor(self.registry)
+        #: Default robustness settings applied by :meth:`execute`
+        #: (see :meth:`set_robustness`).
+        self.robustness_policy: ExecutionPolicy | None = None
+        self.breakers: Any = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -121,10 +126,26 @@ class ChatGraph:
         prompt = Prompt(text=text, graph=graph, attachments=attachments)
         return self.pipeline.process(prompt)
 
+    def set_robustness(self, policy: ExecutionPolicy | None = None,
+                       breakers: Any = None) -> None:
+        """Install default step policies / circuit breakers.
+
+        ``policy`` is an :class:`~repro.apis.executor.ExecutionPolicy`
+        (per-step timeouts, retries with backoff, fallbacks);
+        ``breakers`` a shared breaker registry such as
+        :class:`repro.serve.breaker.BreakerRegistry`.  Every subsequent
+        :meth:`execute` / :meth:`ask` applies them unless overridden
+        per call.
+        """
+        self.robustness_policy = policy
+        self.breakers = breakers
+
     def execute(self, pipeline_result: PipelineResult,
                 chain: APIChain | None = None,
                 confirm: Callable[[str, Any], bool] | None = None,
-                monitor: ChainMonitor | None = None
+                monitor: ChainMonitor | None = None,
+                policy: ExecutionPolicy | None = None,
+                breakers: Any = None,
                 ) -> tuple[ChainExecutionRecord, ChainMonitor]:
         """Execute a (possibly user-edited) chain for a processed prompt."""
         chain = chain or pipeline_result.chain
@@ -140,7 +161,11 @@ class ChatGraph:
         # repro.serve worker pool) from racing on a shared listener
         # list; ``self.executor`` stays for callers that attach their
         # own long-lived listeners
-        executor = ChainExecutor(self.registry)
+        executor = ChainExecutor(
+            self.registry,
+            policy=policy or self.robustness_policy,
+            breakers=breakers if breakers is not None else self.breakers,
+        )
         executor.add_listener(monitor)
         for listener in self.executor.listeners():
             executor.add_listener(listener)

@@ -73,6 +73,39 @@ class ChainExecutionError(ChatGraphError):
         self.cause = cause
 
 
+class StepTimeoutError(ChatGraphError):
+    """A chain step exceeded its :class:`StepPolicy` wall-clock timeout."""
+
+    def __init__(self, api_name: str, timeout_seconds: float) -> None:
+        super().__init__(
+            f"API {api_name!r} did not finish within "
+            f"{timeout_seconds:.3f}s")
+        self.api_name = api_name
+        self.timeout_seconds = timeout_seconds
+
+
+class CircuitOpenError(ChatGraphError):
+    """An API's circuit breaker is open; the call was not attempted."""
+
+    def __init__(self, api_name: str, retry_after: float = 0.0) -> None:
+        super().__init__(
+            f"circuit breaker for API {api_name!r} is open; "
+            f"retry in {retry_after:.3f}s")
+        self.api_name = api_name
+        self.retry_after = retry_after
+
+
+class FaultInjectionError(ChatGraphError):
+    """A deliberately injected fault (see :mod:`repro.testing.faults`)."""
+
+    def __init__(self, api_name: str, call_index: int,
+                 reason: str = "injected fault") -> None:
+        super().__init__(f"{reason} in API {api_name!r} "
+                         f"(call #{call_index})")
+        self.api_name = api_name
+        self.call_index = call_index
+
+
 class ModelError(ChatGraphError):
     """Language-model training or decoding failure."""
 

@@ -7,6 +7,8 @@ single-caller facade; this subsystem makes it a *server*:
   dispatch, deterministic per-request seeding, graceful shutdown;
 * :mod:`admission` — bounded queue with backpressure + per-client
   token-bucket rate limiting;
+* :mod:`breaker` — per-API circuit breakers shared by the worker
+  pool (closed/open/half-open with failure-rate windows + cooldown);
 * :mod:`sessions` — concurrent TTL/LRU session store;
 * :mod:`cache` — thread-safe content-addressed LRU caches wired into
   the pipeline's embedding, retrieval and sequentialize stages;
@@ -16,8 +18,14 @@ single-caller facade; this subsystem makes it a *server*:
 """
 
 from ..config import ServeConfig
-from ..errors import BackpressureError, RateLimitError, ServeError
+from ..errors import (
+    BackpressureError,
+    CircuitOpenError,
+    RateLimitError,
+    ServeError,
+)
 from .admission import AdmissionQueue, RateLimiter, TokenBucket
+from .breaker import BreakerRegistry, BreakerState, CircuitBreaker
 from .cache import CacheStats, LRUCache, PipelineCaches
 from .engine import (
     ChatGraphServer,
@@ -31,8 +39,12 @@ from .stats import LatencyHistogram, ServerStats
 __all__ = [
     "AdmissionQueue",
     "BackpressureError",
+    "BreakerRegistry",
+    "BreakerState",
     "CacheStats",
     "ChatGraphServer",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "LRUCache",
     "LatencyHistogram",
     "PendingRequest",

@@ -62,29 +62,71 @@ class TokenBucket:
                 return float("inf")
             return missing / self.refill_per_second
 
+    def peek(self) -> float:
+        """Current token count after refill (no tokens consumed)."""
+        with self._lock:
+            self._refill()
+            return self._tokens
+
 
 class RateLimiter:
-    """Per-client token buckets, created lazily on first sight."""
+    """Per-client token buckets, created lazily on first sight.
+
+    Buckets are evicted once they have sat untouched for
+    ``idle_seconds`` *and* refilled back to full capacity — recreating
+    such a bucket on the client's next request is semantically
+    identical, so eviction only bounds memory (one bucket per client-id
+    ever seen would otherwise grow forever).
+    """
 
     def __init__(self, capacity: float, refill_per_second: float,
-                 clock: Clock = time.monotonic) -> None:
+                 clock: Clock = time.monotonic,
+                 idle_seconds: float = 600.0) -> None:
+        if idle_seconds <= 0:
+            raise ValueError("idle_seconds must be > 0")
         self.capacity = capacity
         self.refill_per_second = refill_per_second
+        self.idle_seconds = idle_seconds
         self._clock = clock
         self._buckets: dict[str, TokenBucket] = {}
+        self._last_seen: dict[str, float] = {}
+        self._last_sweep = clock()
         self._lock = threading.Lock()
+
+    def _sweep(self, now: float) -> None:
+        # caller holds the lock; at most one sweep per idle interval
+        if now - self._last_sweep < self.idle_seconds:
+            return
+        self._last_sweep = now
+        for client_id in list(self._buckets):
+            idle = now - self._last_seen.get(client_id, now)
+            if idle < self.idle_seconds:
+                continue
+            # only drop buckets indistinguishable from fresh ones: a
+            # partially-drained bucket with no refill must keep its debt
+            if self._buckets[client_id].peek() >= self.capacity:
+                del self._buckets[client_id]
+                del self._last_seen[client_id]
 
     def admit(self, client_id: str) -> None:
         """Take one token for ``client_id`` or raise RateLimitError."""
         with self._lock:
+            now = self._clock()
+            self._sweep(now)
             bucket = self._buckets.get(client_id)
             if bucket is None:
                 bucket = TokenBucket(self.capacity,
                                      self.refill_per_second,
                                      clock=self._clock)
                 self._buckets[client_id] = bucket
+            self._last_seen[client_id] = now
         if not bucket.try_acquire():
             raise RateLimitError(client_id, bucket.retry_after())
+
+    def __len__(self) -> int:
+        """Number of live per-client buckets (for stats and tests)."""
+        with self._lock:
+            return len(self._buckets)
 
 
 class AdmissionQueue:

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..apis.chain import APIChain
+from ..apis.executor import ExecutionPolicy, StepPolicy
 from ..config import ServeConfig
 from ..core.chatgraph import ChatGraph, ChatResponse
 from ..core.pipeline import PipelineResult
@@ -36,6 +37,7 @@ from ..core.reports import render_answer
 from ..errors import ChatGraphError, ServeError
 from ..graphs.graph import Graph
 from .admission import AdmissionQueue, RateLimiter
+from .breaker import BreakerRegistry
 from .cache import PipelineCaches
 from .sessions import SessionStore
 from .stats import ServerStats
@@ -169,8 +171,28 @@ class ChatGraphServer:
         if self.config.rate_limit_capacity > 0:
             self.limiter = RateLimiter(
                 self.config.rate_limit_capacity,
-                self.config.rate_limit_refill_per_second)
+                self.config.rate_limit_refill_per_second,
+                idle_seconds=self.config.rate_limit_idle_seconds)
         self._stats = ServerStats()
+        # robustness layer: per-API circuit breakers shared by every
+        # worker, plus default step policies (timeout + retries) the
+        # executor applies to each chain step
+        self.breakers: BreakerRegistry | None = None
+        if self.config.enable_breakers:
+            self.breakers = BreakerRegistry(
+                failure_threshold=self.config.breaker_failure_threshold,
+                failure_rate_threshold=self.config.breaker_failure_rate,
+                window_size=self.config.breaker_window,
+                cooldown_seconds=self.config.breaker_cooldown_seconds)
+        self.policy = ExecutionPolicy(
+            default=StepPolicy(
+                timeout_seconds=(self.config.step_timeout_seconds
+                                 or None),
+                max_retries=self.config.step_max_retries,
+                backoff_base_seconds=self.config.retry_backoff_seconds,
+                critical=False),
+            seed=self.config.seed)
+        self._saved_robustness: tuple[Any, Any] | None = None
         self._workers: list[threading.Thread] = []
         self._running = False
         self._id_lock = threading.Lock()
@@ -182,6 +204,19 @@ class ChatGraphServer:
     def start(self) -> "ChatGraphServer":
         if self._running:
             raise ServeError("server already started")
+        # recovery events (step_retried / step_timed_out /
+        # breaker_opened) flow through the executor's listener pipeline
+        # into the server counters while this server runs
+        if self._stats.on_execution_event not in \
+                self.chatgraph.executor.listeners():
+            self.chatgraph.executor.add_listener(
+                self._stats.on_execution_event)
+        # install this server's robustness settings for the duration of
+        # the run; stop() restores whatever the caller had configured
+        self._saved_robustness = (self.chatgraph.robustness_policy,
+                                  self.chatgraph.breakers)
+        self.chatgraph.set_robustness(policy=self.policy,
+                                      breakers=self.breakers)
         self.queue.reopen()
         self._workers = []
         for index in range(self.config.workers):
@@ -213,6 +248,14 @@ class ChatGraphServer:
             thread.join(max(0.0, deadline - time.monotonic()))
         self._workers = []
         self._running = False
+        try:
+            self.chatgraph.executor.remove_listener(
+                self._stats.on_execution_event)
+        except ValueError:
+            pass
+        if self._saved_robustness is not None:
+            self.chatgraph.set_robustness(*self._saved_robustness)
+            self._saved_robustness = None
 
     def __enter__(self) -> "ChatGraphServer":
         if not self._running:
@@ -352,6 +395,8 @@ class ChatGraphServer:
         record, monitor = self.chatgraph.execute(
             request.pipeline_result, chain=request.chain)
         self._stats.observe("execute", time.perf_counter() - start)
+        if record.is_degraded:
+            self._stats.incr("degraded_responses")
         return ChatResponse(
             prompt=request.pipeline_result.prompt,
             pipeline=request.pipeline_result,
@@ -379,6 +424,8 @@ class ChatGraphServer:
         if chat_response.record is not None:
             self._stats.observe(
                 "execute", chat_response.record.total_seconds)
+            if chat_response.record.is_degraded:
+                self._stats.incr("degraded_responses")
         return chat_response
 
     # ------------------------------------------------------------------
@@ -393,5 +440,10 @@ class ChatGraphServer:
         snapshot["sessions"] = self.sessions.stats()
         snapshot["caches"] = (self.caches.stats()
                               if self.caches is not None else {})
+        snapshot["breakers"] = (self.breakers.snapshot()
+                                if self.breakers is not None else {})
+        snapshot["rate_limiter"] = {
+            "clients": len(self.limiter) if self.limiter is not None
+            else 0}
         snapshot["workers"] = self.config.workers
         return snapshot

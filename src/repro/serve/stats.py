@@ -80,6 +80,16 @@ class LatencyHistogram:
         }
 
 
+#: Executor event kinds mirrored 1:1 into server counters (the
+#: robustness layer's recovery signals; see repro.apis.executor).
+ROBUSTNESS_EVENT_COUNTERS: dict[str, str] = {
+    "step_retried": "step_retried",
+    "step_timed_out": "step_timed_out",
+    "breaker_opened": "breaker_opened",
+    "step_failed": "step_failed",
+}
+
+
 class ServerStats:
     """Counters + per-stage histograms with an atomic-enough snapshot."""
 
@@ -87,6 +97,17 @@ class ServerStats:
         self._lock = threading.Lock()
         self._counters: Counter = Counter()
         self._histograms: dict[str, LatencyHistogram] = {}
+
+    def on_execution_event(self, event: Any) -> None:
+        """Executor listener: count retry/timeout/breaker events.
+
+        Attach with ``chatgraph.executor.add_listener(
+        stats.on_execution_event)`` — every chain the server runs then
+        surfaces its recovery activity in :meth:`snapshot`.
+        """
+        name = ROBUSTNESS_EVENT_COUNTERS.get(getattr(event, "kind", ""))
+        if name is not None:
+            self.incr(name)
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:

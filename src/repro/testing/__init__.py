@@ -1,0 +1,11 @@
+"""repro.testing — offline test harnesses for the robustness layer.
+
+* :mod:`faults` — deterministic fault injection: wrap registry API
+  specs so they raise seeded exceptions or sleep injected delays,
+  making timeouts, retries, breakers and degradation testable without
+  a flaky backend.
+"""
+
+from .faults import FaultInjector, FaultSpec, chaos_registry
+
+__all__ = ["FaultInjector", "FaultSpec", "chaos_registry"]

@@ -75,6 +75,43 @@ class TestExecution:
         assert record.steps[1].ok
         assert record.final_result == "fine"
 
+    def test_failed_step_leaves_no_context_entry(self, toy_registry):
+        context = ChainContext()
+        executor = ChainExecutor(toy_registry)
+        record = executor.execute(
+            APIChain.from_names(["ok_api", "boom_api", "ok_api"]),
+            context, stop_on_error=False)
+        # only the successful steps write into the shared context
+        assert sorted(context.results) == [0, 2]
+        assert 1 not in context.step_names
+        assert context.latest("boom_api") is None
+        assert record.degraded[0].index == 1
+
+    def test_final_result_skips_failed_steps(self, toy_registry):
+        executor = ChainExecutor(toy_registry)
+        record = executor.execute(
+            APIChain.from_names(["ok_api", "boom_api"]), ChainContext(),
+            stop_on_error=False)
+        # the last *successful* step wins, not the last step
+        assert not record.steps[-1].ok
+        assert record.final_result == "fine"
+
+    def test_continue_on_error_with_retries(self, toy_registry):
+        from repro.apis import ExecutionPolicy, StepPolicy
+
+        context = ChainContext()
+        policy = ExecutionPolicy(default=StepPolicy(
+            max_retries=2, backoff_base_seconds=0.0))
+        executor = ChainExecutor(toy_registry, policy=policy,
+                                 sleep=lambda s: None)
+        record = executor.execute(
+            APIChain.from_names(["boom_api", "ok_api"]), context,
+            stop_on_error=False)
+        assert record.steps[0].attempts == 3
+        assert record.degraded[0].reason == "retries_exhausted"
+        assert 0 not in context.results  # retries exhausted -> no entry
+        assert record.final_result == "fine"
+
 
 class TestEvents:
     def test_event_stream(self, toy_registry):
@@ -112,6 +149,23 @@ class TestEvents:
         executor.execute(APIChain.from_names(["ok_api"]), ChainContext())
         text = events[1].render()
         assert "step_started" in text and "ok_api" in text
+
+    def test_listener_may_remove_itself_mid_emit(self, toy_registry):
+        # regression: _emit used to iterate the live listener list, so a
+        # listener unsubscribing during fan-out skipped its successor
+        executor = ChainExecutor(toy_registry)
+        first_seen, second_seen = [], []
+
+        def one_shot(event):
+            first_seen.append(event.kind)
+            executor.remove_listener(one_shot)
+
+        executor.add_listener(one_shot)
+        executor.add_listener(lambda e: second_seen.append(e.kind))
+        executor.execute(APIChain.from_names(["ok_api"]), ChainContext())
+        assert first_seen == ["chain_started"]
+        assert second_seen == ["chain_started", "step_started",
+                               "step_finished", "chain_finished"]
 
 
 class TestContext:

@@ -86,6 +86,53 @@ class TestChainMonitor:
         assert monitor.events == []
         assert monitor.progress == 0.0
 
+    def test_reuse_across_chains_does_not_overcount(self):
+        """Regression: a monitor listening across several chains used to
+        accumulate step_finished counts, reporting progress > 100%."""
+        monitor = ChainMonitor()
+        for _ in range(3):
+            monitor(event("chain_started", n_steps=2,
+                          detail="2 steps: a -> b"))
+            monitor(event("step_started", 0, "a"))
+            monitor(event("step_finished", 0, "a"))
+            monitor(event("step_started", 1, "b"))
+            monitor(event("step_finished", 1, "b"))
+            monitor(event("chain_finished"))
+            assert monitor.progress == 1.0
+            assert monitor.steps_done == 2
+        # the transcript still holds every chain's events
+        assert len(monitor.events) == 18
+        assert "1/2" not in monitor.render_progress()
+
+    def test_step_index_zero_is_tracked(self):
+        """Regression: ``step_index or 0`` treated index 0 like None."""
+        monitor = ChainMonitor()
+        monitor(event("chain_started", n_steps=1, detail="1 steps: a"))
+        assert monitor.current_step == -1  # nothing started yet
+        monitor(event("step_started", 0, "a"))
+        assert monitor.current_step == 0
+        # a step_started without an index must not move the cursor
+        monitor(event("step_started", None, None))
+        assert monitor.current_step == 0
+
+    def test_recovery_counters_and_rendering(self):
+        monitor = ChainMonitor()
+        monitor(event("chain_started", n_steps=2, detail="2 steps: a"))
+        monitor(event("step_started", 0, "a"))
+        monitor(event("step_retried", 0, "a", "attempt 2/3"))
+        monitor(event("step_timed_out", 0, "a", "attempt 1 exceeded"))
+        monitor(event("breaker_opened", 0, "a", "circuit opened"))
+        monitor(event("step_finished", 0, "a"))
+        assert (monitor.retries, monitor.timeouts,
+                monitor.breaker_trips) == (1, 1, 1)
+        bar = monitor.render_progress()
+        assert "1 retries" in bar and "1 timeouts" in bar \
+            and "1 breaker trips" in bar
+        # counters reset with the next chain; transcript keeps the events
+        monitor(event("chain_started", n_steps=1, detail="1 steps: b"))
+        assert monitor.retries == 0
+        assert "step_retried" in monitor.transcript()
+
 
 class TestRenderAnswer:
     def test_report_takes_precedence(self, chatgraph, social_graph):

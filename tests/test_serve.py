@@ -200,6 +200,44 @@ class TestRateLimiter:
         assert info.value.client_id == "alice"
         limiter.admit("bob")  # separate bucket
 
+    def test_idle_full_buckets_are_evicted(self):
+        # regression: one bucket per client-id ever seen grew forever
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=2, refill_per_second=1.0,
+                              clock=clock, idle_seconds=10.0)
+        for client in ("a", "b", "c"):
+            limiter.admit(client)
+        assert len(limiter) == 3
+        clock.advance(11.0)  # all idle and refilled back to capacity
+        limiter.admit("d")   # triggers the sweep
+        assert len(limiter) == 1  # only d survives
+
+    def test_active_and_indebted_buckets_survive_sweep(self):
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=2, refill_per_second=0.0,
+                              clock=clock, idle_seconds=10.0)
+        limiter.admit("debtor")  # no refill: bucket can never fill back
+        limiter.admit("debtor")  # fully drained
+        clock.advance(6.0)
+        limiter.admit("active")
+        clock.advance(5.0)       # debtor idle 11s, active idle 5s
+        limiter.admit("fresh")
+        # the sweep ran, but neither bucket qualified: active was seen
+        # recently, debtor still owes a token (dropping it would forgive
+        # the debt on recreation)
+        assert len(limiter) == 3
+        with pytest.raises(RateLimitError):
+            limiter.admit("debtor")
+
+    def test_sweep_rate_limited_to_idle_interval(self):
+        clock = FakeClock()
+        limiter = RateLimiter(capacity=2, refill_per_second=1.0,
+                              clock=clock, idle_seconds=10.0)
+        limiter.admit("a")
+        clock.advance(5.0)
+        limiter.admit("b")  # 5s since construction: no sweep yet
+        assert len(limiter) == 2
+
 
 # ----------------------------------------------------------------------
 # session store
@@ -307,6 +345,23 @@ class TestServerBasics:
         assert snapshot["queue"]["depth"] == 32
         assert snapshot["workers"] == 2
         assert "retrieval" in snapshot["caches"]
+        # robustness introspection: breaker states + live limiter size
+        assert snapshot["breakers"] == {}  # healthy run: no traffic yet
+        assert snapshot["rate_limiter"]["clients"] >= 0
+
+    def test_robustness_installed_only_while_running(
+            self, serve_chatgraph):
+        server = make_server(serve_chatgraph, step_max_retries=2)
+        assert serve_chatgraph.robustness_policy is None
+        with server:
+            assert serve_chatgraph.robustness_policy is server.policy
+            assert serve_chatgraph.breakers is server.breakers
+            listeners = serve_chatgraph.executor.listeners()
+            assert server._stats.on_execution_event in listeners
+        assert serve_chatgraph.robustness_policy is None
+        assert serve_chatgraph.breakers is None
+        assert server._stats.on_execution_event not in \
+            serve_chatgraph.executor.listeners()
 
     def test_session_dialog_accumulates(self, serve_chatgraph,
                                         social_graph_small):
