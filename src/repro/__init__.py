@@ -28,12 +28,15 @@ Package map (one subpackage per subsystem; see DESIGN.md):
 - :mod:`repro.chem` — molecule substrate
 - :mod:`repro.serve` — concurrent service runtime (workers, admission
   control, caches, sessions, metrics)
+- :mod:`repro.obs` — observability (hierarchical tracing, metrics
+  registry, exporters, profiling hooks)
 """
 
 from .config import (
     ChatGraphConfig,
     FinetuneConfig,
     LLMConfig,
+    ObsConfig,
     RetrievalConfig,
     SequencerConfig,
     ServeConfig,
@@ -52,6 +55,7 @@ __all__ = [
     "ChatResponse",
     "ChatSession",
     "ChatGraphError",
+    "ObsConfig",
     "RetrievalConfig",
     "SequencerConfig",
     "ServeConfig",

@@ -21,6 +21,7 @@ from __future__ import annotations
 import random
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -31,6 +32,7 @@ from ..errors import (
     StepTimeoutError,
 )
 from ..graphs.graph import Graph
+from ..obs.trace import NULL_SPAN
 from .chain import APIChain, ChainNode
 from .registry import APIRegistry, APISpec
 
@@ -313,12 +315,23 @@ class ChainExecutor:
     def __init__(self, registry: APIRegistry,
                  policy: ExecutionPolicy | None = None,
                  breakers: Any | None = None,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 tracer: Any | None = None) -> None:
         self.registry = registry
         self.policy = policy
         self.breakers = breakers
         self._sleep = sleep
+        #: Optional :class:`repro.obs.Tracer`; executions then emit a
+        #: ``chain`` span with ``step`` children and one ``attempt``
+        #: child per call (retries included).
+        self.tracer = tracer
         self._listeners: list[Listener] = []
+
+    def _tspan(self, name: str, kind: str, **attrs: Any):
+        """A tracer span, or a no-op context when tracing is unwired."""
+        if self.tracer is None:
+            return nullcontext(NULL_SPAN)
+        return self.tracer.span(name, kind=kind, **attrs)
 
     def add_listener(self, listener: Listener) -> None:
         self._listeners.append(listener)
@@ -390,8 +403,12 @@ class ChainExecutor:
         timed_out = False
         while attempts < max_attempts:
             try:
-                result = self._guarded_call(spec, context, node.params,
-                                            step_policy, start, index)
+                with self._tspan("attempt", "attempt",
+                                 api=node.api_name, step_index=index,
+                                 attempt=attempts + 1):
+                    result = self._guarded_call(spec, context,
+                                                node.params, step_policy,
+                                                start, index)
                 return result, attempts + 1, False
             except CircuitOpenError as exc:
                 # retrying before the cooldown elapses cannot succeed;
@@ -422,8 +439,12 @@ class ChainExecutor:
         if fallback is not None and fallback in self.registry:
             fallback_spec = self.registry.get(fallback)
             try:
-                result = self._guarded_call(fallback_spec, context, {},
-                                            step_policy, start, index)
+                with self._tspan("attempt", "attempt", api=fallback,
+                                 step_index=index, attempt=attempts + 1,
+                                 fallback=True):
+                    result = self._guarded_call(fallback_spec, context,
+                                                {}, step_policy, start,
+                                                index)
                 self._emit("step_retried", start, index, node.api_name,
                            detail=f"fallback {fallback!r} served the "
                                   f"step", attempt=attempts + 1)
@@ -450,6 +471,17 @@ class ChainExecutor:
         """
         chain.validate(self.registry)
         policy = policy or self.policy or ExecutionPolicy()
+        with self._tspan("chain", "chain",
+                         n_steps=len(chain)) as chain_span:
+            record = self._execute(chain, context, stop_on_error, policy,
+                                   chain_span)
+            chain_span.set(ok=record.ok, degraded=record.is_degraded,
+                           steps_ok=sum(s.ok for s in record.steps))
+        return record
+
+    def _execute(self, chain: APIChain, context: ChainContext,
+                 stop_on_error: bool, policy: ExecutionPolicy,
+                 chain_span: Any) -> ChainExecutionRecord:
         record = ChainExecutionRecord(chain=chain.copy())
         start = time.perf_counter()
         self._emit("chain_started", start,
@@ -459,40 +491,51 @@ class ChainExecutor:
             spec = self.registry.get(node.api_name)
             self._emit("step_started", start, index, node.api_name)
             step_start = time.perf_counter()
-            try:
-                result, attempts, used_fallback = self._run_step(
-                    index, node, spec, context, policy, start)
-            except _StepFailure as failure:
+            with self._tspan(f"step:{node.api_name}", "step",
+                             api=node.api_name,
+                             step_index=index) as step_span:
+                try:
+                    result, attempts, used_fallback = self._run_step(
+                        index, node, spec, context, policy, start)
+                except _StepFailure as failure:
+                    seconds = time.perf_counter() - step_start
+                    record.steps.append(StepRecord(
+                        index=index, api_name=node.api_name, result=None,
+                        seconds=seconds, ok=False,
+                        error=str(failure.error),
+                        attempts=failure.attempts,
+                        timed_out=failure.timed_out))
+                    record.ok = False
+                    step_span.mark_error(str(failure.error))
+                    step_span.set(attempts=failure.attempts,
+                                  reason=failure.reason)
+                    self._emit("step_failed", start, index, node.api_name,
+                               detail=str(failure.error))
+                    step_policy = policy.for_api(node.api_name)
+                    if stop_on_error and step_policy.critical:
+                        record.total_seconds = time.perf_counter() - start
+                        self._emit("chain_failed", start, index,
+                                   node.api_name)
+                        raise ChainExecutionError(
+                            node.api_name,
+                            failure.error) from failure.error
+                    record.degraded.append(DegradedStep(
+                        index=index, api_name=node.api_name,
+                        reason=failure.reason, attempts=failure.attempts,
+                        error=str(failure.error),
+                        fallback_api=failure.fallback_api))
+                    continue
                 seconds = time.perf_counter() - step_start
+                context.results[index] = result
+                context.step_names[index] = node.api_name
                 record.steps.append(StepRecord(
-                    index=index, api_name=node.api_name, result=None,
-                    seconds=seconds, ok=False, error=str(failure.error),
-                    attempts=failure.attempts,
-                    timed_out=failure.timed_out))
-                record.ok = False
-                self._emit("step_failed", start, index, node.api_name,
-                           detail=str(failure.error))
-                step_policy = policy.for_api(node.api_name)
-                if stop_on_error and step_policy.critical:
-                    record.total_seconds = time.perf_counter() - start
-                    self._emit("chain_failed", start, index, node.api_name)
-                    raise ChainExecutionError(
-                        node.api_name, failure.error) from failure.error
-                record.degraded.append(DegradedStep(
-                    index=index, api_name=node.api_name,
-                    reason=failure.reason, attempts=failure.attempts,
-                    error=str(failure.error),
-                    fallback_api=failure.fallback_api))
-                continue
-            seconds = time.perf_counter() - step_start
-            context.results[index] = result
-            context.step_names[index] = node.api_name
-            record.steps.append(StepRecord(
-                index=index, api_name=node.api_name, result=result,
-                seconds=seconds, ok=True, attempts=attempts,
-                used_fallback=used_fallback))
-            self._emit("step_finished", start, index, node.api_name,
-                       detail=_summarize(result))
+                    index=index, api_name=node.api_name, result=result,
+                    seconds=seconds, ok=True, attempts=attempts,
+                    used_fallback=used_fallback))
+                step_span.set(attempts=attempts,
+                              used_fallback=used_fallback)
+                self._emit("step_finished", start, index, node.api_name,
+                           detail=_summarize(result))
         record.total_seconds = time.perf_counter() - start
         self._emit("chain_finished", start,
                    detail=f"{sum(s.ok for s in record.steps)}/"

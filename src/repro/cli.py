@@ -362,6 +362,117 @@ def chaos_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def trace_main(argv: list[str]) -> int:
+    """``python -m repro.cli trace``: record or replay pipeline traces.
+
+    Two modes:
+
+    * ``--input span_log.jsonl`` replays a recorded JSON-lines span
+      log as a flame-style summary (``--check`` verifies structural
+      integrity);
+    * ``--demo`` serves the canonical seeded workload through a
+      tracing :class:`~repro.serve.engine.ChatGraphServer`, renders
+      the trace, optionally writes the span log (``--out``, with
+      ``--canonical`` for the byte-stable form) and the metrics
+      snapshot (``--metrics-out``), and with ``--check`` asserts the
+      span log parses and covers every executed pipeline stage and
+      API step.  Exit code 0 = all checks held.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli trace",
+        description="Record a seeded end-to-end trace, or replay a "
+                    "span log as a flame-style summary")
+    parser.add_argument("--input", help="replay this JSON-lines span log")
+    parser.add_argument("--demo", action="store_true",
+                        help="run the canonical seeded workload with "
+                             "tracing enabled")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--corpus", type=int, default=200,
+                        help="finetuning corpus size (default 200)")
+    parser.add_argument("--workers", type=_positive_int, default=1)
+    parser.add_argument("--canonical", action="store_true",
+                        help="export the canonical (timing-free, "
+                             "byte-stable) span log form")
+    parser.add_argument("--out", help="write the span log here")
+    parser.add_argument("--metrics-out",
+                        help="write the metrics snapshot (markdown) here")
+    parser.add_argument("--check", action="store_true",
+                        help="verify span-log integrity and coverage")
+    args = parser.parse_args(argv)
+
+    from collections import Counter
+
+    from .obs import (
+        check_trace,
+        read_trace,
+        render_flame,
+        render_metrics_markdown,
+        write_trace,
+    )
+
+    if args.input:
+        spans = read_trace(args.input)
+        print(render_flame(spans))
+        if args.check:
+            problems = check_trace(spans)
+            for problem in problems:
+                print(f"problem: {problem}", file=sys.stderr)
+            print("trace check: " + ("OK" if not problems else "FAILED"))
+            return 0 if not problems else 1
+        return 0
+    if not args.demo:
+        parser.error("pass --input PATH or --demo")
+
+    from .config import ObsConfig, ServeConfig
+    from .serve import ChatGraphServer
+    from .testing.workloads import canonical_workload
+
+    print("loading ChatGraph (finetuning the simulated backbone)...",
+          file=sys.stderr)
+    chatgraph = ChatGraph.pretrained(corpus_size=args.corpus,
+                                     seed=args.seed)
+    config = ServeConfig(workers=args.workers, seed=args.seed,
+                         obs=ObsConfig(enable_tracing=True))
+    responses = []
+    with ChatGraphServer(chatgraph, config) as server:
+        for slug, text, graph in canonical_workload():
+            responses.append((slug, server.ask(text, graph=graph)))
+        spans = server.tracer.finished_spans()
+        snapshot = server.metrics_snapshot()
+
+    print(render_flame(spans))
+    if args.out:
+        write_trace(args.out, spans, canonical=args.canonical)
+        print(f"span log -> {args.out}", file=sys.stderr)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            render_metrics_markdown(snapshot), encoding="utf-8")
+        print(f"metrics snapshot -> {args.metrics_out}", file=sys.stderr)
+
+    ok = all(response.ok for _, response in responses)
+    if args.check:
+        problems = check_trace([span.to_dict() for span in spans])
+        executed = Counter(
+            step.api_name
+            for _, response in responses
+            for step in response.value.record.steps)
+        covered = Counter(span.attrs.get("api") for span in spans
+                          if span.kind == "step")
+        if executed != covered:
+            problems.append(
+                f"step span coverage mismatch: executed {dict(executed)} "
+                f"vs spans {dict(covered)}")
+        n_stages = sum(1 for span in spans if span.kind == "stage")
+        if n_stages != 5 * len(responses):
+            problems.append(f"expected {5 * len(responses)} stage spans, "
+                            f"got {n_stages}")
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        ok = ok and not problems
+        print("trace smoke: " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``python -m repro.cli``.
 
@@ -369,13 +480,17 @@ def main(argv: list[str] | None = None) -> int:
     ``python -m repro.cli serve-bench [...]`` runs the serving
     benchmark (see :mod:`repro.serve.bench`);
     ``python -m repro.cli chaos [...]`` runs the seeded
-    fault-injection check of the serve engine.
+    fault-injection check of the serve engine;
+    ``python -m repro.cli trace [...]`` records a seeded traced run or
+    replays a span log (see :mod:`repro.obs`).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="ChatGraph terminal chat")
     parser.add_argument("--graph", help="graph file to upload at start")

@@ -123,6 +123,30 @@ class LLMConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Parameters of the :mod:`repro.obs` observability layer.
+
+    Tracing is off by default (span bookkeeping is cheap but not free);
+    the serve runtime always keeps a :class:`repro.obs.MetricsRegistry`
+    because counters cost next to nothing.
+    """
+
+    #: Master switch for hierarchical request tracing.
+    enable_tracing: bool = False
+    #: Cap on retained finished spans; further spans are counted as
+    #: dropped instead of growing memory without bound.
+    max_spans: int = 100_000
+    #: Record per-span CPU time (:func:`time.process_time`).
+    profile_cpu: bool = True
+    #: Record per-span allocation deltas via :mod:`tracemalloc`
+    #: (opt-in: tracing allocations slows the interpreter).
+    profile_alloc: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.max_spans >= 1, "max_spans must be >= 1")
+
+
+@dataclass(frozen=True)
 class ServeConfig:
     """Parameters of the :mod:`repro.serve` service runtime.
 
@@ -181,6 +205,8 @@ class ServeConfig:
     #: Base seed folded into every request's deterministic per-request
     #: seed (content-keyed, so results are order-independent).
     seed: int = 0
+    #: Observability settings (tracing, span caps, profiling hooks).
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         _require(self.workers >= 1, "workers must be >= 1")

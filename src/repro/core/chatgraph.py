@@ -87,6 +87,9 @@ class ChatGraph:
         #: (see :meth:`set_robustness`).
         self.robustness_policy: ExecutionPolicy | None = None
         self.breakers: Any = None
+        #: Optional :class:`repro.obs.Tracer` threaded through the
+        #: pipeline and every execution (see :meth:`set_tracer`).
+        self.tracer: Any = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -140,6 +143,24 @@ class ChatGraph:
         self.robustness_policy = policy
         self.breakers = breakers
 
+    def set_tracer(self, tracer: Any) -> None:
+        """Wire a :class:`repro.obs.Tracer` through the whole stack.
+
+        The pipeline emits ``pipeline``/``stage`` spans, executions
+        emit ``chain``/``step``/``attempt`` spans, and :meth:`ask`
+        wraps the round trip in an ``op`` span — all nested under
+        whatever span is active on the calling thread (the serve
+        worker's ``request`` span, when served).  Pass ``None`` to
+        detach.
+        """
+        self.tracer = tracer
+        self.pipeline.tracer = tracer
+        self.executor.tracer = tracer
+
+    def set_profiler(self, profiler: Any) -> None:
+        """Attach a :class:`repro.obs.StageProfiler` to the pipeline."""
+        self.pipeline.profiler = profiler
+
     def execute(self, pipeline_result: PipelineResult,
                 chain: APIChain | None = None,
                 confirm: Callable[[str, Any], bool] | None = None,
@@ -165,6 +186,7 @@ class ChatGraph:
             self.registry,
             policy=policy or self.robustness_policy,
             breakers=breakers if breakers is not None else self.breakers,
+            tracer=self.tracer,
         )
         executor.add_listener(monitor)
         for listener in self.executor.listeners():
@@ -179,8 +201,15 @@ class ChatGraph:
             **attachments: Any) -> ChatResponse:
         """Full round trip: propose, execute, render the answer."""
         start = time.perf_counter()
-        pipeline_result = self.propose(text, graph, **attachments)
-        record, monitor = self.execute(pipeline_result, confirm=confirm)
+        if self.tracer is not None:
+            with self.tracer.span("ask", kind="op"):
+                pipeline_result = self.propose(text, graph, **attachments)
+                record, monitor = self.execute(pipeline_result,
+                                               confirm=confirm)
+        else:
+            pipeline_result = self.propose(text, graph, **attachments)
+            record, monitor = self.execute(pipeline_result,
+                                           confirm=confirm)
         answer = render_answer(record)
         return ChatResponse(
             prompt=pipeline_result.prompt,

@@ -17,7 +17,9 @@ Stages, in order:
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from ..apis.chain import APIChain
 from ..apis.registry import APIRegistry, Category
@@ -32,6 +34,7 @@ from ..llm.intent import (
     TypePrediction,
 )
 from ..llm.prompts import Prompt
+from ..obs.trace import NULL_SPAN, Span
 from ..retrieval.api_retriever import APIRetriever
 from ..sequencer.serializer import GraphSequences, GraphSequentializer
 
@@ -90,6 +93,13 @@ class ChatPipeline:
         #: :meth:`attach_caches` to memoize the retrieval and
         #: sequentialize stages across requests.
         self.caches = None
+        #: Optional :class:`repro.obs.Tracer`; every :meth:`process`
+        #: call then emits a ``pipeline`` span with one ``stage`` child
+        #: per stage (set via ``ChatGraph.set_tracer``).
+        self.tracer = None
+        #: Optional :class:`repro.obs.StageProfiler` accumulating
+        #: per-stage wall/CPU totals across requests.
+        self.profiler = None
 
     def attach_caches(self, caches) -> None:
         """Wire a cache bundle into the retrieval/sequentialize stages.
@@ -104,57 +114,99 @@ class ChatPipeline:
         self.retriever.embed_cache = (
             caches.embeddings if caches is not None else None)
 
+    @contextmanager
+    def _stage(self, name: str) -> Iterator[Span | NullSpan]:
+        """Trace + profile one stage (a no-op when neither is wired)."""
+        span: Span | NullSpan = NULL_SPAN
+        if self.profiler is not None and self.tracer is not None:
+            with self.profiler.profile(name), \
+                    self.tracer.span(f"stage:{name}", kind="stage") as span:
+                yield span
+        elif self.tracer is not None:
+            with self.tracer.span(f"stage:{name}", kind="stage") as span:
+                yield span
+        elif self.profiler is not None:
+            with self.profiler.profile(name):
+                yield span
+        else:
+            yield span
+
+    @contextmanager
+    def _root(self, prompt: Prompt) -> Iterator[Span | NullSpan]:
+        if self.tracer is None:
+            yield NULL_SPAN
+        else:
+            with self.tracer.span("pipeline", kind="pipeline",
+                                  has_graph=prompt.graph is not None
+                                  ) as span:
+                yield span
+
     def process(self, prompt: Prompt) -> PipelineResult:
         """Run every stage for ``prompt`` and return the proposed chain."""
+        with self._root(prompt) as root:
+            return self._process(prompt, root)
+
+    def _process(self, prompt: Prompt,
+                 root: Span | NullSpan) -> PipelineResult:
         timings: dict[str, float] = {}
 
         start = time.perf_counter()
-        intent = self.intent_classifier.predict(prompt.text)
+        with self._stage("intent") as span:
+            intent = self.intent_classifier.predict(prompt.text)
+            span.set(intent=intent)
         timings["intent"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        type_prediction = None
-        graph_type = None
-        if prompt.graph is not None:
-            type_prediction = self.type_predictor.predict(prompt.graph)
-            graph_type = type_prediction.graph_type
+        with self._stage("graph_type") as span:
+            type_prediction = None
+            graph_type = None
+            if prompt.graph is not None:
+                type_prediction = self.type_predictor.predict(prompt.graph)
+                graph_type = type_prediction.graph_type
+            span.set(graph_type=graph_type)
         timings["graph_type"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        categories = CATEGORY_ROUTING.get(graph_type or "generic",
-                                          tuple(Category))
-        try:
-            retrieved = self._retrieve(prompt.text, categories)
-        except EmbeddingError:
-            # unembeddable text (e.g. punctuation only): no retrieval
-            # conditioning; the fallback chain covers generation
-            retrieved = ()
+        with self._stage("retrieval") as span:
+            categories = CATEGORY_ROUTING.get(graph_type or "generic",
+                                              tuple(Category))
+            try:
+                retrieved = self._retrieve(prompt.text, categories)
+            except EmbeddingError:
+                # unembeddable text (e.g. punctuation only): no retrieval
+                # conditioning; the fallback chain covers generation
+                retrieved = ()
+            span.set(n_retrieved=len(retrieved))
         timings["retrieval"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        sequences = None
-        graph_tokens: tuple[tuple[str, int], ...] = ()
-        if prompt.graph is not None:
-            sequences = self.sequentializer.sequentialize(prompt.graph)
-            graph_tokens = GenerationState.graph_tokens_from_counter(
-                sequences.feature_counts)
+        with self._stage("sequentialize") as span:
+            sequences = None
+            graph_tokens: tuple[tuple[str, int], ...] = ()
+            if prompt.graph is not None:
+                sequences = self.sequentializer.sequentialize(prompt.graph)
+                graph_tokens = GenerationState.graph_tokens_from_counter(
+                    sequences.feature_counts)
+            span.set(n_sequences=sequences.n_sequences if sequences else 0)
         timings["sequentialize"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        allowed = tuple(spec.name for spec in
-                        self.registry.by_category(*categories))
-        state = GenerationState(prompt_text=prompt.text,
-                                graph_tokens=graph_tokens,
-                                retrieved=retrieved,
-                                allowed=allowed)
-        llm = self.config.llm
-        if llm.beam_width > 1:
-            names = beam_decode(self.model, state,
-                                beam_width=llm.beam_width,
-                                max_length=llm.max_chain_length)
-        else:
-            names = greedy_decode(self.model, state,
-                                  max_length=llm.max_chain_length)
+        with self._stage("generate") as span:
+            allowed = tuple(spec.name for spec in
+                            self.registry.by_category(*categories))
+            state = GenerationState(prompt_text=prompt.text,
+                                    graph_tokens=graph_tokens,
+                                    retrieved=retrieved,
+                                    allowed=allowed)
+            llm = self.config.llm
+            if llm.beam_width > 1:
+                names = beam_decode(self.model, state,
+                                    beam_width=llm.beam_width,
+                                    max_length=llm.max_chain_length)
+            else:
+                names = greedy_decode(self.model, state,
+                                      max_length=llm.max_chain_length)
+            span.set(n_generated=len(names))
         timings["generate"] = time.perf_counter() - start
 
         chain = APIChain.from_names(list(names))
@@ -166,6 +218,8 @@ class ChatPipeline:
                                                             intent)))
             chain.validate(self.registry)
             used_fallback = True
+        root.set(intent=intent, graph_type=graph_type,
+                 used_fallback=used_fallback, chain=chain.render())
 
         return PipelineResult(
             prompt=prompt,

@@ -1,0 +1,63 @@
+"""repro.obs — end-to-end tracing, metrics, and profiling.
+
+The observability layer of the reproduction:
+
+* :mod:`trace` — :class:`Tracer`: hierarchical spans (request ->
+  pipeline stage -> API step -> retry attempt) with monotonic-clock
+  timings and deterministic seed-derived span IDs; thread-local
+  propagation plus explicit cross-thread handoff for the
+  :mod:`repro.serve` worker pool;
+* :mod:`metrics` — :class:`MetricsRegistry`: counters, gauges, and
+  fixed-bucket :class:`Histogram` quantiles (p50/p95/p99), fed by the
+  executor's listener events;
+* :mod:`export` — JSON-lines span logs (full and canonical
+  byte-stable forms), flame-style trace rendering, markdown metrics
+  snapshots;
+* :mod:`profile` — :class:`StageProfiler`: cumulative per-stage
+  wall/CPU time and opt-in :mod:`tracemalloc` allocation deltas.
+
+Wire into a server with ``ServeConfig(obs=ObsConfig(
+enable_tracing=True))``, or directly::
+
+    from repro.obs import Tracer
+    tracer = Tracer(seed=0)
+    chatgraph.set_tracer(tracer)
+    chatgraph.ask("write a brief report for G", graph=g)
+    print(render_flame(tracer.finished_spans()))
+"""
+
+from .export import (
+    check_trace,
+    load_trace,
+    read_trace,
+    render_flame,
+    render_metrics_markdown,
+    spans_to_jsonl,
+    structural_order,
+    write_trace,
+)
+from .metrics import CounterMetric, Gauge, Histogram, MetricsRegistry
+from .profile import StageProfile, StageProfiler
+from .trace import NULL_SPAN, TIMING_FIELDS, NullSpan, Span, Tracer
+
+__all__ = [
+    "CounterMetric",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "StageProfile",
+    "StageProfiler",
+    "TIMING_FIELDS",
+    "Tracer",
+    "check_trace",
+    "load_trace",
+    "read_trace",
+    "render_flame",
+    "render_metrics_markdown",
+    "spans_to_jsonl",
+    "structural_order",
+    "write_trace",
+]

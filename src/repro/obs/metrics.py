@@ -1,0 +1,200 @@
+"""Counters, gauges, and fixed-bucket histograms for the pipeline.
+
+:class:`Histogram` is the latency histogram the serve runtime has used
+since PR 1 (moved here so observability owns the primitive;
+``repro.serve.stats.LatencyHistogram`` is now an alias).  On top of it
+:class:`MetricsRegistry` holds named counters/gauges/histograms behind
+one lock-per-metric facade, and speaks the executor's listener protocol
+— attach :meth:`MetricsRegistry.on_execution_event` to a
+:class:`~repro.apis.executor.ChainExecutor` and every retry, timeout,
+breaker trip, and step outcome lands in a counter.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any
+
+#: Geometric bucket upper bounds (seconds): 50us .. ~52s, then +inf.
+_BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    5e-05 * (2.0 ** i) for i in range(21))
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimates.
+
+    Quantiles are read from bucket upper bounds, so they are estimates
+    with bounded relative error (each bucket spans a factor of two);
+    ``min``/``max``/``mean`` are exact.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = bisect.bisect_left(_BUCKET_BOUNDS, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= target and bucket_count:
+                    if index >= len(_BUCKET_BOUNDS):
+                        return self.max
+                    return min(_BUCKET_BOUNDS[index], self.max)
+            return self.max
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "min": 0.0 if self.count == 0 else self.min,
+            "max": self.max,
+        }
+
+
+class CounterMetric:
+    """A monotonically increasing counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value that may move in either direction."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+#: Executor event kinds surfaced as ``events_<kind>`` counters.
+OBSERVED_EVENT_KINDS = (
+    "chain_started", "chain_finished", "chain_failed",
+    "step_started", "step_finished", "step_failed",
+    "step_retried", "step_timed_out", "breaker_opened",
+)
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms created lazily on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, CounterMetric] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # handles
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> CounterMetric:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = CounterMetric()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    # ------------------------------------------------------------------
+    # shorthands
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counter(name).incr(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.histogram(name).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # executor listener protocol
+    # ------------------------------------------------------------------
+    def on_execution_event(self, event: Any) -> None:
+        """Count one executor event (attach as a listener)."""
+        kind = getattr(event, "kind", "")
+        if kind in OBSERVED_EVENT_KINDS:
+            self.incr(f"events_{kind}")
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: metric.value
+                         for name, metric in sorted(counters.items())},
+            "gauges": {name: metric.value
+                       for name, metric in sorted(gauges.items())},
+            "histograms": {name: metric.summary()
+                           for name, metric in sorted(histograms.items())},
+        }

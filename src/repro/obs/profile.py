@@ -1,0 +1,122 @@
+"""Lightweight per-stage profiling hooks.
+
+The tracer already stamps wall/CPU/allocation figures on every span;
+:class:`StageProfiler` is the standalone aggregation for callers who
+want cumulative per-stage totals without keeping a full span log — the
+pipeline accepts one via ``ChatPipeline.profiler`` and wraps each stage
+in :meth:`StageProfiler.profile`.
+
+Wall time uses :func:`time.perf_counter`, CPU time
+:func:`time.process_time`; allocation deltas (``track_alloc=True``)
+come from :mod:`tracemalloc` and are opt-in because tracing
+allocations slows the interpreter noticeably.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class StageProfile:
+    """Cumulative cost of one named stage."""
+
+    name: str
+    calls: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    alloc_bytes: int = 0
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        return {"name": self.name, "calls": self.calls,
+                "wall_seconds": self.wall_seconds,
+                "cpu_seconds": self.cpu_seconds,
+                "alloc_bytes": self.alloc_bytes}
+
+
+class StageProfiler:
+    """Accumulates per-stage wall/CPU time (and optional allocations).
+
+    Example::
+
+        profiler = StageProfiler()
+        with profiler.profile("retrieval"):
+            ...
+        print(profiler.render())
+    """
+
+    def __init__(self, track_alloc: bool = False) -> None:
+        self.track_alloc = track_alloc
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageProfile] = {}
+        self._started_tracemalloc = False
+        if track_alloc:
+            import tracemalloc
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracemalloc = True
+
+    @contextmanager
+    def profile(self, name: str) -> Iterator[None]:
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        alloc_start = self._traced_bytes() if self.track_alloc else 0
+        try:
+            yield
+        finally:
+            wall = time.perf_counter() - wall_start
+            cpu = time.process_time() - cpu_start
+            alloc = (self._traced_bytes() - alloc_start
+                     if self.track_alloc else 0)
+            with self._lock:
+                stage = self._stages.get(name)
+                if stage is None:
+                    stage = self._stages[name] = StageProfile(name)
+                stage.calls += 1
+                stage.wall_seconds += wall
+                stage.cpu_seconds += cpu
+                stage.alloc_bytes += alloc
+
+    @staticmethod
+    def _traced_bytes() -> int:
+        import tracemalloc
+        return tracemalloc.get_traced_memory()[0]
+
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, dict[str, float | int | str]]:
+        with self._lock:
+            return {name: stage.to_dict()
+                    for name, stage in sorted(self._stages.items())}
+
+    def render(self) -> str:
+        """Plain-text table, widest stage first by wall time."""
+        with self._lock:
+            stages = sorted(self._stages.values(),
+                            key=lambda s: -s.wall_seconds)
+        if not stages:
+            return "(no stages profiled)"
+        lines = [f"{'stage':<16} {'calls':>6} {'wall':>12} {'cpu':>12}"
+                 + (f" {'alloc':>12}" if self.track_alloc else "")]
+        for stage in stages:
+            line = (f"{stage.name:<16} {stage.calls:>6} "
+                    f"{stage.wall_seconds * 1000:>10.3f}ms "
+                    f"{stage.cpu_seconds * 1000:>10.3f}ms")
+            if self.track_alloc:
+                line += f" {stage.alloc_bytes:>+11d}B"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+
+    def shutdown(self) -> None:
+        """Stop tracemalloc if this profiler started it."""
+        if self._started_tracemalloc:
+            import tracemalloc
+            tracemalloc.stop()
+            self._started_tracemalloc = False

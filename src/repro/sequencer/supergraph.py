@@ -59,7 +59,11 @@ def build_supergraph(graph: Graph, min_motif_size: int = 3) -> SuperGraph:
 
     assigned: set[Node] = set()
     groups: list[tuple[str, frozenset[Node]]] = []
-    cliques = sorted(find_cliques(skeleton), key=len, reverse=True)
+    # full deterministic order: Bron-Kerbosch enumerates over hash-ordered
+    # sets, so a len-only sort would leave same-size ties in hash order
+    # and the greedy contraction below would differ run to run
+    cliques = sorted(find_cliques(skeleton),
+                     key=lambda c: (-len(c), sorted(map(repr, c))))
     for clique in cliques:
         if len(clique) < max(min_motif_size, 3):
             continue

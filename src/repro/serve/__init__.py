@@ -17,7 +17,7 @@ single-caller facade; this subsystem makes it a *server*:
   ``python -m repro.cli serve-bench`` and ``benchmarks/bench_serve.py``.
 """
 
-from ..config import ServeConfig
+from ..config import ObsConfig, ServeConfig
 from ..errors import (
     BackpressureError,
     CircuitOpenError,
@@ -47,6 +47,7 @@ __all__ = [
     "CircuitOpenError",
     "LRUCache",
     "LatencyHistogram",
+    "ObsConfig",
     "PendingRequest",
     "PipelineCaches",
     "RateLimitError",

@@ -36,6 +36,8 @@ from ..core.pipeline import PipelineResult
 from ..core.reports import render_answer
 from ..errors import ChatGraphError, ServeError
 from ..graphs.graph import Graph
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
 from .admission import AdmissionQueue, RateLimiter
 from .breaker import BreakerRegistry
 from .cache import PipelineCaches
@@ -124,6 +126,9 @@ class PendingRequest:
         self.request = request
         self.request_id = request_id
         self.enqueued_at = enqueued_at
+        #: Span ID active on the submitting thread (trace-context
+        #: propagation across the worker-pool boundary).
+        self.parent_span_id: str | None = None
         self._done = threading.Event()
         self._response: ServeResponse | None = None
 
@@ -174,6 +179,18 @@ class ChatGraphServer:
                 self.config.rate_limit_refill_per_second,
                 idle_seconds=self.config.rate_limit_idle_seconds)
         self._stats = ServerStats()
+        # observability layer: a metrics registry fed by executor
+        # events (always on; counters are nearly free) and an optional
+        # tracer producing per-request span trees
+        self.metrics = MetricsRegistry()
+        self.tracer: Tracer | None = None
+        if self.config.obs.enable_tracing:
+            self.tracer = Tracer(
+                seed=self.config.seed,
+                max_spans=self.config.obs.max_spans,
+                profile_cpu=self.config.obs.profile_cpu,
+                profile_alloc=self.config.obs.profile_alloc)
+        self._saved_tracer: Any = None
         # robustness layer: per-API circuit breakers shared by every
         # worker, plus default step policies (timeout + retries) the
         # executor applies to each chain step
@@ -211,6 +228,14 @@ class ChatGraphServer:
                 self.chatgraph.executor.listeners():
             self.chatgraph.executor.add_listener(
                 self._stats.on_execution_event)
+        if self.metrics.on_execution_event not in \
+                self.chatgraph.executor.listeners():
+            self.chatgraph.executor.add_listener(
+                self.metrics.on_execution_event)
+        # install this server's tracer for the duration of the run
+        if self.tracer is not None:
+            self._saved_tracer = self.chatgraph.tracer
+            self.chatgraph.set_tracer(self.tracer)
         # install this server's robustness settings for the duration of
         # the run; stop() restores whatever the caller had configured
         self._saved_robustness = (self.chatgraph.robustness_policy,
@@ -248,11 +273,15 @@ class ChatGraphServer:
             thread.join(max(0.0, deadline - time.monotonic()))
         self._workers = []
         self._running = False
-        try:
-            self.chatgraph.executor.remove_listener(
-                self._stats.on_execution_event)
-        except ValueError:
-            pass
+        for listener in (self._stats.on_execution_event,
+                         self.metrics.on_execution_event):
+            try:
+                self.chatgraph.executor.remove_listener(listener)
+            except ValueError:
+                pass
+        if self.tracer is not None:
+            self.chatgraph.set_tracer(self._saved_tracer)
+            self._saved_tracer = None
         if self._saved_robustness is not None:
             self.chatgraph.set_robustness(*self._saved_robustness)
             self._saved_robustness = None
@@ -292,6 +321,8 @@ class ChatGraphServer:
             self._next_id += 1
             request_id = self._next_id
         pending = PendingRequest(request, request_id, time.perf_counter())
+        if self.tracer is not None:
+            pending.parent_span_id = self.tracer.current_id()
         try:
             self.queue.put(pending)
         except ChatGraphError:
@@ -358,13 +389,30 @@ class ChatGraphServer:
         seed = request.content_seed(self.config.seed)
         response = ServeResponse(request_id=item.request_id, op=request.op,
                                  ok=True, worker=worker, seed=seed)
+        if self.tracer is None:
+            self._dispatch(request, seed, response)
+            return response
+        # the request's root span is keyed by the content seed (not the
+        # arrival-order request id), so seeded workloads produce the
+        # same span identity no matter which worker serves them; the
+        # submitting thread's span (if any) becomes the parent
+        with self.tracer.span(f"request:{request.op}", kind="request",
+                              key=f"{seed:016x}",
+                              parent=item.parent_span_id,
+                              op=request.op,
+                              client=request.client_id) as span:
+            self._dispatch(request, seed, response)
+            span.set(ok=not response.error)
+        return response
+
+    def _dispatch(self, request: ServeRequest, seed: int,
+                  response: ServeResponse) -> None:
         if request.op == "propose":
             response.value = self._serve_propose(request, seed)
         elif request.op == "execute":
             response.value = self._serve_execute(request, seed)
         else:
             response.value = self._serve_ask(request, seed)
-        return response
 
     def _backend_pause(self) -> None:
         """Emulate the remote-LLM round trip (see ServeConfig)."""
@@ -447,3 +495,36 @@ class ChatGraphServer:
             else 0}
         snapshot["workers"] = self.config.workers
         return snapshot
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The observability view: stats + metrics registry + gauges.
+
+        Merges the server's counters and per-stage latency quantiles
+        (p50/p95/p99) with the :class:`~repro.obs.MetricsRegistry`'s
+        event counters and point-in-time gauges (queue depth, live
+        sessions, cache hit rates, open breakers).  Feed the result to
+        :func:`repro.obs.render_metrics_markdown` for a report.
+        """
+        base = self.stats()
+        self.metrics.set_gauge("queue_size", len(self.queue))
+        self.metrics.set_gauge("sessions_live",
+                               base["sessions"]["active"])
+        self.metrics.set_gauge("workers", self.config.workers)
+        if self.caches is not None:
+            for name, stats in base["caches"].items():
+                self.metrics.set_gauge(f"cache_{name}_hit_rate",
+                                       stats.get("hit_rate", 0.0))
+        if self.breakers is not None:
+            self.metrics.set_gauge("breakers_open",
+                                   len(self.breakers.open_names()))
+        obs = self.metrics.snapshot()
+        return {
+            "counters": {**base["counters"], **obs["counters"]},
+            "gauges": obs["gauges"],
+            "latency": base["latency"],
+            "histograms": obs["histograms"],
+            "caches": base["caches"],
+            "breakers": base["breakers"],
+            "trace": (self.tracer.stats()
+                      if self.tracer is not None else {}),
+        }

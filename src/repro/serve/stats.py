@@ -6,78 +6,19 @@ dispatch), the pipeline stages (``retrieval``, ``sequentialize``,
 counters (admitted/rejected/failed, fallbacks).  Everything is cheap
 enough to stay on by default; ``ServerStats.snapshot()`` renders a
 plain-dict view for logging, tests and the ``serve-bench`` CLI.
+
+The histogram primitive now lives in :mod:`repro.obs.metrics` (the
+observability layer owns it); ``LatencyHistogram`` stays as an alias
+so existing imports keep working.
 """
 
 from __future__ import annotations
 
-import bisect
 import threading
 from collections import Counter
 from typing import Any
 
-#: Geometric bucket upper bounds (seconds): 50us .. ~52s, then +inf.
-_BUCKET_BOUNDS: tuple[float, ...] = tuple(
-    5e-05 * (2.0 ** i) for i in range(21))
-
-
-class LatencyHistogram:
-    """Fixed-bucket histogram with quantile estimates.
-
-    Quantiles are read from bucket upper bounds, so they are estimates
-    with bounded relative error (each bucket spans a factor of two);
-    ``min``/``max``/``mean`` are exact.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counts = [0] * (len(_BUCKET_BOUNDS) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        index = bisect.bisect_left(_BUCKET_BOUNDS, seconds)
-        with self._lock:
-            self._counts[index] += 1
-            self.count += 1
-            self.total += seconds
-            if seconds < self.min:
-                self.min = seconds
-            if seconds > self.max:
-                self.max = seconds
-
-    def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile in seconds (0 when empty)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
-        with self._lock:
-            if self.count == 0:
-                return 0.0
-            target = q * self.count
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= target and bucket_count:
-                    if index >= len(_BUCKET_BOUNDS):
-                        return self.max
-                    return min(_BUCKET_BOUNDS[index], self.max)
-            return self.max
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self.total / self.count if self.count else 0.0
-
-    def summary(self) -> dict[str, float]:
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "min": 0.0 if self.count == 0 else self.min,
-            "max": self.max,
-        }
+from ..obs.metrics import Histogram as LatencyHistogram
 
 
 #: Executor event kinds mirrored 1:1 into server counters (the

@@ -1,11 +1,21 @@
-"""repro.testing — offline test harnesses for the robustness layer.
+"""repro.testing — offline test harnesses for robustness and tracing.
 
 * :mod:`faults` — deterministic fault injection: wrap registry API
   specs so they raise seeded exceptions or sleep injected delays,
   making timeouts, retries, breakers and degradation testable without
   a flaky backend.
+* :mod:`workloads` — the canonical seeded prompts/graphs shared by the
+  golden-trace regression tests and the ``trace --demo`` CLI.
 """
 
 from .faults import FaultInjector, FaultSpec, chaos_registry
+from .workloads import CANONICAL_PROMPTS, canonical_graph, canonical_workload
 
-__all__ = ["FaultInjector", "FaultSpec", "chaos_registry"]
+__all__ = [
+    "CANONICAL_PROMPTS",
+    "FaultInjector",
+    "FaultSpec",
+    "canonical_graph",
+    "canonical_workload",
+    "chaos_registry",
+]

@@ -1,0 +1,35 @@
+"""Canonical seeded workloads shared by tests, golden traces, and CLI.
+
+The golden-trace regression tests (``tests/test_golden_traces.py``),
+the ``python -m repro.cli trace --demo`` smoke run, and the CI
+``trace-smoke`` job all replay the same two prompts over the same
+seeded graphs — one definition here keeps them from drifting apart.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..graphs.generators import knowledge_graph, social_network
+
+#: The two canonical prompts of the golden-trace suite.  Each entry is
+#: ``(slug, prompt text, graph builder kwargs-free thunk)``.
+CANONICAL_PROMPTS: tuple[tuple[str, str, str], ...] = (
+    ("social-report", "write a brief report for G", "social"),
+    ("kg-clean", "clean up the knowledge graph", "kg"),
+)
+
+
+def canonical_graph(kind: str) -> Any:
+    """The fixed seeded graph behind one canonical prompt."""
+    if kind == "social":
+        return social_network(30, 3, seed=7)
+    if kind == "kg":
+        return knowledge_graph(25, 80, seed=7)
+    raise ValueError(f"unknown canonical graph kind {kind!r}")
+
+
+def canonical_workload() -> list[tuple[str, str, Any]]:
+    """``(slug, text, graph)`` triples of the canonical trace workload."""
+    return [(slug, text, canonical_graph(kind))
+            for slug, text, kind in CANONICAL_PROMPTS]

@@ -1,0 +1,198 @@
+"""Metrics registry, histogram quantiles, profiler, and renderers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import (
+    CounterMetric,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageProfiler,
+    render_metrics_markdown,
+)
+from repro.obs.metrics import OBSERVED_EVENT_KINDS
+
+
+@dataclass
+class FakeEvent:
+    kind: str
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        counter = CounterMetric()
+        counter.incr()
+        counter.incr(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CounterMetric().incr(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.add(-1.0)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_exact_count_mean_min_max(self):
+        hist = Histogram()
+        for value in (0.001, 0.002, 0.003):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.002)
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.003)
+
+    def test_quantiles_ordered_and_bounded(self):
+        hist = Histogram()
+        for index in range(200):
+            hist.observe(0.0001 * (index + 1))
+        summary = hist.summary()
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] \
+            <= summary["max"]
+        assert summary["p50"] > 0
+
+    def test_quantile_bucket_error_bounded(self):
+        """Bucket bounds are x2 apart: estimate within 2x of truth."""
+        hist = Histogram()
+        for __ in range(1000):
+            hist.observe(0.010)
+        p50 = hist.quantile(0.5)
+        assert 0.010 <= p50 <= 0.020
+
+    def test_empty_and_invalid_quantile(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["min"] == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_serve_alias_is_same_class(self):
+        from repro.serve.stats import LatencyHistogram
+        assert LatencyHistogram is Histogram
+
+
+class TestMetricsRegistry:
+    def test_handles_are_stable(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.gauge("g") is metrics.gauge("g")
+        assert metrics.histogram("h") is metrics.histogram("h")
+
+    def test_shorthands_and_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.incr("requests", 2)
+        metrics.set_gauge("depth", 7)
+        metrics.observe("latency", 0.01)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"requests": 2}
+        assert snapshot["gauges"] == {"depth": 7.0}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_snapshot_sorted(self):
+        metrics = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            metrics.incr(name)
+        assert list(metrics.snapshot()["counters"]) == \
+            ["alpha", "mid", "zeta"]
+
+    def test_counts_all_observed_event_kinds(self):
+        metrics = MetricsRegistry()
+        for kind in OBSERVED_EVENT_KINDS:
+            metrics.on_execution_event(FakeEvent(kind))
+        counters = metrics.snapshot()["counters"]
+        assert counters == {f"events_{kind}": 1
+                            for kind in OBSERVED_EVENT_KINDS}
+
+    def test_ignores_unknown_event_kinds(self):
+        metrics = MetricsRegistry()
+        metrics.on_execution_event(FakeEvent("unrelated"))
+        metrics.on_execution_event(object())  # no .kind at all
+        assert metrics.snapshot()["counters"] == {}
+
+    def test_recovery_kinds_are_observed(self):
+        """The robustness events of PR 2 all land in counters."""
+        for kind in ("step_retried", "step_timed_out", "breaker_opened"):
+            assert kind in OBSERVED_EVENT_KINDS
+
+
+class TestStageProfiler:
+    def test_accumulates_per_stage(self):
+        profiler = StageProfiler()
+        for __ in range(3):
+            with profiler.profile("retrieval"):
+                sum(range(1000))
+        with profiler.profile("generate"):
+            pass
+        report = profiler.report()
+        assert report["retrieval"]["calls"] == 3
+        assert report["retrieval"]["wall_seconds"] >= 0.0
+        assert report["generate"]["calls"] == 1
+
+    def test_records_despite_exception(self):
+        profiler = StageProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.profile("doomed"):
+                raise RuntimeError("x")
+        assert profiler.report()["doomed"]["calls"] == 1
+
+    def test_render_and_reset(self):
+        profiler = StageProfiler()
+        assert profiler.render() == "(no stages profiled)"
+        with profiler.profile("stage-a"):
+            pass
+        assert "stage-a" in profiler.render()
+        profiler.reset()
+        assert profiler.report() == {}
+
+    def test_alloc_tracking_opt_in(self):
+        profiler = StageProfiler(track_alloc=True)
+        try:
+            with profiler.profile("alloc"):
+                __ = [0] * 8192
+            assert "alloc" in profiler.render()
+            assert isinstance(profiler.report()["alloc"]["alloc_bytes"],
+                              int)
+        finally:
+            profiler.shutdown()
+
+
+class TestMarkdownRendering:
+    def test_renders_every_section(self):
+        snapshot = {
+            "counters": {"admitted": 3},
+            "gauges": {"workers": 2.0},
+            "latency": {"intent": {"count": 3, "mean": 0.001,
+                                   "p50": 0.001, "p95": 0.002,
+                                   "p99": 0.002, "max": 0.002}},
+            "histograms": {},
+            "caches": {"retrieval": {"hits": 1, "misses": 2,
+                                     "hit_rate": 1 / 3, "size": 2}},
+            "breakers": {"count_nodes": {"state": "open", "failures": 4,
+                                         "times_opened": 1}},
+            "trace": {"spans": 9, "dropped": 0, "max_spans": 100,
+                      "by_kind": {"stage": 5, "step": 4}},
+        }
+        text = render_metrics_markdown(snapshot, title="Smoke")
+        assert text.startswith("# Smoke")
+        for fragment in ("## Counters", "| admitted | 3 |", "## Gauges",
+                         "## Latency (per stage)", "| intent | 3 |",
+                         "## Caches", "33.33%", "## Circuit breakers",
+                         "| count_nodes | open | 4 | 1 |", "## Trace",
+                         "spans: 9", "stage=5, step=4"):
+            assert fragment in text
+
+    def test_empty_snapshot_renders_title_only(self):
+        assert render_metrics_markdown({}) == "# Metrics snapshot\n"
+
+    def test_latency_values_formatted_as_ms(self):
+        snapshot = {"latency": {"total": {
+            "count": 1, "mean": 0.5, "p50": 0.5, "p95": 0.5,
+            "p99": 0.5, "max": 0.5}}}
+        assert "500.000ms" in render_metrics_markdown(snapshot)
