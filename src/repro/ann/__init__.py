@@ -14,6 +14,7 @@ plus a recall/QPS evaluation harness in :mod:`repro.ann.evaluation`.
 """
 
 from .base import AnnIndex, SearchResult
+from .kernels import stable_topk
 from .brute_force import BruteForceIndex
 from .proximity_graph import ProximityGraphIndex
 from .tau_mg import TauMGIndex
@@ -34,4 +35,5 @@ __all__ = [
     "EvaluationResult",
     "evaluate_index",
     "recall_at_k",
+    "stable_topk",
 ]

@@ -8,6 +8,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import IndexError_
+from .kernels import gathered_distances, row_sq_norms
 
 
 @dataclass(frozen=True)
@@ -31,8 +32,15 @@ class AnnIndex(ABC):
 
     def __init__(self) -> None:
         self._data: np.ndarray | None = None
+        self._sq_norms: np.ndarray | None = None
         #: Number of point-to-query distance evaluations since reset.
         self.distance_computations = 0
+        #: When True (the default), searches route through the
+        #: vectorized frontier kernels; set False to force the scalar
+        #: reference path.  Both produce bit-identical results — the
+        #: toggle exists for the perf-gate benchmark and equivalence
+        #: tests.
+        self.use_batched = True
 
     # ------------------------------------------------------------------
     # public API
@@ -43,6 +51,7 @@ class AnnIndex(ABC):
         if data.ndim != 2 or data.shape[0] == 0:
             raise IndexError_("data must be a non-empty (n, d) matrix")
         self._data = data
+        self._sq_norms = row_sq_norms(data)
         self._build(data)
         return self
 
@@ -59,6 +68,41 @@ class AnnIndex(ABC):
         k = min(k, self._data.shape[0])
         return self._search(query, k)
 
+    def search_batch(self, queries: np.ndarray,
+                     k: int = 1) -> list[list[SearchResult]]:
+        """Answer many queries at once; one result list per query row.
+
+        Equivalent to ``[self.search(q, k) for q in queries]`` —
+        including the exact distances reported — but subclasses may
+        override :meth:`_search_batch` to amortize work across the
+        whole query matrix.
+        """
+        queries, k = self._validate_batch(queries, k)
+        return self._search_batch(queries, k)
+
+    def search_batch_pairs(self, queries: np.ndarray,
+                           k: int = 1) -> list[list[tuple[int, float]]]:
+        """:meth:`search_batch` as raw ``(vector_id, distance)`` pairs.
+
+        Same hits in the same order, without materializing a
+        :class:`SearchResult` per hit — the cheap form for callers that
+        immediately re-rank or filter large candidate pools.
+        """
+        queries, k = self._validate_batch(queries, k)
+        return self._search_batch_pairs(queries, k)
+
+    def _validate_batch(self, queries: np.ndarray,
+                        k: int) -> tuple[np.ndarray, int]:
+        if self._data is None:
+            raise IndexError_("index not built")
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != self._data.shape[1]:
+            raise IndexError_(
+                f"queries must be an (m, {self._data.shape[1]}) matrix")
+        return queries, min(k, self._data.shape[0])
+
     def reset_counters(self) -> None:
         self.distance_computations = 0
 
@@ -70,18 +114,22 @@ class AnnIndex(ABC):
     # helpers for subclasses
     # ------------------------------------------------------------------
     def _distance(self, query: np.ndarray, vector_id: int) -> float:
-        """Instrumented single distance evaluation."""
+        """Instrumented single distance evaluation.
+
+        Routes through the same gather kernel as :meth:`_distances_bulk`
+        so scalar and batched searches see bit-identical floats.
+        """
         assert self._data is not None
         self.distance_computations += 1
-        return float(np.linalg.norm(self._data[vector_id] - query))
+        return float(gathered_distances(
+            self._data, np.array([vector_id]), query)[0])
 
     def _distances_bulk(self, query: np.ndarray,
                         ids: np.ndarray) -> np.ndarray:
         """Instrumented vectorized distances to many points."""
         assert self._data is not None
         self.distance_computations += len(ids)
-        diff = self._data[ids] - query
-        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        return gathered_distances(self._data, ids, query)
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -93,3 +141,14 @@ class AnnIndex(ABC):
     @abstractmethod
     def _search(self, query: np.ndarray, k: int) -> list[SearchResult]:
         """Return the ``k`` best hits sorted by distance."""
+
+    def _search_batch(self, queries: np.ndarray,
+                      k: int) -> list[list[SearchResult]]:
+        """Batched search hook; the default answers queries one by one."""
+        return [self._search(query, k) for query in queries]
+
+    def _search_batch_pairs(self, queries: np.ndarray,
+                            k: int) -> list[list[tuple[int, float]]]:
+        """Raw-pairs hook; the default unwraps :meth:`_search_batch`."""
+        return [[(hit.vector_id, hit.distance) for hit in hits]
+                for hits in self._search_batch(queries, k)]

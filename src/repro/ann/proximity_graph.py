@@ -9,6 +9,7 @@ connectivity repair live here.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from collections import deque
 
 import numpy as np
@@ -41,6 +42,14 @@ class ProximityGraphIndex(AnnIndex):
         self.candidate_pool = candidate_pool
         self.ef_search = ef_search
         self.neighbors: list[list[int]] = []
+        #: Frozen int64 copy of ``neighbors`` built once at the end of
+        #: :meth:`_build`; the batched beam search gathers whole
+        #: adjacency rows from it instead of iterating Python lists.
+        self._neighbor_arrays: list[np.ndarray] | None = None
+        #: Same adjacency as plain Python int lists — the lockstep
+        #: multi-query search filters tiny neighbor lists against a
+        #: visited set faster in Python than via fancy indexing.
+        self._neighbor_lists: list[list[int]] = []
         self.entry_point = 0
 
     # ------------------------------------------------------------------
@@ -50,8 +59,10 @@ class ProximityGraphIndex(AnnIndex):
         n = data.shape[0]
         pool = min(self.candidate_pool, n - 1)
         self.neighbors = [[] for __ in range(n)]
+        self._neighbor_arrays = None
         if n == 1:
             self.entry_point = 0
+            self._freeze_neighbors()
             return
         knn = self._exact_knn(data, pool)
         for u in range(n):
@@ -70,6 +81,21 @@ class ProximityGraphIndex(AnnIndex):
             self.neighbors[u] = selected
         self.entry_point = self._medoid(data)
         self._repair_connectivity(data)
+        self._freeze_neighbors()
+
+    def _freeze_neighbors(self) -> None:
+        """Snapshot adjacency as int64 arrays for the batched kernel.
+
+        Duplicate entries are dropped keeping first occurrence — the
+        scalar search's visited set makes repeats no-ops, so deduping
+        preserves its semantics exactly.
+        """
+        frozen: list[np.ndarray] = []
+        for nbrs in self.neighbors:
+            frozen.append(np.fromiter(
+                dict.fromkeys(nbrs), dtype=np.int64, count=-1))
+        self._neighbor_arrays = frozen
+        self._neighbor_lists = [arr.tolist() for arr in frozen]
 
     @staticmethod
     def _exact_knn(data: np.ndarray, k: int) -> np.ndarray:
@@ -153,7 +179,19 @@ class ProximityGraphIndex(AnnIndex):
 
     def _beam_search(self, query: np.ndarray, ef: int,
                      entry: int | None = None) -> list[SearchResult]:
-        """Best-first beam search; returns up to ``ef`` hits by distance."""
+        """Best-first beam search; returns up to ``ef`` hits by distance.
+
+        Dispatches to the batched frontier kernel unless
+        ``use_batched`` is off; both paths visit the same nodes in the
+        same order and return bit-identical hits.
+        """
+        if self.use_batched and self._neighbor_arrays is not None:
+            return self._beam_search_batched(query, ef, entry)
+        return self._beam_search_scalar(query, ef, entry)
+
+    def _beam_search_scalar(self, query: np.ndarray, ef: int,
+                            entry: int | None = None) -> list[SearchResult]:
+        """Reference implementation: one distance per Python iteration."""
         start = self.entry_point if entry is None else entry
         d0 = self._distance(query, start)
         visited = {start}
@@ -177,6 +215,152 @@ class ProximityGraphIndex(AnnIndex):
                         heapq.heappop(best)
         hits = sorted(((-negd, node) for negd, node in best))
         return [SearchResult(node, d) for d, node in hits]
+
+    def _beam_search_batched(self, query: np.ndarray, ef: int,
+                             entry: int | None = None) -> list[SearchResult]:
+        """Frontier-batched beam search.
+
+        Per node expansion: gather the unvisited neighbors with one
+        fancy index, mark them in a boolean visited array, and score
+        the whole frontier with a single vectorized distance call.  The
+        heap updates then replay the scalar loop over precomputed
+        distances, so the hit set, its ordering and the
+        ``distance_computations`` count all match the scalar path.
+        """
+        assert self._data is not None and self._neighbor_arrays is not None
+        start = self.entry_point if entry is None else entry
+        d0 = self._distance(query, start)
+        visited = np.zeros(self._data.shape[0], dtype=bool)
+        visited[start] = True
+        candidates: list[tuple[float, int]] = [(d0, start)]
+        best: list[tuple[float, int]] = [(-d0, start)]
+        arrays = self._neighbor_arrays
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -best[0][0] and len(best) >= ef:
+                break
+            nbrs = arrays[node]
+            if nbrs.size == 0:
+                continue
+            fresh = nbrs[~visited[nbrs]]
+            if fresh.size == 0:
+                continue
+            visited[fresh] = True
+            dists = self._distances_bulk(query, fresh)
+            for neighbor, d in zip(fresh.tolist(), dists.tolist()):
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(best, (-d, neighbor))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        hits = sorted(((-negd, node) for negd, node in best))
+        return [SearchResult(node, d) for d, node in hits]
+
+    def _search_batch(self, queries: np.ndarray,
+                      k: int) -> list[list[SearchResult]]:
+        if not self.use_batched or self._neighbor_arrays is None:
+            return super()._search_batch(queries, k)
+        return [[SearchResult(node, d) for node, d in row]
+                for row in self._lockstep_search(queries, k)]
+
+    def _search_batch_pairs(self, queries: np.ndarray,
+                            k: int) -> list[list[tuple[int, float]]]:
+        if not self.use_batched or self._neighbor_arrays is None:
+            return super()._search_batch_pairs(queries, k)
+        return self._lockstep_search(queries, k)
+
+    def _lockstep_search(self, queries: np.ndarray,
+                         k: int) -> list[list[tuple[int, float]]]:
+        """Lockstep beam search for many queries at once.
+
+        Each query runs exactly the scalar beam search — same pops,
+        same visit order, same heap updates — but every round the
+        frontier expansions of *all* still-active queries are scored
+        with one concatenated gather + einsum, amortizing the numpy
+        call overhead across the batch.  The returned ``(node,
+        distance)`` rows are bit-identical to
+        ``[self.search(q, k) for q in queries]``.
+        """
+        assert self._data is not None
+        m = queries.shape[0]
+        n = self._data.shape[0]
+        ef = max(self.ef_search, k)
+        lists = self._neighbor_lists
+        start = self.entry_point
+        # entry distances for every query in one shot (rows are x - q,
+        # the canonical evaluation order of the gather kernel)
+        diff = self._data[start] - queries
+        d0s = np.sqrt(np.einsum("ij,ij->i", diff, diff)).tolist()
+        self.distance_computations += m
+        visited: list[bytearray] = []
+        candidates: list[list[tuple[float, int]]] = []
+        # ``best`` as an ascending sorted list keyed ``(d, -node)``:
+        # ``insort``/``pop()`` are C calls, and popping the tail drops
+        # (max distance, min node) — the exact element the scalar
+        # max-heap keyed ``(-d, node)`` evicts, ties included.
+        best: list[list[tuple[float, int]]] = []
+        for qi in range(m):
+            d0 = d0s[qi]
+            seen = bytearray(n)
+            seen[start] = 1
+            visited.append(seen)
+            candidates.append([(d0, start)])
+            best.append([(d0, -start)])
+        heappush, heappop = heapq.heappush, heapq.heappop
+        data = self._data
+        active = list(range(m))
+        while active:
+            # one frontier expansion per still-active query; neighbor
+            # filtering stays in pure Python (tiny lists, set lookups)
+            expansions: list[tuple[list, list, list[int]]] = []
+            flat_ids: list[int] = []
+            flat_qi: list[int] = []
+            still_active: list[int] = []
+            for qi in active:
+                cand, top = candidates[qi], best[qi]
+                seen = visited[qi]
+                while cand:
+                    dist, node = heappop(cand)
+                    if dist > top[-1][0] and len(top) >= ef:
+                        cand.clear()
+                        break
+                    fresh = []
+                    for v in lists[node]:
+                        if not seen[v]:
+                            seen[v] = 1
+                            fresh.append(v)
+                    if not fresh:
+                        continue
+                    expansions.append((cand, top, fresh))
+                    flat_ids.extend(fresh)
+                    flat_qi.extend([qi] * len(fresh))
+                    still_active.append(qi)
+                    break
+            active = still_active
+            if not flat_ids:
+                break
+            # score every query's frontier with one gather + one einsum
+            ids = np.array(flat_ids, dtype=np.intp)
+            diff = data[ids] - queries[np.array(flat_qi, dtype=np.intp)]
+            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            self.distance_computations += ids.size
+            dist_list = dists.tolist()
+            offset = 0
+            for cand, top, fresh in expansions:
+                size = len(fresh)
+                for neighbor, d in zip(fresh,
+                                       dist_list[offset:offset + size]):
+                    if len(top) < ef or d < top[-1][0]:
+                        heappush(cand, (d, neighbor))
+                        insort(top, (d, -neighbor))
+                        if len(top) > ef:
+                            top.pop()
+                offset += size
+        results: list[list[tuple[int, float]]] = []
+        for qi in range(m):
+            hits = sorted((d, -negnode) for d, negnode in best[qi])
+            results.append([(node, d) for d, node in hits[:k]])
+        return results
 
     # ------------------------------------------------------------------
     # introspection (used by tests and benchmarks)

@@ -269,6 +269,87 @@ def serve_bench_main(argv: list[str]) -> int:
     return 0
 
 
+def bench_perf_main(argv: list[str]) -> int:
+    """``python -m repro.cli bench-perf``: the scalar-vs-batched gate.
+
+    Measures the batched decode kernels, the vectorized ANN search and
+    the micro-batched pipeline against their scalar references on the
+    seeded E13-style workload, verifies the batched paths produce
+    identical chains, writes the report JSON (``BENCH_PR4.json`` by
+    default), and exits non-zero when the speedup gate or the
+    chain-equality check fails.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli bench-perf",
+        description="Perf gate: scalar vs batched inference hot path")
+    parser.add_argument("--requests", type=_positive_int, default=64,
+                        help="workload size (default 64)")
+    parser.add_argument("--batch-size", type=_positive_int, default=16,
+                        help="micro-batch size (default 16)")
+    parser.add_argument("--repeats", type=_positive_int, default=5,
+                        help="timing passes per path; the fastest "
+                             "pass is reported (default 5)")
+    parser.add_argument("--corpus", type=int, default=300,
+                        help="finetuning corpus size (default 300)")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required decode+retrieval composite "
+                             "speedup (default 3.0)")
+    parser.add_argument("--out", default="BENCH_PR4.json",
+                        help="report path (default BENCH_PR4.json)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload + relaxed runtime for CI "
+                             "smoke runs (gate still applies)")
+    parser.add_argument("--no-serve", action="store_true",
+                        help="skip the end-to-end server comparison")
+    args = parser.parse_args(argv)
+
+    from .serve.perf import run_perf_benchmark
+
+    n_requests = 24 if args.quick else args.requests
+    repeats = 2 if args.quick else args.repeats
+    print("loading ChatGraph (finetuning the simulated backbone)...",
+          file=sys.stderr)
+    chatgraph = ChatGraph.pretrained(corpus_size=args.corpus,
+                                     seed=args.seed)
+    report = run_perf_benchmark(
+        chatgraph, n_requests=n_requests, batch_size=args.batch_size,
+        repeats=repeats, min_speedup=args.min_speedup,
+        include_serve=not args.no_serve)
+
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n",
+                              encoding="utf-8")
+    print(f"report -> {args.out}", file=sys.stderr)
+
+    decode, ann = report["decode"], report["ann"]
+    comp, pipe = report["composite"], report["pipeline"]
+    print(f"decode   : {decode['speedup']:5.2f}x  "
+          f"({decode['scalar_chains_per_s']:8.1f} -> "
+          f"{decode['batched_chains_per_s']:8.1f} chains/s)")
+    print(f"ann      : {ann['speedup']:5.2f}x  "
+          f"({ann['scalar_qps']:8.1f} -> {ann['batched_qps']:8.1f} qps)")
+    print(f"composite: {comp['speedup']:5.2f}x  "
+          f"({comp['scalar']['throughput_rps']:7.1f} -> "
+          f"{comp['batched']['throughput_rps']:7.1f} req/s, "
+          f"p50 {comp['scalar']['p50_ms']:.2f} -> "
+          f"{comp['batched']['p50_ms']:.2f} ms)  [gated]")
+    print(f"pipeline : {pipe['speedup']:5.2f}x  "
+          f"({pipe['scalar']['throughput_rps']:7.1f} -> "
+          f"{pipe['batched']['throughput_rps']:7.1f} req/s, "
+          f"p50 {pipe['scalar']['p50_ms']:.1f} -> "
+          f"{pipe['batched']['p50_ms']:.1f} ms)")
+    if "serve" in report:
+        serve = report["serve"]
+        print(f"serve    : {serve['speedup']:5.2f}x  "
+              f"({serve['scalar']['throughput_rps']:7.1f} -> "
+              f"{serve['microbatched']['throughput_rps']:7.1f} req/s)")
+    gate = report["gate"]
+    print(f"chains identical: {gate['chains_equal']}")
+    print(f"gate (>= {gate['min_speedup']}x): "
+          + ("PASSED" if gate["passed"] else "FAILED"))
+    return 0 if gate["passed"] else 1
+
+
 def chaos_main(argv: list[str]) -> int:
     """``python -m repro.cli chaos``: seeded chaos run of the serve
     engine.
@@ -479,6 +560,8 @@ def main(argv: list[str] | None = None) -> int:
     ``python -m repro.cli`` starts the chat REPL;
     ``python -m repro.cli serve-bench [...]`` runs the serving
     benchmark (see :mod:`repro.serve.bench`);
+    ``python -m repro.cli bench-perf [...]`` runs the scalar-vs-batched
+    perf gate (see :mod:`repro.serve.perf`);
     ``python -m repro.cli chaos [...]`` runs the seeded
     fault-injection check of the serve engine;
     ``python -m repro.cli trace [...]`` records a seeded traced run or
@@ -487,6 +570,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve-bench":
         return serve_bench_main(argv[1:])
+    if argv and argv[0] == "bench-perf":
+        return bench_perf_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
     if argv and argv[0] == "trace":

@@ -202,6 +202,16 @@ class ServeConfig:
     #: so benchmarks use this knob to model the I/O-bound regime where
     #: worker concurrency pays off.
     backend_latency_seconds: float = 0.0
+    #: Maximum requests coalesced into one micro-batch; ``0`` disables
+    #: micro-batching (every request is served individually).  Only
+    #: stateless ``propose``/``ask`` requests batch; session-bound and
+    #: ``execute`` requests always bypass the batcher.
+    microbatch_size: int = 0
+    #: How long a worker holding a partial batch waits for more
+    #: requests before flushing it.  The knob trades tail latency
+    #: (first request waits up to this long) against batching
+    #: efficiency; ``0`` flushes immediately with whatever is queued.
+    microbatch_deadline_seconds: float = 0.005
     #: Base seed folded into every request's deterministic per-request
     #: seed (content-keyed, so results are order-independent).
     seed: int = 0
@@ -242,6 +252,10 @@ class ServeConfig:
                  "breaker_cooldown_seconds must be > 0")
         _require(self.backend_latency_seconds >= 0.0,
                  "backend_latency_seconds must be >= 0")
+        _require(self.microbatch_size >= 0,
+                 "microbatch_size must be >= 0")
+        _require(self.microbatch_deadline_seconds >= 0.0,
+                 "microbatch_deadline_seconds must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -129,6 +129,17 @@ class ChatGraph:
         prompt = Prompt(text=text, graph=graph, attachments=attachments)
         return self.pipeline.process(prompt)
 
+    def propose_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
+        """Batched :meth:`propose`: shared pipeline stages for a fleet.
+
+        Retrieval and decoding run through the vectorized batch kernels
+        (one embed/search/matmul call per stage instead of one per
+        prompt); the proposed chains are identical to processing each
+        prompt alone.  This is what the serve layer's micro-batcher
+        calls.
+        """
+        return self.pipeline.process_batch(prompts)
+
     def set_robustness(self, policy: ExecutionPolicy | None = None,
                        breakers: Any = None) -> None:
         """Install default step policies / circuit breakers.

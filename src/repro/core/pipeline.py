@@ -26,7 +26,7 @@ from ..apis.registry import APIRegistry, Category
 from ..config import ChatGraphConfig
 from ..errors import ChainError, EmbeddingError
 from ..llm.chain_model import ChainLanguageModel, GenerationState
-from ..llm.decoding import beam_decode, greedy_decode
+from ..llm.decoding import beam_decode, greedy_decode, greedy_decode_batch
 from ..llm.intent import (
     CATEGORY_ROUTING,
     GraphTypePredictor,
@@ -232,6 +232,166 @@ class ChatPipeline:
             used_fallback=used_fallback,
             timings=timings,
         )
+
+    def process_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
+        """Run the pipeline for many prompts with shared batched stages.
+
+        Produces exactly the chains ``[self.process(p) for p in
+        prompts]`` would — retrieval goes through the batched
+        embed/search kernels and generation through
+        :func:`~repro.llm.decoding.greedy_decode_batch`, both of which
+        are result-identical to their scalar counterparts.  Per-result
+        ``timings`` report each prompt's amortized share (stage seconds
+        divided by batch size), since the stage work is genuinely
+        shared.
+        """
+        if not prompts:
+            return []
+        n = len(prompts)
+        if self.tracer is None:
+            return self._process_batch(prompts)
+        with self.tracer.span("pipeline:batch", kind="pipeline",
+                              batch_size=n):
+            return self._process_batch(prompts)
+
+    def _process_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
+        n = len(prompts)
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        with self._stage("intent") as span:
+            intents = [self.intent_classifier.predict(p.text)
+                       for p in prompts]
+            span.set(batch_size=n)
+        timings["intent"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with self._stage("graph_type") as span:
+            type_predictions: list[TypePrediction | None] = []
+            graph_types: list[str | None] = []
+            for prompt in prompts:
+                if prompt.graph is not None:
+                    prediction = self.type_predictor.predict(prompt.graph)
+                    type_predictions.append(prediction)
+                    graph_types.append(prediction.graph_type)
+                else:
+                    type_predictions.append(None)
+                    graph_types.append(None)
+            span.set(batch_size=n)
+        timings["graph_type"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with self._stage("retrieval") as span:
+            categories_per = [
+                CATEGORY_ROUTING.get(graph_type or "generic",
+                                     tuple(Category))
+                for graph_type in graph_types
+            ]
+            retrieved_per = self._retrieve_batch(
+                [p.text for p in prompts], categories_per)
+            span.set(batch_size=n)
+        timings["retrieval"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with self._stage("sequentialize") as span:
+            sequences_per: list[GraphSequences | None] = []
+            graph_tokens_per: list[tuple[tuple[str, int], ...]] = []
+            for prompt in prompts:
+                if prompt.graph is None:
+                    sequences_per.append(None)
+                    graph_tokens_per.append(())
+                    continue
+                sequences = self.sequentializer.sequentialize(prompt.graph)
+                sequences_per.append(sequences)
+                graph_tokens_per.append(
+                    GenerationState.graph_tokens_from_counter(
+                        sequences.feature_counts))
+            span.set(batch_size=n)
+        timings["sequentialize"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        with self._stage("generate") as span:
+            llm = self.config.llm
+            states = []
+            for i, prompt in enumerate(prompts):
+                allowed = tuple(
+                    spec.name for spec in
+                    self.registry.by_category(*categories_per[i]))
+                states.append(GenerationState(
+                    prompt_text=prompt.text,
+                    graph_tokens=graph_tokens_per[i],
+                    retrieved=retrieved_per[i],
+                    allowed=allowed))
+            if llm.beam_width > 1:
+                names_per = [beam_decode(self.model, state,
+                                         beam_width=llm.beam_width,
+                                         max_length=llm.max_chain_length)
+                             for state in states]
+            else:
+                names_per = greedy_decode_batch(
+                    self.model, states, max_length=llm.max_chain_length)
+            span.set(batch_size=n)
+        timings["generate"] = time.perf_counter() - start
+
+        shared_timings = {stage: seconds / n
+                          for stage, seconds in timings.items()}
+        results: list[PipelineResult] = []
+        for i, prompt in enumerate(prompts):
+            chain = APIChain.from_names(list(names_per[i]))
+            used_fallback = False
+            try:
+                chain.validate(self.registry)
+            except ChainError:
+                chain = APIChain.from_names(list(self._fallback(
+                    graph_types[i], intents[i])))
+                chain.validate(self.registry)
+                used_fallback = True
+            results.append(PipelineResult(
+                prompt=prompt,
+                intent=intents[i],
+                graph_type=graph_types[i],
+                type_prediction=type_predictions[i],
+                retrieved=retrieved_per[i],
+                sequences=sequences_per[i],
+                chain=chain,
+                used_fallback=used_fallback,
+                timings=dict(shared_timings),
+            ))
+        return results
+
+    #: Cache-miss sentinel distinguishing "absent" from cached ``()``.
+    _MISS = object()
+
+    def _retrieve_batch(self, texts: list[str],
+                        categories_per: list[tuple[Category, ...]]
+                        ) -> list[tuple[str, ...]]:
+        """Batched retrieval stage with the same memoization as scalar."""
+        k = self.config.retrieval.top_k_apis
+        results: list[tuple[str, ...] | None] = [None] * len(texts)
+        miss_rows: list[int] = []
+        for i, (text, categories) in enumerate(zip(texts, categories_per)):
+            if self.caches is not None:
+                cached = self.caches.retrieval.get((text, k, categories),
+                                                   self._MISS)
+                if cached is not self._MISS:
+                    results[i] = cached
+                    continue
+            miss_rows.append(i)
+        if miss_rows:
+            hit_lists = self.retriever.retrieve_batch(
+                [texts[i] for i in miss_rows], k=k,
+                categories_per=[categories_per[i] for i in miss_rows])
+            for i, hits in zip(miss_rows, hit_lists):
+                # None marks an unembeddable text — same degradation as
+                # the scalar stage catching EmbeddingError
+                names = (() if hits is None
+                         else tuple(hit.name for hit in hits))
+                results[i] = names
+                if self.caches is not None and hits is not None:
+                    self.caches.retrieval.put(
+                        (texts[i], k, categories_per[i]), names)
+        return [result if result is not None else ()
+                for result in results]
 
     def _retrieve(self, text: str,
                   categories: tuple[Category, ...]) -> tuple[str, ...]:

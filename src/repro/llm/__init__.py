@@ -11,8 +11,13 @@ search-based (rollout) decoding — runs unchanged on top of it.
 
 from .prompts import Prompt
 from .intent import GraphTypePredictor, IntentClassifier, predict_graph_type
-from .chain_model import ChainLanguageModel, TrainingExample
-from .decoding import beam_decode, greedy_decode, sample_decode
+from .chain_model import BatchScorer, ChainLanguageModel, TrainingExample
+from .decoding import (
+    beam_decode,
+    greedy_decode,
+    greedy_decode_batch,
+    sample_decode,
+)
 from .simulated import PRESETS, build_model
 from .persistence import load_model, save_model
 
@@ -23,10 +28,12 @@ __all__ = [
     "GraphTypePredictor",
     "IntentClassifier",
     "predict_graph_type",
+    "BatchScorer",
     "ChainLanguageModel",
     "TrainingExample",
     "beam_decode",
     "greedy_decode",
+    "greedy_decode_batch",
     "sample_decode",
     "PRESETS",
     "build_model",

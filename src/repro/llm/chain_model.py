@@ -110,6 +110,7 @@ class ChainLanguageModel:
     #: supplied any — the paper's "reduce the space of prediction".
     restrict_to_retrieved: bool = True
     _vocab: dict[str, int] = field(init=False, default_factory=dict)
+    _names_by_id: list[str] = field(init=False, default_factory=list)
     _weights: np.ndarray = field(init=False, default=None)  # type: ignore
 
     def __post_init__(self) -> None:
@@ -118,6 +119,7 @@ class ChainLanguageModel:
         names = list(dict.fromkeys(self.api_names))  # dedupe, keep order
         self._vocab = {name: i for i, name in enumerate(names)}
         self._vocab[EOS] = len(names)
+        self._names_by_id = names + [EOS]
         rng = np.random.default_rng(self.seed)
         self._weights = rng.normal(
             scale=0.01, size=(len(self._vocab), self.n_features))
@@ -141,9 +143,8 @@ class ChainLanguageModel:
                 from None
 
     def token_name(self, token_id: int) -> str:
-        for name, tid in self._vocab.items():
-            if tid == token_id:
-                return name
+        if 0 <= token_id < len(self._names_by_id):
+            return self._names_by_id[token_id]
         raise ModelError(f"no token with id {token_id}")
 
     # ------------------------------------------------------------------
@@ -157,6 +158,20 @@ class ChainLanguageModel:
 
     def featurize(self, state: GenerationState) -> dict[int, float]:
         """Sparse feature vector of a decoding state."""
+        features = self._static_features(state)
+        bias = features.pop(self.n_features - 1)
+        for idx in self._dynamic_feature_ids(state):
+            features[idx] = 1.0
+        features[self.n_features - 1] = bias  # keep insertion order stable
+        return features
+
+    def _static_features(self, state: GenerationState) -> dict[int, float]:
+        """The feature components invariant under :meth:`advance`.
+
+        Text, graph, retrieved-API and bias features depend only on the
+        conditioning context, not on the prefix; batched decoding caches
+        them per decode lane and re-adds only the dynamic part each step.
+        """
         features: dict[int, float] = {}
         base = 0
         tokens = tokenize(state.prompt_text)
@@ -175,16 +190,19 @@ class ChainLanguageModel:
         for rank, name in enumerate(state.retrieved):
             if name in self._vocab:
                 features[base + self._vocab[name]] = 1.0 / (1.0 + rank)
-        base += len(self._vocab)
+        features[self.n_features - 1] = 1.0  # bias
+        return features
+
+    def _dynamic_feature_ids(self, state: GenerationState) -> list[int]:
+        """Indices of the prefix-dependent indicator features (value 1)."""
+        base = _TEXT_BUCKETS + _GRAPH_BUCKETS + len(self._vocab)
+        ids: list[int] = []
         prev = state.prefix[-1] if state.prefix else None
         if prev is not None and prev in self._vocab:
-            features[base + self._vocab[prev]] = 1.0
+            ids.append(base + self._vocab[prev])
         base += len(self._vocab)
-        position = min(len(state.prefix), 7)
-        features[base + position] = 1.0
-        base += 8
-        features[base] = 1.0  # bias
-        return features
+        ids.append(base + min(len(state.prefix), 7))
+        return ids
 
     # ------------------------------------------------------------------
     # inference
@@ -204,6 +222,19 @@ class ChainLanguageModel:
         same API twice, so this prevents degenerate loops.  The
         *retrieved* set additionally biases scores through rank features.
         """
+        ids = set(self._base_candidate_ids(state))
+        ids -= {self._vocab[name] for name in state.prefix
+                if name in self._vocab}
+        ids.add(self.eos_id)
+        return sorted(ids)
+
+    def _base_candidate_ids(self, state: GenerationState) -> frozenset[int]:
+        """Prefix-independent part of :meth:`candidate_ids`.
+
+        Constant across :meth:`GenerationState.advance`, so batched
+        decoding resolves it once per lane and only re-applies the
+        prefix mask each step.
+        """
         if state.allowed:
             ids = {self._vocab[name] for name in state.allowed
                    if name in self._vocab}
@@ -212,10 +243,8 @@ class ChainLanguageModel:
                    if name in self._vocab}
         else:
             ids = set(range(self.vocab_size))
-        ids -= {self._vocab[name] for name in state.prefix
-                if name in self._vocab}
         ids.add(self.eos_id)
-        return sorted(ids)
+        return frozenset(ids)
 
     def next_distribution(self, state: GenerationState,
                           temperature: float = 1.0) -> np.ndarray:
@@ -230,6 +259,62 @@ class ChainLanguageModel:
         probs = np.exp(logits)
         probs /= probs.sum()
         return probs
+
+    def next_distribution_batch(self, states: Sequence[GenerationState],
+                                temperature: float = 1.0) -> np.ndarray:
+        """Batched :meth:`next_distribution`: one ``(N, vocab)`` matrix.
+
+        The N sparse ``phi(state)`` vectors are assembled CSR-style into
+        one dense design matrix and scored with a single
+        ``Phi @ W.T`` matmul, so per-call numpy overhead is paid once
+        per *batch* instead of once per state.  Row ``i`` equals
+        ``next_distribution(states[i])`` up to floating-point summation
+        order (BLAS matmul vs. per-state dot), which leaves argmax /
+        top-k decoding decisions identical on non-degenerate inputs.
+        """
+        if temperature <= 0:
+            raise ModelError("temperature must be > 0")
+        states = list(states)
+        if not states:
+            return np.zeros((0, self.vocab_size))
+        indptr, indices, values = self.featurize_csr(states)
+        phi = np.zeros((len(states), self.n_features))
+        for row in range(len(states)):
+            sl = slice(indptr[row], indptr[row + 1])
+            phi[row, indices[sl]] = values[sl]
+        logits = (phi @ self._weights.T) / temperature
+        mask = np.full((len(states), self.vocab_size), -np.inf)
+        for row, state in enumerate(states):
+            mask[row, self.candidate_ids(state)] = 0.0
+        logits += mask
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+    def featurize_csr(self, states: Sequence[GenerationState]
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR-style batch featurization: ``(indptr, indices, values)``.
+
+        ``indices[indptr[i]:indptr[i+1]]`` / ``values[...]`` hold the
+        sparse feature vector of ``states[i]`` (the same entries as
+        :meth:`featurize`, as flat arrays ready for scatter/gather).
+        """
+        indptr = np.zeros(len(states) + 1, dtype=np.int64)
+        all_indices: list[np.ndarray] = []
+        all_values: list[np.ndarray] = []
+        for row, state in enumerate(states):
+            features = self.featurize(state)
+            all_indices.append(np.fromiter(features.keys(), dtype=np.int64,
+                                           count=len(features)))
+            all_values.append(np.fromiter(features.values(),
+                                          dtype=np.float64,
+                                          count=len(features)))
+            indptr[row + 1] = indptr[row] + len(features)
+        if not states:
+            return indptr, np.empty(0, np.int64), np.empty(0, np.float64)
+        return indptr, np.concatenate(all_indices), \
+            np.concatenate(all_values)
 
     def log_prob(self, state: GenerationState, api_name: str) -> float:
         """log P(api_name | state)."""
@@ -293,3 +378,101 @@ class ChainLanguageModel:
             state = state.advance(name)
         loss += self.train_step(state, EOS, learning_rate)
         return loss / (len(chain) + 1)
+
+
+class BatchScorer:
+    """Batched next-token scoring over a fleet of decode lanes.
+
+    Decoding only ever advances a :class:`GenerationState` by appending
+    APIs, so the text/graph/retrieved/bias features and the pre-prefix
+    candidate set of each lane are fixed for the whole decode.  The
+    scorer resolves those once per lane at construction; each step then
+    costs one dense ``Phi @ W.T`` matmul plus the tiny dynamic
+    (previous-API + position + prefix-mask) updates.
+
+    Used by :func:`repro.llm.decoding.greedy_decode_batch` (one lane per
+    input state) and :func:`repro.llm.decoding.beam_decode` (every live
+    beam shares lane 0's static features).
+    """
+
+    def __init__(self, model: ChainLanguageModel,
+                 states: Sequence[GenerationState]) -> None:
+        self.model = model
+        n_lanes = len(states)
+        #: Dense static design rows (lane -> phi without prev/position).
+        self._phi_static = np.zeros((n_lanes, model.n_features))
+        #: Base candidate masks (lane -> 0.0 on candidates, -inf off).
+        self._mask_static = np.full((n_lanes, model.vocab_size), -np.inf)
+        for lane, state in enumerate(states):
+            features = model._static_features(state)
+            self._phi_static[lane, list(features.keys())] = \
+                list(features.values())
+            self._mask_static[
+                lane, sorted(model._base_candidate_ids(state))] = 0.0
+        #: Contiguous transposed weight snapshot for the per-step dgemm.
+        #: A scorer is built per decode and must not outlive training
+        #: steps (training mutates the model's weights in place).
+        self._wt = np.ascontiguousarray(model._weights.T)
+
+    @property
+    def n_lanes(self) -> int:
+        return self._phi_static.shape[0]
+
+    def distributions(self, states: Sequence[GenerationState],
+                      lanes: Sequence[int],
+                      temperature: float = 1.0) -> np.ndarray:
+        """``(len(states), vocab)`` next-token distributions.
+
+        ``states[i]`` must be a (possibly advanced) descendant of the
+        construction-time state of lane ``lanes[i]``.
+        """
+        logits = self._masked_logits(states, lanes, temperature)
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        return probs
+
+    def argmax_tokens(self, states: Sequence[GenerationState],
+                      lanes: Sequence[int]) -> np.ndarray:
+        """Greedy next-token ids per state (no softmax needed).
+
+        ``argmax(softmax(x)) == argmax(x)``, so the greedy fleet
+        decoder skips the exp/normalize work entirely.
+        """
+        logits = self._masked_logits(states, lanes, 1.0)
+        return np.argmax(logits, axis=1)
+
+    def _masked_logits(self, states: Sequence[GenerationState],
+                       lanes: Sequence[int],
+                       temperature: float) -> np.ndarray:
+        if temperature <= 0:
+            raise ModelError("temperature must be > 0")
+        model = self.model
+        vocab = model._vocab
+        n = len(states)
+        if n == 0:
+            return np.zeros((0, model.vocab_size))
+        lane_index = np.asarray(lanes, dtype=np.int64)
+        phi = self._phi_static[lane_index]       # fancy index == copy
+        logits_mask = self._mask_static[lane_index]
+        dyn_rows: list[int] = []
+        dyn_cols: list[int] = []
+        masked_rows: list[int] = []
+        masked_cols: list[int] = []
+        for row, state in enumerate(states):
+            for idx in model._dynamic_feature_ids(state):
+                dyn_rows.append(row)
+                dyn_cols.append(idx)
+            for name in state.prefix:
+                token_id = vocab.get(name)
+                if token_id is not None:
+                    masked_rows.append(row)
+                    masked_cols.append(token_id)
+        phi[dyn_rows, dyn_cols] = 1.0
+        if masked_rows:
+            logits_mask[masked_rows, masked_cols] = -np.inf
+        logits = phi @ self._wt
+        if temperature != 1.0:
+            logits /= temperature
+        logits += logits_mask
+        return logits

@@ -4,17 +4,28 @@ The paper's search-based prediction (random rollouts scored by the node
 matching-based loss) is the *training-time* decoder and lives in
 :mod:`repro.finetune.rollout`; the strategies here are the inference-
 time decoders the chat pipeline uses.
+
+Two execution paths share one model:
+
+* the scalar path (:func:`greedy_decode`, :func:`sample_decode`) calls
+  :meth:`~repro.llm.chain_model.ChainLanguageModel.next_distribution`
+  once per state per step — simple, and the perf-gate baseline;
+* the batched path (:func:`greedy_decode_batch`, and
+  :func:`beam_decode`, which expands all live beams per step through
+  one call) scores whole fleets of states with a single matmul via
+  :class:`~repro.llm.chain_model.BatchScorer`.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from typing import Sequence
 
 import numpy as np
 
 from ..errors import ModelError
-from .chain_model import EOS, ChainLanguageModel, GenerationState
+from .chain_model import BatchScorer, ChainLanguageModel, GenerationState
 
 
 def greedy_decode(model: ChainLanguageModel, state: GenerationState,
@@ -35,43 +46,95 @@ def greedy_decode(model: ChainLanguageModel, state: GenerationState,
     return chain
 
 
+#: One beam hypothesis: (neg mean log-prob, tiebreak, raw total
+#: log-prob, chain, state, finished).  The *raw* cumulative log-prob is
+#: carried alongside the length-normalized ranking score instead of
+#: being re-derived from it (``-score * length`` reconstruction drifts
+#: one rounding per step and compounds over long beams).
+_Beam = tuple[float, int, float, tuple[str, ...], GenerationState, bool]
+
+
 def beam_decode(model: ChainLanguageModel, state: GenerationState,
                 beam_width: int = 4, max_length: int = 8) -> list[str]:
-    """Length-normalized beam search; returns the best finished chain."""
+    """Length-normalized beam search; returns the best finished chain.
+
+    All live beams of a step are scored through one batched model call
+    (they share ``state``'s static features, so the per-step cost is a
+    single ``(n_live, vocab)`` matmul).  Candidates whose probability
+    is exactly ``0.0`` are disallowed (masked) tokens and are never
+    expanded.
+    """
     if beam_width < 1:
         raise ModelError("beam_width must be >= 1")
-    # beams: (neg mean log prob, tiebreak, chain, state, finished)
-    beams: list[tuple[float, int, tuple[str, ...], GenerationState, bool]]
-    beams = [(0.0, 0, (), state, False)]
+    scorer = BatchScorer(model, [state])
+    beams: list[_Beam] = [(0.0, 0, 0.0, (), state, False)]
     tie = 0
     for __ in range(max_length + 1):
-        if all(finished for *_, finished in beams):
+        live = [beam for beam in beams if not beam[5]]
+        if not live:
             break
-        expanded: list[tuple[float, int, tuple[str, ...], GenerationState,
-                             bool]] = []
-        for score, __tie, chain, current, finished in beams:
-            if finished:
-                expanded.append((score, __tie, chain, current, True))
-                continue
-            total_logp = -score * (len(chain) + 1)
-            probs = model.next_distribution(current)
-            candidate_ids = np.argsort(probs)[::-1][:beam_width]
+        probs = scorer.distributions([beam[4] for beam in live],
+                                     [0] * len(live))
+        expanded: list[_Beam] = [beam for beam in beams if beam[5]]
+        for row, (__score, __tie, total_logp, chain, current,
+                  __fin) in enumerate(live):
+            row_probs = probs[row]
+            candidate_ids = np.argsort(row_probs)[::-1][:beam_width]
             for token_id in candidate_ids:
-                logp = float(np.log(max(probs[token_id], 1e-300)))
+                p = float(row_probs[token_id])
+                if p == 0.0:
+                    continue  # masked (disallowed) token
+                logp = float(np.log(p))
                 tie += 1
+                new_logp = total_logp + logp
                 if int(token_id) == model.eos_id:
-                    new_score = -(total_logp + logp) / (len(chain) + 2)
-                    expanded.append((new_score, tie, chain, current, True))
+                    new_score = -new_logp / (len(chain) + 2)
+                    expanded.append((new_score, tie, new_logp, chain,
+                                     current, True))
                 else:
                     name = model.token_name(int(token_id))
                     new_chain = chain + (name,)
-                    new_score = -(total_logp + logp) / (len(new_chain) + 1)
-                    expanded.append((new_score, tie, new_chain,
+                    new_score = -new_logp / (len(new_chain) + 1)
+                    expanded.append((new_score, tie, new_logp, new_chain,
                                      current.advance(name), False))
         beams = heapq.nsmallest(beam_width, expanded)
-    finished_beams = [b for b in beams if b[4]] or beams
+    finished_beams = [beam for beam in beams if beam[5]] or beams
     best = min(finished_beams)
-    return list(best[2])
+    return list(best[3])
+
+
+def greedy_decode_batch(model: ChainLanguageModel,
+                        states: Sequence[GenerationState],
+                        max_length: int = 8) -> list[list[str]]:
+    """Greedy-decode a fleet of states in lockstep.
+
+    Equivalent to ``[greedy_decode(model, s, max_length) for s in
+    states]`` but each step scores every still-decoding state with one
+    batched model call.  Lanes that emit EOS drop out of the batch.
+    """
+    if max_length < 1:
+        raise ModelError("max_length must be >= 1")
+    states = list(states)
+    scorer = BatchScorer(model, states)
+    chains: list[list[str]] = [[] for __ in states]
+    current = list(states)
+    active = list(range(len(states)))
+    for __ in range(max_length):
+        if not active:
+            break
+        token_ids = scorer.argmax_tokens(
+            [current[lane] for lane in active], active)
+        still_active: list[int] = []
+        for row, lane in enumerate(active):
+            token_id = int(token_ids[row])
+            if token_id == model.eos_id:
+                continue
+            name = model.token_name(token_id)
+            chains[lane].append(name)
+            current[lane] = current[lane].advance(name)
+            still_active.append(lane)
+        active = still_active
+    return chains
 
 
 def sample_decode(model: ChainLanguageModel, state: GenerationState,

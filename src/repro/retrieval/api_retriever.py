@@ -12,7 +12,7 @@ from ..ann.tau_mg import TauMGIndex
 from ..apis.registry import APIRegistry, Category
 from ..config import RetrievalConfig
 from ..embedding.hashing import HashingEmbedder
-from ..errors import IndexError_
+from ..errors import EmbeddingError, IndexError_
 
 
 @dataclass(frozen=True)
@@ -53,6 +53,10 @@ class APIRetriever:
         self._names = registry.names()
         if not self._names:
             raise IndexError_("registry is empty; nothing to retrieve")
+        #: Category per vector id, snapshotted once so ranking avoids a
+        #: registry lookup per ANN hit.
+        self._hit_categories = [registry.get(name).category
+                                for name in self._names]
         descriptions = [self._document(name) for name in self._names]
         tfidf = None
         if use_idf:
@@ -84,6 +88,43 @@ class APIRetriever:
             self.embed_cache.put(text, vector)
         return vector
 
+    def _embed_queries(self, texts: list[str]
+                       ) -> dict[str, "np.ndarray | None"]:
+        """Embed many query texts, batching cache misses together.
+
+        Returns a mapping from each distinct text to its vector, or
+        ``None`` where the text cannot be embedded (the per-text
+        equivalent of :meth:`_embed_query` raising
+        :class:`~repro.errors.EmbeddingError`).  Vectors that came from
+        the cache are shared references and must not be mutated.
+        """
+        vectors: dict[str, np.ndarray | None] = {}
+        misses: list[str] = []
+        for text in dict.fromkeys(texts):
+            cached = (self.embed_cache.get(text)
+                      if self.embed_cache is not None else None)
+            if cached is not None:
+                vectors[text] = cached
+            else:
+                misses.append(text)
+        if not misses:
+            return vectors
+        try:
+            pairs = list(zip(misses, self.embedder.embed_batch(misses)))
+        except EmbeddingError:
+            # rare path: isolate the unembeddable text(s) one by one
+            pairs = []
+            for text in misses:
+                try:
+                    pairs.append((text, self.embedder.embed(text)))
+                except EmbeddingError:
+                    vectors[text] = None
+        for text, vector in pairs:
+            if self.embed_cache is not None:
+                self.embed_cache.put(text, vector)
+            vectors[text] = vector
+        return vectors
+
     # ------------------------------------------------------------------
     def retrieve(self, text: str, k: int | None = None,
                  categories: tuple[Category, ...] | None = None
@@ -96,15 +137,80 @@ class APIRetriever:
         """
         k = k or self.config.top_k_apis
         query = self._embed_query(text)
-        pool = k if categories is None else min(len(self._names), 4 * k)
+        pool = self._pool_size(k, categories)
         hits = self.index.search(query, k=pool)
+        return self._rank(hits, k, categories)
+
+    def _pool_size(self, k: int,
+                   categories: tuple[Category, ...] | None) -> int:
+        return k if categories is None else min(len(self._names), 4 * k)
+
+    def _rank(self, hits, k: int,
+              categories: tuple[Category, ...] | None
+              ) -> list[RetrievedAPI]:
+        """Apply the category filter and re-rank the surviving hits."""
         results: list[RetrievedAPI] = []
+        names, hit_categories = self._names, self._hit_categories
         for hit in hits:
-            name = self._names[hit.vector_id]
-            if categories is not None:
-                if self.registry.get(name).category not in categories:
-                    continue
-            results.append(RetrievedAPI(name=name, distance=hit.distance,
+            vector_id = hit.vector_id
+            if (categories is not None
+                    and hit_categories[vector_id] not in categories):
+                continue
+            results.append(RetrievedAPI(name=names[vector_id],
+                                        distance=hit.distance,
+                                        rank=len(results)))
+            if len(results) == k:
+                break
+        return results
+
+    def retrieve_batch(self, texts: list[str], k: int | None = None,
+                       categories_per: "list[tuple[Category, ...] | None] "
+                       "| None" = None
+                       ) -> list[list[RetrievedAPI] | None]:
+        """Batched :meth:`retrieve`: one result list per input text.
+
+        Query embeddings are computed through one ``embed_batch`` call
+        (cache misses only) and the ANN index is queried with
+        ``search_batch``, so the per-query Python overhead is amortized
+        across the whole batch.  Results match the scalar path exactly;
+        an entry is ``None`` where :meth:`retrieve` would have raised
+        :class:`~repro.errors.EmbeddingError` for that text.
+        """
+        k = k or self.config.top_k_apis
+        if categories_per is None:
+            categories_per = [None] * len(texts)
+        if len(categories_per) != len(texts):
+            raise IndexError_("categories_per must match texts in length")
+        vectors = self._embed_queries(list(texts))
+        results: list[list[RetrievedAPI] | None] = [None] * len(texts)
+        # group by candidate-pool size so each index query uses exactly
+        # the k the scalar path would have used (keeps hit lists, and
+        # thus truncation behavior, identical)
+        by_pool: dict[int, list[int]] = {}
+        for i, (text, categories) in enumerate(zip(texts, categories_per)):
+            if vectors[text] is None:
+                continue
+            by_pool.setdefault(self._pool_size(k, categories),
+                               []).append(i)
+        for pool, rows in by_pool.items():
+            queries = np.stack([vectors[texts[i]] for i in rows])
+            hit_lists = self.index.search_batch_pairs(queries, k=pool)
+            for i, hits in zip(rows, hit_lists):
+                results[i] = self._rank_pairs(hits, k, categories_per[i])
+        return results
+
+    def _rank_pairs(self, hits: "list[tuple[int, float]]", k: int,
+                    categories: tuple[Category, ...] | None
+                    ) -> list[RetrievedAPI]:
+        """:meth:`_rank` over raw ``(vector_id, distance)`` pairs."""
+        results: list[RetrievedAPI] = []
+        names, hit_categories = self._names, self._hit_categories
+        for vector_id, distance in hits:
+            if (categories is not None
+                    and hit_categories[vector_id] not in categories):
+                continue
+            results.append(RetrievedAPI(name=names[vector_id],
+                                        distance=distance,
                                         rank=len(results)))
             if len(results) == k:
                 break

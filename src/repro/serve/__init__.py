@@ -33,6 +33,7 @@ from .engine import (
     ServeRequest,
     ServeResponse,
 )
+from .microbatch import MicroBatcher
 from .sessions import SessionEntry, SessionStore
 from .stats import LatencyHistogram, ServerStats
 
@@ -47,6 +48,7 @@ __all__ = [
     "CircuitOpenError",
     "LRUCache",
     "LatencyHistogram",
+    "MicroBatcher",
     "ObsConfig",
     "PendingRequest",
     "PipelineCaches",

@@ -36,11 +36,13 @@ from ..core.pipeline import PipelineResult
 from ..core.reports import render_answer
 from ..errors import ChatGraphError, ServeError
 from ..graphs.graph import Graph
+from ..llm.prompts import Prompt
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Tracer
 from .admission import AdmissionQueue, RateLimiter
 from .breaker import BreakerRegistry
 from .cache import PipelineCaches
+from .microbatch import MicroBatcher
 from .sessions import SessionStore
 from .stats import ServerStats
 
@@ -179,6 +181,13 @@ class ChatGraphServer:
                 self.config.rate_limit_refill_per_second,
                 idle_seconds=self.config.rate_limit_idle_seconds)
         self._stats = ServerStats()
+        #: Optional request coalescer (see :mod:`repro.serve.microbatch`);
+        #: enabled by ``ServeConfig.microbatch_size > 0``.
+        self.batcher: MicroBatcher | None = None
+        if self.config.microbatch_size > 0:
+            self.batcher = MicroBatcher(
+                self.config.microbatch_size,
+                self.config.microbatch_deadline_seconds)
         # observability layer: a metrics registry fed by executor
         # events (always on; counters are nearly free) and an optional
         # tracer producing per-request span trees
@@ -363,25 +372,74 @@ class ChatGraphServer:
                 if self.queue.closed and len(self.queue) == 0:
                     return
                 continue
-            queued = time.perf_counter() - item.enqueued_at
+            if self.batcher is None:
+                self._serve_item(item, worker)
+                continue
+            batch, passthrough = self.batcher.collect(self.queue, item)
+            if len(batch) == 1:
+                self._serve_item(batch[0], worker)
+            elif batch:
+                self._serve_batch(batch, worker)
+            for single in passthrough:
+                self._serve_item(single, worker)
+
+    def _serve_item(self, item: PendingRequest, worker: str) -> None:
+        """Serve one request on the scalar path and resolve its handle."""
+        queued = time.perf_counter() - item.enqueued_at
+        self._stats.observe("queued", queued)
+        start = time.perf_counter()
+        try:
+            response = self._handle(item, worker)
+            response.ok = not response.error
+        except Exception as exc:  # noqa: BLE001 - keep workers alive
+            self._stats.incr("failed")
+            response = ServeResponse(
+                request_id=item.request_id, op=item.request.op,
+                ok=False, error=str(exc),
+                error_type=type(exc).__name__, worker=worker)
+        service = time.perf_counter() - start
+        response.queued_seconds = queued
+        response.service_seconds = service
+        self.queue.record_service_time(service)
+        self._stats.observe("service", service)
+        self._stats.observe("total", queued + service)
+        self._stats.incr(f"op_{item.request.op}")
+        item._resolve(response)
+
+    def _serve_batch(self, batch: list[PendingRequest],
+                     worker: str) -> None:
+        """Serve a coalesced batch through the shared pipeline stages."""
+        now = time.perf_counter()
+        queued_per: list[float] = []
+        for item in batch:
+            queued = now - item.enqueued_at
+            queued_per.append(queued)
             self._stats.observe("queued", queued)
-            start = time.perf_counter()
-            try:
-                response = self._handle(item, worker)
-                response.ok = not response.error
-            except Exception as exc:  # noqa: BLE001 - keep workers alive
+            self.metrics.observe("microbatch_queue_delay", queued)
+        self.metrics.observe("microbatch_size", float(len(batch)))
+        start = time.perf_counter()
+        try:
+            responses = self._handle_batch(batch, worker)
+        except Exception as exc:  # noqa: BLE001 - keep workers alive
+            responses = []
+            for item in batch:
                 self._stats.incr("failed")
-                response = ServeResponse(
+                responses.append(ServeResponse(
                     request_id=item.request_id, op=item.request.op,
                     ok=False, error=str(exc),
-                    error_type=type(exc).__name__, worker=worker)
-            service = time.perf_counter() - start
+                    error_type=type(exc).__name__, worker=worker))
+        service = time.perf_counter() - start
+        # the whole batch shares one service interval; the EMA feeding
+        # backpressure retry hints gets the per-request amortized cost
+        self.queue.record_service_time(service / len(batch))
+        for item, queued, response in zip(batch, queued_per, responses):
+            response.ok = not response.error
             response.queued_seconds = queued
             response.service_seconds = service
-            self.queue.record_service_time(service)
             self._stats.observe("service", service)
             self._stats.observe("total", queued + service)
             self._stats.incr(f"op_{item.request.op}")
+            self._stats.incr("microbatched")
             item._resolve(response)
 
     def _handle(self, item: PendingRequest, worker: str) -> ServeResponse:
@@ -475,6 +533,83 @@ class ChatGraphServer:
             if chat_response.record.is_degraded:
                 self._stats.incr("degraded_responses")
         return chat_response
+
+    # ------------------------------------------------------------------
+    # micro-batched serving
+    # ------------------------------------------------------------------
+    def _handle_batch(self, batch: list[PendingRequest],
+                      worker: str) -> list[ServeResponse]:
+        """Propose every request in one batched pipeline pass.
+
+        The emulated backend round trip is paid once for the whole
+        batch — that amortization is the point of micro-batching a
+        remote-LLM-shaped workload.  ``ask`` requests additionally
+        execute their chains one by one afterwards (execution carries
+        per-request state and does not batch).
+        """
+        seeds = [item.request.content_seed(self.config.seed)
+                 for item in batch]
+        responses = [
+            ServeResponse(request_id=item.request_id, op=item.request.op,
+                          ok=True, worker=worker, seed=seed)
+            for item, seed in zip(batch, seeds)
+        ]
+        prompts: list[Prompt] = []
+        for item, seed in zip(batch, seeds):
+            attachments = dict(item.request.attachments)
+            attachments.setdefault("request_seed", seed)
+            prompts.append(Prompt(text=item.request.text,
+                                  graph=item.request.graph,
+                                  attachments=attachments))
+        self._backend_pause()
+        if self.tracer is None:
+            results = self.chatgraph.propose_batch(prompts)
+        else:
+            with self.tracer.span("microbatch", kind="batch",
+                                  key=f"{seeds[0]:016x}",
+                                  batch_size=len(batch)):
+                results = self.chatgraph.propose_batch(prompts)
+        for item, seed, result, response in zip(batch, seeds, results,
+                                                responses):
+            if self.tracer is None:
+                self._finish_batch_item(item, result, response)
+                continue
+            with self.tracer.span(f"request:{item.request.op}",
+                                  kind="request", key=f"{seed:016x}",
+                                  parent=item.parent_span_id,
+                                  op=item.request.op,
+                                  client=item.request.client_id,
+                                  batch_size=len(batch)) as span:
+                self._finish_batch_item(item, result, response)
+                span.set(ok=not response.error)
+        return responses
+
+    def _finish_batch_item(self, item: PendingRequest,
+                           result: PipelineResult,
+                           response: ServeResponse) -> None:
+        """Per-request tail of a batch: record stats, execute for ask."""
+        self._record_pipeline(result)
+        if item.request.op == "propose":
+            response.value = result
+            return
+        try:
+            record, monitor = self.chatgraph.execute(result)
+        except Exception as exc:  # noqa: BLE001 - fail only this item
+            self._stats.incr("failed")
+            response.error = str(exc)
+            response.error_type = type(exc).__name__
+            return
+        self._stats.observe("execute", record.total_seconds)
+        if record.is_degraded:
+            self._stats.incr("degraded_responses")
+        response.value = ChatResponse(
+            prompt=result.prompt,
+            pipeline=result,
+            record=record,
+            answer=render_answer(record),
+            monitor=monitor,
+            seconds=record.total_seconds,
+        )
 
     # ------------------------------------------------------------------
     # introspection

@@ -1,0 +1,77 @@
+"""Request micro-batching: coalesce queued work into shared batches.
+
+A worker that pops one request from the admission queue hands it to the
+:class:`MicroBatcher`, which greedily gathers more *batchable* requests
+(stateless ``propose``/``ask``) until either the batch is full or the
+flush deadline expires.  The whole batch then runs through the
+pipeline's shared batched stages — one embedding call, one ANN search,
+one decode matmul per step — instead of N scalar passes.
+
+Session-bound and ``execute`` requests never batch: sessions serialize
+on their own locks and executions carry per-request state, so they pass
+through untouched (the ``passthrough`` list).
+
+The deadline is the tail-latency knob: the first request of a partial
+batch waits at most ``deadline_seconds`` for company.  With a deadline
+of zero the batcher still coalesces whatever is *already* queued — the
+no-added-latency operating point.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from .admission import AdmissionQueue
+
+Clock = Callable[[], float]
+
+
+class MicroBatcher:
+    """Gathers compatible queued requests into bounded batches."""
+
+    def __init__(self, max_batch: int, deadline_seconds: float,
+                 clock: Clock = time.monotonic) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be >= 0")
+        self.max_batch = max_batch
+        self.deadline_seconds = deadline_seconds
+        self._clock = clock
+
+    @staticmethod
+    def batchable(item: Any) -> bool:
+        """True when the pending request may join a shared batch."""
+        request = item.request
+        return (request.op in ("propose", "ask")
+                and request.session_id is None)
+
+    def collect(self, queue: AdmissionQueue,
+                first: Any) -> tuple[list[Any], list[Any]]:
+        """Grow a batch around ``first``; returns (batch, passthrough).
+
+        ``batch`` holds up to ``max_batch`` batchable requests;
+        ``passthrough`` holds everything popped along the way that must
+        be served individually.  A non-batchable ``first`` short-
+        circuits: it is returned alone without waiting.
+        """
+        if not self.batchable(first):
+            return [], [first]
+        batch = [first]
+        passthrough: list[Any] = []
+        deadline = self._clock() + self.deadline_seconds
+        while len(batch) < self.max_batch:
+            remaining = deadline - self._clock()
+            if remaining <= 0 and len(queue) == 0:
+                break
+            item = queue.get(timeout=max(0.0, remaining))
+            if item is None:
+                if queue.closed or remaining <= 0:
+                    break
+                continue
+            if self.batchable(item):
+                batch.append(item)
+            else:
+                passthrough.append(item)
+        return batch, passthrough

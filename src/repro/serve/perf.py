@@ -1,0 +1,354 @@
+"""The perf-gate benchmark: scalar vs batched inference hot path.
+
+``run_perf_benchmark`` measures the three batched layers this codebase
+ships — vectorized decode kernels (:class:`~repro.llm.chain_model.
+BatchScorer`), vectorized ANN search, and server micro-batching — each
+against its scalar reference on the seeded E13-style workload, and
+verifies the batched paths produce *identical chains* before reporting
+any speedup.  The result dict is what ``python -m repro.cli bench-perf``
+writes to ``BENCH_PR4.json``; CI gates on ``gate.passed``.
+
+Layers measured:
+
+* ``decode`` — greedy chain decoding for a fleet of generation states:
+  per-state :func:`~repro.llm.decoding.greedy_decode` loop vs one
+  :func:`~repro.llm.decoding.greedy_decode_batch` call per batch;
+* ``ann`` — tau-MG retrieval queries with the batched frontier kernel
+  on vs off (same index, same queries);
+* ``composite`` — the headline decode+retrieval number the >=3x gate
+  applies to: per request ``retrieve`` + ``greedy_decode`` vs one
+  ``retrieve_batch`` + ``greedy_decode_batch`` per ``batch_size``
+  chunk, single worker, caches off;
+* ``pipeline`` — the full prompt->chain pipeline per request vs
+  ``process_batch`` (reported, not gated: it includes the
+  sequentialize/intent stages that have no batched variant and
+  dominate once decode and retrieval are fast);
+* ``serve`` — end-to-end :class:`~repro.serve.engine.ChatGraphServer`
+  wall time with micro-batching off vs on (reported, not gated: it
+  includes queueing/thread noise).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..config import ServeConfig
+from ..core.chatgraph import ChatGraph
+from ..llm.chain_model import GenerationState
+from ..llm.decoding import greedy_decode, greedy_decode_batch
+from ..llm.intent import CATEGORY_ROUTING
+from ..llm.prompts import Prompt
+from ..apis.registry import Category
+from .bench import build_workload
+from .engine import ChatGraphServer, ServeRequest
+
+
+def _chunked(items: Sequence[Any], size: int) -> list[list[Any]]:
+    return [list(items[start:start + size])
+            for start in range(0, len(items), size)]
+
+
+def _min_per_unit(repeats: int,
+                  fns: Sequence[Any]) -> tuple[list[float], list[Any]]:
+    """Time each unit of work ``repeats`` times; keep per-unit minima.
+
+    Best-of timing (a la ``timeit``) reports the intrinsic cost of a
+    code path: slower passes only ever measure interference from the
+    rest of the machine.  Taking the minimum *per unit* (per request /
+    per chunk) rather than per whole pass makes the statistic robust
+    even on noisy shared hosts, where a several-ms steal event would
+    otherwise poison every full pass.  Returns the per-unit minimum
+    seconds plus the outputs of the first pass.
+    """
+    mins = [float("inf")] * len(fns)
+    first: list[Any] = []
+    for rep in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            out = fn()
+            elapsed = time.perf_counter() - t0
+            if elapsed < mins[i]:
+                mins[i] = elapsed
+            if rep == 0:
+                first.append(out)
+    return mins, first
+
+
+def _quantiles_ms(seconds: list[float]) -> dict[str, float]:
+    values = np.asarray(seconds, dtype=np.float64) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(values, 50)),
+        "p95_ms": float(np.percentile(values, 95)),
+    }
+
+
+def _states_from_results(chatgraph: ChatGraph, results) -> list[
+        GenerationState]:
+    """Rebuild the generation states the pipeline decoded from."""
+    states = []
+    for result in results:
+        categories = CATEGORY_ROUTING.get(result.graph_type or "generic",
+                                          tuple(Category))
+        allowed = tuple(spec.name for spec in
+                        chatgraph.registry.by_category(*categories))
+        graph_tokens: tuple[tuple[str, int], ...] = ()
+        if result.sequences is not None:
+            graph_tokens = GenerationState.graph_tokens_from_counter(
+                result.sequences.feature_counts)
+        states.append(GenerationState(
+            prompt_text=result.prompt.text,
+            graph_tokens=graph_tokens,
+            retrieved=result.retrieved,
+            allowed=allowed))
+    return states
+
+
+def run_perf_benchmark(chatgraph: ChatGraph, n_requests: int = 64,
+                       batch_size: int = 16, repeats: int = 3,
+                       min_speedup: float = 3.0,
+                       include_serve: bool = True) -> dict[str, Any]:
+    """Measure scalar vs batched hot paths; returns the report dict.
+
+    The gate (``gate.passed``) requires the decode+retrieval composite
+    speedup to reach ``min_speedup`` AND every batched chain to match
+    its scalar twin exactly.  Each unit of work (request or chunk) is
+    timed over ``repeats`` passes and its fastest time kept — see
+    :func:`_min_per_unit` for why that is the stable statistic to
+    gate CI on.
+    """
+    workload = build_workload(n_requests)
+    prompts = [Prompt(text=request.text, graph=request.graph,
+                      attachments={})
+               for request in workload]
+    batches = _chunked(prompts, batch_size)
+    pipeline = chatgraph.pipeline
+    index = chatgraph.retriever.index
+    model = chatgraph.require_model()
+
+    # make sure no serve-layer caches leak into the measurement
+    chatgraph.enable_caches(None)
+
+    # ------------------------------------------------------------------
+    # correctness first: batched execution must yield identical chains
+    # ------------------------------------------------------------------
+    index.use_batched = False
+    scalar_results = [pipeline.process(prompt) for prompt in prompts]
+    index.use_batched = True
+    batched_results = [result
+                       for batch in batches
+                       for result in pipeline.process_batch(batch)]
+    chains_equal = all(
+        a.chain.render() == b.chain.render()
+        and a.retrieved == b.retrieved
+        for a, b in zip(scalar_results, batched_results))
+
+    # ------------------------------------------------------------------
+    # decode kernel: greedy fleet decoding
+    # ------------------------------------------------------------------
+    states = _states_from_results(chatgraph, scalar_results)
+    max_length = chatgraph.config.llm.max_chain_length
+    state_batches = _chunked(states, batch_size)
+
+    decode_scalar_lat, scalar_chains = _min_per_unit(
+        repeats,
+        [lambda s=state: greedy_decode(model, s, max_length)
+         for state in states])
+    decode_batched_lat, batched_groups = _min_per_unit(
+        repeats,
+        [lambda g=group: greedy_decode_batch(model, g, max_length)
+         for group in state_batches])
+    batched_chains = [c for group in batched_groups for c in group]
+    decode_scalar_s = sum(decode_scalar_lat)
+    decode_batched_s = sum(decode_batched_lat)
+    chains_equal = chains_equal and scalar_chains == batched_chains
+    n_decodes = len(states)
+
+    # ------------------------------------------------------------------
+    # ANN kernel: tau-MG search, batched frontier on vs off
+    # ------------------------------------------------------------------
+    queries = [chatgraph.retriever._embed_query(p.text) for p in prompts]
+    k = chatgraph.config.retrieval.top_k_apis
+
+    index.use_batched = False
+    ann_scalar_lat, scalar_hits = _min_per_unit(
+        repeats, [lambda q=q: index.search(q, k=k) for q in queries])
+    ann_scalar_s = sum(ann_scalar_lat)
+
+    index.use_batched = True
+    query_matrix = np.stack(queries)
+    ann_batched_lat, batched_out = _min_per_unit(
+        repeats, [lambda: index.search_batch(query_matrix, k=k)])
+    ann_batched_s = sum(ann_batched_lat)
+    batched_hits = batched_out[0]
+    chains_equal = chains_equal and scalar_hits == batched_hits
+
+    # ------------------------------------------------------------------
+    # decode+retrieval composite (the gated number): the two batched
+    # stages exactly as the micro-batched server drives them
+    # ------------------------------------------------------------------
+    retriever = chatgraph.retriever
+    categories_per = [
+        CATEGORY_ROUTING.get(result.graph_type or "generic",
+                             tuple(Category))
+        for result in scalar_results]
+    texts = [prompt.text for prompt in prompts]
+
+    def _scalar_unit(i: int, text: str):
+        retriever.retrieve(text, k=k, categories=categories_per[i])
+        return greedy_decode(model, states[i], max_length)
+
+    # chunk assembly happens at dispatch time in the server, so it
+    # stays outside the timed region here
+    chunks = [
+        (texts[i:i + batch_size], categories_per[i:i + batch_size],
+         states[i:i + batch_size])
+        for i in range(0, len(texts), batch_size)]
+
+    def _batched_unit(chunk_texts, chunk_cats, chunk_states):
+        retriever.retrieve_batch(chunk_texts, k=k,
+                                 categories_per=chunk_cats)
+        return greedy_decode_batch(model, chunk_states, max_length)
+
+    index.use_batched = False
+    comp_scalar_lat, comp_scalar_chains = _min_per_unit(
+        repeats,
+        [lambda i=i, t=t: _scalar_unit(i, t)
+         for i, t in enumerate(texts)])
+    comp_scalar_s = sum(comp_scalar_lat)
+
+    index.use_batched = True
+    comp_chunk_lat, comp_groups = _min_per_unit(
+        repeats, [lambda c=c: _batched_unit(*c) for c in chunks])
+    comp_batched_s = sum(comp_chunk_lat)
+    comp_batched_chains = [c for group in comp_groups for c in group]
+    # every request in a chunk completes when the chunk does
+    comp_batched_lat = [
+        seconds
+        for seconds, (chunk_texts, __, __x) in zip(comp_chunk_lat,
+                                                   chunks)
+        for __y in chunk_texts]
+    chains_equal = (chains_equal
+                    and comp_scalar_chains == comp_batched_chains)
+    n_composite = len(texts)
+
+    # ------------------------------------------------------------------
+    # full pipeline (context, not gated): prompt->chain end to end
+    # ------------------------------------------------------------------
+    index.use_batched = False
+    scalar_latencies, __ = _min_per_unit(
+        repeats, [lambda p=p: pipeline.process(p) for p in prompts])
+    pipe_scalar_s = sum(scalar_latencies)
+
+    index.use_batched = True
+    pipe_batch_lat, __ = _min_per_unit(
+        repeats, [lambda b=b: pipeline.process_batch(b) for b in batches])
+    pipe_batched_s = sum(pipe_batch_lat)
+    batched_latencies = [
+        seconds
+        for seconds, batch in zip(pipe_batch_lat, batches)
+        for __x in batch]
+    n_pipeline = len(prompts)
+
+    report: dict[str, Any] = {
+        "benchmark": "batched inference hot path (PR4)",
+        "config": {
+            "n_requests": n_requests,
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "min_speedup": min_speedup,
+        },
+        "decode": {
+            "scalar_seconds": decode_scalar_s,
+            "batched_seconds": decode_batched_s,
+            "scalar_chains_per_s": n_decodes / decode_scalar_s,
+            "batched_chains_per_s": n_decodes / decode_batched_s,
+            "speedup": decode_scalar_s / decode_batched_s,
+        },
+        "ann": {
+            "scalar_seconds": ann_scalar_s,
+            "batched_seconds": ann_batched_s,
+            "scalar_qps": len(queries) / ann_scalar_s,
+            "batched_qps": len(queries) / ann_batched_s,
+            "speedup": ann_scalar_s / ann_batched_s,
+        },
+        "composite": {
+            "scalar": {
+                "seconds": comp_scalar_s,
+                "throughput_rps": n_composite / comp_scalar_s,
+                **_quantiles_ms(comp_scalar_lat),
+            },
+            "batched": {
+                "seconds": comp_batched_s,
+                "throughput_rps": n_composite / comp_batched_s,
+                **_quantiles_ms(comp_batched_lat),
+            },
+            "speedup": comp_scalar_s / comp_batched_s,
+        },
+        "pipeline": {
+            "scalar": {
+                "seconds": pipe_scalar_s,
+                "throughput_rps": n_pipeline / pipe_scalar_s,
+                **_quantiles_ms(scalar_latencies),
+            },
+            "batched": {
+                "seconds": pipe_batched_s,
+                "throughput_rps": n_pipeline / pipe_batched_s,
+                **_quantiles_ms(batched_latencies),
+            },
+            "speedup": pipe_scalar_s / pipe_batched_s,
+        },
+        "chains_equal": chains_equal,
+    }
+
+    if include_serve:
+        report["serve"] = _serve_comparison(chatgraph, workload,
+                                            batch_size)
+        chatgraph.enable_caches(None)
+
+    speedup = report["composite"]["speedup"]
+    report["gate"] = {
+        "min_speedup": min_speedup,
+        "measured_speedup": speedup,
+        "chains_equal": chains_equal,
+        "passed": bool(chains_equal and speedup >= min_speedup),
+    }
+    return report
+
+
+def _serve_comparison(chatgraph: ChatGraph,
+                      workload: list[ServeRequest],
+                      batch_size: int) -> dict[str, Any]:
+    """End-to-end server wall time, micro-batching off vs on."""
+
+    def run(config: ServeConfig) -> dict[str, float]:
+        server = ChatGraphServer(chatgraph, config)
+        with server:
+            start = time.perf_counter()
+            pending = [server.submit(request) for request in workload]
+            responses = [item.result(timeout=600.0) for item in pending]
+            seconds = time.perf_counter() - start
+        failed = [r for r in responses if not r.ok]
+        if failed:
+            raise RuntimeError(f"{len(failed)} perf requests failed; "
+                               f"first: {failed[0].error}")
+        totals = [r.queued_seconds + r.service_seconds for r in responses]
+        return {
+            "seconds": seconds,
+            "throughput_rps": len(workload) / seconds,
+            **_quantiles_ms(totals),
+        }
+
+    scalar = run(ServeConfig(workers=1, enable_caches=False,
+                             queue_depth=max(64, 2 * len(workload))))
+    batched = run(ServeConfig(workers=1, enable_caches=False,
+                              queue_depth=max(64, 2 * len(workload)),
+                              microbatch_size=batch_size,
+                              microbatch_deadline_seconds=0.02))
+    return {
+        "scalar": scalar,
+        "microbatched": batched,
+        "speedup": scalar["seconds"] / batched["seconds"],
+    }

@@ -1,0 +1,154 @@
+"""Batched ANN search vs the scalar reference paths.
+
+``search_batch`` must be a *pure performance change*: for every index
+class the batched kernels return bit-identical hits (same ids, same
+float distances, same order) and the same ``distance_computations``
+count as searching each query one at a time with ``use_batched`` off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann import (
+    BruteForceIndex,
+    HNSWIndex,
+    MRNGIndex,
+    TauMGIndex,
+    stable_topk,
+)
+from repro.errors import IndexError_
+
+INDEX_CLASSES = [BruteForceIndex, MRNGIndex, TauMGIndex, HNSWIndex]
+
+
+def _make(index_cls):
+    if index_cls is HNSWIndex:
+        return index_cls(seed=0)
+    return index_cls()
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(7)
+    return rng.normal(size=(300, 16))
+
+
+@pytest.fixture(scope="module")
+def tied_data():
+    """Every point duplicated 10x: distance ties everywhere."""
+    rng = np.random.default_rng(11)
+    return np.repeat(rng.normal(size=(40, 8)), 10, axis=0)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(8)
+    return rng.normal(size=(24, 16))
+
+
+def _scalar_reference(index, queries, k):
+    """Per-query scalar search with the batched kernels forced off."""
+    index.use_batched = False
+    try:
+        return [index.search(q, k=k) for q in queries]
+    finally:
+        index.use_batched = True
+
+
+@pytest.mark.parametrize("index_cls", INDEX_CLASSES)
+@pytest.mark.parametrize("k", [1, 5, 32])
+def test_batched_bit_identical_to_scalar(data, queries, index_cls, k):
+    index = _make(index_cls).build(data)
+    want = _scalar_reference(index, queries, k)
+    got = index.search_batch(queries, k=k)
+    assert got == want  # frozen dataclasses: ids AND float distances
+
+
+@pytest.mark.parametrize("index_cls", INDEX_CLASSES)
+def test_distance_computation_parity(data, queries, index_cls):
+    """Batched search does the same counted work as the scalar path."""
+    index = _make(index_cls).build(data)
+    base = index.distance_computations
+    _scalar_reference(index, queries, 8)
+    scalar_work = index.distance_computations - base
+
+    base = index.distance_computations
+    index.search_batch(queries, k=8)
+    batched_work = index.distance_computations - base
+    assert batched_work == scalar_work
+
+
+@pytest.mark.parametrize("index_cls", INDEX_CLASSES)
+def test_batched_identical_under_ties(tied_data, index_cls):
+    """Tie-heavy data: tie-breaking must match the scalar path exactly."""
+    index = _make(index_cls).build(tied_data)
+    rng = np.random.default_rng(12)
+    queries = tied_data[rng.integers(0, len(tied_data), size=12)]
+    queries = queries + rng.normal(scale=1e-9, size=queries.shape)
+    want = _scalar_reference(index, queries, 15)
+    got = index.search_batch(queries, k=15)
+    assert got == want
+
+
+@pytest.mark.parametrize("index_cls", INDEX_CLASSES)
+def test_pairs_unwrap_search_batch(data, queries, index_cls):
+    index = _make(index_cls).build(data)
+    hits = index.search_batch(queries, k=6)
+    pairs = index.search_batch_pairs(queries, k=6)
+    assert pairs == [[(h.vector_id, h.distance) for h in row]
+                     for row in hits]
+
+
+def test_single_query_batch_matches_search(data):
+    index = BruteForceIndex().build(data)
+    query = data[3] + 0.01
+    assert index.search_batch(query[None, :], k=4) == [
+        index.search(query, k=4)]
+
+
+def test_k_capped_at_n_in_batch():
+    index = BruteForceIndex().build(np.eye(3))
+    rows = index.search_batch(np.zeros((2, 3)), k=10)
+    assert all(len(row) == 3 for row in rows)
+
+
+class TestStableTopK:
+    def test_matches_stable_argsort(self):
+        rng = np.random.default_rng(5)
+        for trial in range(50):
+            values = rng.integers(0, 6, size=rng.integers(1, 80))
+            values = values.astype(np.float64)
+            k = int(rng.integers(1, len(values) + 1))
+            want = np.argsort(values, kind="stable")[:k]
+            got = stable_topk(values, k)
+            np.testing.assert_array_equal(got, want)
+
+    def test_all_tied(self):
+        values = np.zeros(10)
+        np.testing.assert_array_equal(stable_topk(values, 4),
+                                      np.arange(4))
+
+    def test_k_at_least_n(self):
+        values = np.array([3.0, 1.0, 2.0])
+        np.testing.assert_array_equal(stable_topk(values, 5),
+                                      np.array([1, 2, 0]))
+
+
+class TestBatchValidation:
+    def test_before_build(self):
+        with pytest.raises(IndexError_):
+            BruteForceIndex().search_batch(np.zeros((2, 3)))
+        with pytest.raises(IndexError_):
+            BruteForceIndex().search_batch_pairs(np.zeros((2, 3)))
+
+    def test_bad_shape(self, data):
+        index = BruteForceIndex().build(data)
+        with pytest.raises(IndexError_):
+            index.search_batch(np.zeros(16))  # 1-D, not (m, d)
+        with pytest.raises(IndexError_):
+            index.search_batch(np.zeros((2, 5)))  # wrong dim
+
+    def test_bad_k(self, data):
+        index = BruteForceIndex().build(data)
+        with pytest.raises(IndexError_):
+            index.search_batch(np.zeros((2, 16)), k=0)

@@ -1,0 +1,173 @@
+"""Tests for request micro-batching (repro.serve.microbatch + engine).
+
+The batcher must only coalesce stateless ``propose``/``ask`` requests,
+flush on size or deadline, and — end to end — a micro-batched server
+must return bit-identical responses to the scalar path while recording
+the ``microbatched`` counter and ``microbatch_size`` histogram.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChatGraph, ChatGraphServer, ServeConfig, ServeRequest
+from repro.graphs import knowledge_graph
+from repro.serve import AdmissionQueue, MicroBatcher
+from repro.serve.bench import build_workload
+from repro.serve.engine import PendingRequest
+
+
+class FakeClock:
+    def __init__(self, start: float = 100.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def _pending(op: str, session_id: str | None = None) -> PendingRequest:
+    request = ServeRequest(op=op, text="t", session_id=session_id)
+    return PendingRequest(request, request_id=0, enqueued_at=0.0)
+
+
+@pytest.fixture(scope="module")
+def serve_chatgraph():
+    return ChatGraph.pretrained(corpus_size=300, seed=0)
+
+
+class TestBatchable:
+    def test_stateless_propose_and_ask_batch(self):
+        assert MicroBatcher.batchable(_pending("propose"))
+        assert MicroBatcher.batchable(_pending("ask"))
+
+    def test_session_bound_requests_do_not_batch(self):
+        assert not MicroBatcher.batchable(_pending("propose", "s1"))
+        assert not MicroBatcher.batchable(_pending("ask", "s1"))
+
+    def test_execute_does_not_batch(self):
+        assert not MicroBatcher.batchable(_pending("execute"))
+
+
+class TestCollect:
+    def _queue(self, items) -> AdmissionQueue:
+        queue = AdmissionQueue(maxsize=64)
+        for item in items:
+            queue.put(item)
+        return queue
+
+    def test_non_batchable_first_short_circuits(self):
+        batcher = MicroBatcher(max_batch=4, deadline_seconds=0.0,
+                               clock=FakeClock())
+        queue = self._queue([_pending("ask")])
+        first = _pending("execute")
+        batch, passthrough = batcher.collect(queue, first)
+        assert batch == [] and passthrough == [first]
+        assert len(queue) == 1  # nothing else was popped
+
+    def test_flush_on_size(self):
+        batcher = MicroBatcher(max_batch=3, deadline_seconds=0.0,
+                               clock=FakeClock())
+        queued = [_pending("ask") for _ in range(5)]
+        queue = self._queue(queued)
+        first = _pending("propose")
+        batch, passthrough = batcher.collect(queue, first)
+        assert batch == [first] + queued[:2]  # capped at max_batch
+        assert passthrough == []
+        assert len(queue) == 3
+
+    def test_zero_deadline_coalesces_already_queued_only(self):
+        batcher = MicroBatcher(max_batch=8, deadline_seconds=0.0,
+                               clock=FakeClock())
+        queued = [_pending("ask"), _pending("propose")]
+        queue = self._queue(queued)
+        batch, passthrough = batcher.collect(queue, _pending("ask"))
+        assert len(batch) == 3 and passthrough == []
+        assert len(queue) == 0
+
+    def test_deadline_expiry_returns_partial_batch(self):
+        # real clock: the empty queue forces the deadline to lapse
+        batcher = MicroBatcher(max_batch=8, deadline_seconds=0.01)
+        queue = AdmissionQueue(maxsize=8)
+        first = _pending("propose")
+        batch, passthrough = batcher.collect(queue, first)
+        assert batch == [first] and passthrough == []
+
+    def test_non_batchable_items_pass_through(self):
+        batcher = MicroBatcher(max_batch=8, deadline_seconds=0.0,
+                               clock=FakeClock())
+        session = _pending("ask", session_id="dialog-1")
+        tail = _pending("propose")
+        queue = self._queue([session, tail])
+        batch, passthrough = batcher.collect(queue, _pending("ask"))
+        assert session in passthrough
+        assert session not in batch
+        assert tail in batch
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=0, deadline_seconds=0.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch=1, deadline_seconds=-0.1)
+
+
+class TestServerMicroBatching:
+    def _run(self, chatgraph, workload, **config):
+        server = ChatGraphServer(
+            chatgraph, ServeConfig(workers=1, enable_caches=False,
+                                   queue_depth=64, **config))
+        with server:
+            pending = [server.submit(request) for request in workload]
+            responses = [item.result(timeout=120.0) for item in pending]
+        return server, responses
+
+    def test_batched_responses_identical_to_scalar(self, serve_chatgraph):
+        workload = build_workload(10, n_graphs=3)
+        workload += [ServeRequest(op="ask", text=r.text, graph=r.graph)
+                     for r in workload[:4]]
+        _, serial = self._run(serve_chatgraph, workload)
+        server, batched = self._run(serve_chatgraph, workload,
+                                    microbatch_size=8,
+                                    microbatch_deadline_seconds=0.05)
+        assert all(r.ok for r in serial)
+        assert all(r.ok for r in batched)
+        for left, right in zip(serial, batched):
+            assert left.seed == right.seed
+            if left.op == "propose":
+                assert left.value.chain.api_names() == \
+                    right.value.chain.api_names()
+                assert left.value.retrieved == right.value.retrieved
+                assert left.value.intent == right.value.intent
+            else:
+                assert left.value.answer == right.value.answer
+        # a single worker over a pre-filled queue must have coalesced
+        counters = server.stats()["counters"]
+        assert counters.get("microbatched", 0) >= 2
+        histogram = server.metrics.histogram("microbatch_size")
+        assert histogram.count >= 1
+        assert histogram.max >= 2
+
+    def test_microbatching_off_by_default(self, serve_chatgraph):
+        workload = build_workload(4, n_graphs=2)
+        server, responses = self._run(serve_chatgraph, workload)
+        assert all(r.ok for r in responses)
+        assert server.batcher is None
+        assert server.stats()["counters"].get("microbatched", 0) == 0
+
+    def test_session_requests_bypass_batching(self, serve_chatgraph):
+        graph = knowledge_graph(24, 80, seed=3)
+        workload = build_workload(6, n_graphs=2)
+        workload.insert(3, ServeRequest(op="ask",
+                                        text="how many nodes are there",
+                                        graph=graph, session_id="dlg-1"))
+        server, responses = self._run(serve_chatgraph, workload,
+                                      microbatch_size=8,
+                                      microbatch_deadline_seconds=0.05)
+        assert all(r.ok for r in responses)
+        session_response = responses[3]
+        assert session_response.op == "ask"
+        assert session_response.value.answer
+        # the session request was served, but never as part of a batch:
+        # microbatched counts only the stateless requests
+        counters = server.stats()["counters"]
+        assert counters.get("microbatched", 0) <= len(workload) - 1
+        assert server.sessions.stats()["created"] >= 1

@@ -1,5 +1,6 @@
 """Tests for the API retrieval module."""
 
+import numpy as np
 import pytest
 
 from repro.apis import APIRegistry, Category
@@ -74,3 +75,55 @@ class TestRetrieval:
         retriever = APIRetriever(registry)
         assert isinstance(retriever.index, BruteForceIndex)
         assert len(retriever.retrieve_names("thing 2", k=2)) == 2
+
+
+class TestRetrieveBatch:
+    def test_matches_scalar_retrieve(self, registry):
+        retriever = APIRetriever(registry)
+        texts = ["count the nodes", "find influencers",
+                 "community detection", "count the nodes"]
+        categories_per = [None, (Category.SOCIAL, Category.GENERIC),
+                          None, (Category.MOLECULE, Category.REPORT)]
+        batch = retriever.retrieve_batch(texts, k=4,
+                                         categories_per=categories_per)
+        for i, text in enumerate(texts):
+            assert batch[i] == retriever.retrieve(
+                text, k=4, categories=categories_per[i])
+
+    def test_categories_length_mismatch_rejected(self, registry):
+        retriever = APIRetriever(registry)
+        with pytest.raises(IndexError_):
+            retriever.retrieve_batch(["a", "b"], categories_per=[None])
+
+    def test_embed_cache_hits_on_repeat(self, registry):
+        from repro.serve import LRUCache
+        cache = LRUCache(maxsize=32)
+        retriever = APIRetriever(registry, embed_cache=cache)
+        texts = ["count the nodes", "find influencers"]
+        retriever.retrieve_batch(texts, k=3)
+        before = cache.stats().hits
+        retriever.retrieve_batch(texts, k=3)
+        assert cache.stats().hits >= before + len(texts)
+
+    def test_cached_vectors_never_mutated(self, registry):
+        """Cached embeddings are shared references (no defensive copy);
+        every retrieval path must leave them bit-identical."""
+        from repro.serve import LRUCache
+        cache = LRUCache(maxsize=32)
+        retriever = APIRetriever(registry, embed_cache=cache)
+        texts = ["count the nodes", "find influencers",
+                 "community detection"]
+        first = retriever.retrieve_batch(texts, k=3)
+        snapshots = {text: cache.get(text).copy() for text in texts}
+        retriever.retrieve_batch(texts, k=3)
+        for text in texts:
+            retriever.retrieve(text, k=3)
+            retriever.retrieve(text, k=3,
+                               categories=(Category.GENERIC,
+                                           Category.SOCIAL,
+                                           Category.REPORT))
+        for text in texts:
+            cached = cache.get(text)
+            assert cached is not None
+            np.testing.assert_array_equal(cached, snapshots[text])
+        assert retriever.retrieve_batch(texts, k=3) == first
