@@ -1,61 +1,48 @@
 """The inference pipeline: prompt -> API chain (paper Fig. 1).
 
-Stages, in order:
-
-1. *intent* — classify the prompt text (understand/compare/clean/compute);
-2. *graph type* — predict the uploaded graph's type; it selects the
-   API categories the retrieval is allowed to return (scenario-1
-   routing: social graphs get social APIs, molecules get chemistry);
-3. *retrieval* — ANN search over API-description embeddings;
-4. *sequentialize* — the graph sequentializer renders the graph for the
-   model;
-5. *generate* — the chain model decodes an API chain (greedy or beam);
-6. *repair* — an invalid or empty chain falls back to a type/intent
-   keyed default, so the pipeline always proposes something executable.
+The stages — intent, graph-type routing, ANN retrieval, sequentialize,
+generate, repair — are declared exactly once, as stage objects composed
+into the :class:`~repro.core.stages.StageGraph` built by
+:func:`~repro.core.stages.build_chat_graph`.  :meth:`ChatPipeline.process`
+and :meth:`ChatPipeline.process_batch` are thin entry points driving
+that one graph down its scalar and vectorized paths; cross-cutting
+concerns (timing, tracing, profiling, caching) are middleware wrapping
+each stage invocation, assembled on attach and absent from the hot path
+when detached.  See :mod:`repro.core.stages` for the stage and
+middleware contracts and ``docs/ARCHITECTURE.md`` for the tour.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..apis.chain import APIChain
-from ..apis.registry import APIRegistry, Category
+from ..apis.registry import APIRegistry
 from ..config import ChatGraphConfig
-from ..errors import ChainError, EmbeddingError
-from ..llm.chain_model import ChainLanguageModel, GenerationState
-from ..llm.decoding import beam_decode, greedy_decode, greedy_decode_batch
-from ..llm.intent import (
-    CATEGORY_ROUTING,
-    GraphTypePredictor,
-    IntentClassifier,
-    TypePrediction,
-)
+from ..llm.chain_model import ChainLanguageModel
+from ..llm.intent import GraphTypePredictor, IntentClassifier, TypePrediction
 from ..llm.prompts import Prompt
-from ..obs.trace import NULL_SPAN, Span
+from ..obs.trace import NULL_SPAN, NullSpan, Span
 from ..retrieval.api_retriever import APIRetriever
 from ..sequencer.serializer import GraphSequences, GraphSequentializer
+from .fallbacks import FALLBACKS
+from .stages import (
+    CacheMiddleware,
+    ProfilingMiddleware,
+    StageContext,
+    StageMiddleware,
+    TimingMiddleware,
+    TracingMiddleware,
+    build_chat_graph,
+)
 
-#: (graph type, intent) -> fallback chain when generation fails.
-FALLBACK_CHAINS: dict[tuple[str, str], tuple[str, ...]] = {
-    ("social", "understand"): ("predict_graph_type", "graph_summary",
-                               "detect_communities", "find_influencers",
-                               "generate_report"),
-    ("molecule", "understand"): ("predict_graph_type", "describe_molecule",
-                                 "predict_toxicity", "predict_solubility",
-                                 "generate_report"),
-    ("knowledge", "understand"): ("predict_graph_type", "knowledge_profile",
-                                  "mine_rules", "generate_report"),
-    ("molecule", "compare"): ("similar_molecules",),
-    ("knowledge", "clean"): ("detect_incorrect_edges",
-                             "remove_flagged_edges",
-                             "predict_missing_edges",
-                             "add_predicted_edges", "export_graph"),
-}
-DEFAULT_FALLBACK: tuple[str, ...] = ("predict_graph_type", "graph_summary",
-                                     "generate_report")
+#: Legacy aliases of the one fallback registry (see
+#: :mod:`repro.core.fallbacks`).  These are the *same objects* the
+#: repair stage consults, so the tables can never drift.
+FALLBACK_CHAINS: dict[tuple[str, str], tuple[str, ...]] = FALLBACKS.chains
+DEFAULT_FALLBACK: tuple[str, ...] = FALLBACKS.default
 
 
 @dataclass
@@ -72,12 +59,18 @@ class PipelineResult:
     #: True when the generated chain failed validation and the fallback
     #: replaced it.
     used_fallback: bool
-    #: Per-stage seconds: intent/type/retrieval/sequentialize/generate.
+    #: Per-stage seconds, keyed by the graph's observed stage names.
     timings: dict[str, float] = field(default_factory=dict)
 
 
 class ChatPipeline:
-    """Wires intent, routing, retrieval, sequentializer and the model."""
+    """Wires intent, routing, retrieval, sequentializer and the model.
+
+    The stage graph is built once in ``__init__``; attaching a tracer,
+    profiler or cache bundle rebuilds the middleware chain (outermost
+    timing, then profiling, tracing, caching innermost — so cache hits
+    still emit timing entries and trace spans).
+    """
 
     def __init__(self, registry: APIRegistry, retriever: APIRetriever,
                  model: ChainLanguageModel,
@@ -89,155 +82,113 @@ class ChatPipeline:
         self.sequentializer = GraphSequentializer(self.config.sequencer)
         self.type_predictor = GraphTypePredictor()
         self.intent_classifier = IntentClassifier()
-        #: Optional :class:`repro.serve.cache.PipelineCaches`; attach via
-        #: :meth:`attach_caches` to memoize the retrieval and
-        #: sequentialize stages across requests.
-        self.caches = None
-        #: Optional :class:`repro.obs.Tracer`; every :meth:`process`
-        #: call then emits a ``pipeline`` span with one ``stage`` child
-        #: per stage (set via ``ChatGraph.set_tracer``).
-        self.tracer = None
-        #: Optional :class:`repro.obs.StageProfiler` accumulating
-        #: per-stage wall/CPU totals across requests.
-        self.profiler = None
+        self.fallbacks = FALLBACKS
+        #: The declarative stage graph both entry points drive.
+        self.graph = build_chat_graph(
+            registry, retriever, model, self.config, self.sequentializer,
+            self.type_predictor, self.intent_classifier, self.fallbacks)
+        self._caches: Any = None
+        self._tracer: Any = None
+        self._profiler: Any = None
+        self._middlewares: tuple[StageMiddleware, ...] = ()
+        self._rebuild_middlewares()
 
-    def attach_caches(self, caches) -> None:
-        """Wire a cache bundle into the retrieval/sequentialize stages.
+    # ------------------------------------------------------------------
+    # cross-cutting attachments (each rebuilds the middleware chain)
+    # ------------------------------------------------------------------
+    @property
+    def middlewares(self) -> tuple[StageMiddleware, ...]:
+        """The active middleware chain, outermost first."""
+        return self._middlewares
 
-        Pass ``None`` to detach.  The embedding cache additionally hooks
-        the retriever's query embedder, so repeated prompt texts skip
-        the hashing-embedder featurization too.
+    def _rebuild_middlewares(self) -> None:
+        chain: list[StageMiddleware] = [TimingMiddleware()]
+        if self._profiler is not None:
+            chain.append(ProfilingMiddleware(self._profiler))
+        if self._tracer is not None:
+            chain.append(TracingMiddleware(self._tracer))
+        if self._caches is not None:
+            chain.append(CacheMiddleware(
+                {stage.cache_name: getattr(self._caches, stage.cache_name)
+                 for stage in self.graph
+                 if stage.cache_name is not None
+                 and hasattr(self._caches, stage.cache_name)}))
+        self._middlewares = tuple(chain)
+
+    @property
+    def tracer(self) -> Any:
+        """Optional :class:`repro.obs.Tracer`; every :meth:`process`
+        call then emits a ``pipeline`` span with one ``stage`` child per
+        observed stage (set via ``ChatGraph.set_tracer``)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Any) -> None:
+        self._tracer = tracer
+        self._rebuild_middlewares()
+
+    @property
+    def profiler(self) -> Any:
+        """Optional :class:`repro.obs.StageProfiler` accumulating
+        per-stage wall/CPU totals across requests."""
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Any) -> None:
+        self._profiler = profiler
+        self._rebuild_middlewares()
+
+    @property
+    def caches(self) -> Any:
+        """The attached :class:`repro.serve.cache.PipelineCaches`."""
+        return self._caches
+
+    def attach_caches(self, caches: Any) -> None:
+        """Wire a cache bundle into the cache-declaring stages.
+
+        Pass ``None`` to detach.  The bundle's ``retrieval`` cache
+        backs the retrieval stage's :class:`~repro.core.stages.
+        CacheMiddleware` memoization; the embedding cache additionally
+        hooks the retriever's query embedder and the sequence cache the
+        sequentializer, so repeated texts and graphs skip component
+        work too.
         """
-        self.caches = caches
+        self._caches = caches
         self.sequentializer.cache = (
             caches.sequences if caches is not None else None)
         self.retriever.embed_cache = (
             caches.embeddings if caches is not None else None)
+        self._rebuild_middlewares()
 
-    @contextmanager
-    def _stage(self, name: str) -> Iterator[Span | NullSpan]:
-        """Trace + profile one stage (a no-op when neither is wired)."""
-        span: Span | NullSpan = NULL_SPAN
-        if self.profiler is not None and self.tracer is not None:
-            with self.profiler.profile(name), \
-                    self.tracer.span(f"stage:{name}", kind="stage") as span:
-                yield span
-        elif self.tracer is not None:
-            with self.tracer.span(f"stage:{name}", kind="stage") as span:
-                yield span
-        elif self.profiler is not None:
-            with self.profiler.profile(name):
-                yield span
-        else:
-            yield span
-
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
     @contextmanager
     def _root(self, prompt: Prompt) -> Iterator[Span | NullSpan]:
-        if self.tracer is None:
+        if self._tracer is None:
             yield NULL_SPAN
         else:
-            with self.tracer.span("pipeline", kind="pipeline",
-                                  has_graph=prompt.graph is not None
-                                  ) as span:
+            with self._tracer.span("pipeline", kind="pipeline",
+                                   has_graph=prompt.graph is not None
+                                   ) as span:
                 yield span
 
     def process(self, prompt: Prompt) -> PipelineResult:
         """Run every stage for ``prompt`` and return the proposed chain."""
         with self._root(prompt) as root:
-            return self._process(prompt, root)
-
-    def _process(self, prompt: Prompt,
-                 root: Span | NullSpan) -> PipelineResult:
-        timings: dict[str, float] = {}
-
-        start = time.perf_counter()
-        with self._stage("intent") as span:
-            intent = self.intent_classifier.predict(prompt.text)
-            span.set(intent=intent)
-        timings["intent"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("graph_type") as span:
-            type_prediction = None
-            graph_type = None
-            if prompt.graph is not None:
-                type_prediction = self.type_predictor.predict(prompt.graph)
-                graph_type = type_prediction.graph_type
-            span.set(graph_type=graph_type)
-        timings["graph_type"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("retrieval") as span:
-            categories = CATEGORY_ROUTING.get(graph_type or "generic",
-                                              tuple(Category))
-            try:
-                retrieved = self._retrieve(prompt.text, categories)
-            except EmbeddingError:
-                # unembeddable text (e.g. punctuation only): no retrieval
-                # conditioning; the fallback chain covers generation
-                retrieved = ()
-            span.set(n_retrieved=len(retrieved))
-        timings["retrieval"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("sequentialize") as span:
-            sequences = None
-            graph_tokens: tuple[tuple[str, int], ...] = ()
-            if prompt.graph is not None:
-                sequences = self.sequentializer.sequentialize(prompt.graph)
-                graph_tokens = GenerationState.graph_tokens_from_counter(
-                    sequences.feature_counts)
-            span.set(n_sequences=sequences.n_sequences if sequences else 0)
-        timings["sequentialize"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("generate") as span:
-            allowed = tuple(spec.name for spec in
-                            self.registry.by_category(*categories))
-            state = GenerationState(prompt_text=prompt.text,
-                                    graph_tokens=graph_tokens,
-                                    retrieved=retrieved,
-                                    allowed=allowed)
-            llm = self.config.llm
-            if llm.beam_width > 1:
-                names = beam_decode(self.model, state,
-                                    beam_width=llm.beam_width,
-                                    max_length=llm.max_chain_length)
-            else:
-                names = greedy_decode(self.model, state,
-                                      max_length=llm.max_chain_length)
-            span.set(n_generated=len(names))
-        timings["generate"] = time.perf_counter() - start
-
-        chain = APIChain.from_names(list(names))
-        used_fallback = False
-        try:
-            chain.validate(self.registry)
-        except ChainError:
-            chain = APIChain.from_names(list(self._fallback(graph_type,
-                                                            intent)))
-            chain.validate(self.registry)
-            used_fallback = True
-        root.set(intent=intent, graph_type=graph_type,
-                 used_fallback=used_fallback, chain=chain.render())
-
-        return PipelineResult(
-            prompt=prompt,
-            intent=intent,
-            graph_type=graph_type,
-            type_prediction=type_prediction,
-            retrieved=retrieved,
-            sequences=sequences,
-            chain=chain,
-            used_fallback=used_fallback,
-            timings=timings,
-        )
+            ctx = StageContext({"prompt": prompt})
+            self.graph.run(ctx, self._middlewares)
+            root.set(intent=ctx.intent, graph_type=ctx.graph_type,
+                     used_fallback=ctx.used_fallback,
+                     chain=ctx.chain.render())
+            return self._result(ctx)
 
     def process_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
         """Run the pipeline for many prompts with shared batched stages.
 
         Produces exactly the chains ``[self.process(p) for p in
-        prompts]`` would — retrieval goes through the batched
+        prompts]`` would — the same stage graph runs down its
+        vectorized path, where retrieval goes through the batched
         embed/search kernels and generation through
         :func:`~repro.llm.decoding.greedy_decode_batch`, both of which
         are result-identical to their scalar counterparts.  Per-result
@@ -247,165 +198,30 @@ class ChatPipeline:
         """
         if not prompts:
             return []
-        n = len(prompts)
-        if self.tracer is None:
-            return self._process_batch(prompts)
-        with self.tracer.span("pipeline:batch", kind="pipeline",
-                              batch_size=n):
-            return self._process_batch(prompts)
+        ctxs = [StageContext({"prompt": prompt}) for prompt in prompts]
+        if self._tracer is None:
+            self.graph.run_batch(ctxs, self._middlewares)
+        else:
+            with self._tracer.span("pipeline:batch", kind="pipeline",
+                                   batch_size=len(prompts)):
+                self.graph.run_batch(ctxs, self._middlewares)
+        return [self._result(ctx) for ctx in ctxs]
 
-    def _process_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
-        n = len(prompts)
-        timings: dict[str, float] = {}
-
-        start = time.perf_counter()
-        with self._stage("intent") as span:
-            intents = [self.intent_classifier.predict(p.text)
-                       for p in prompts]
-            span.set(batch_size=n)
-        timings["intent"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("graph_type") as span:
-            type_predictions: list[TypePrediction | None] = []
-            graph_types: list[str | None] = []
-            for prompt in prompts:
-                if prompt.graph is not None:
-                    prediction = self.type_predictor.predict(prompt.graph)
-                    type_predictions.append(prediction)
-                    graph_types.append(prediction.graph_type)
-                else:
-                    type_predictions.append(None)
-                    graph_types.append(None)
-            span.set(batch_size=n)
-        timings["graph_type"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("retrieval") as span:
-            categories_per = [
-                CATEGORY_ROUTING.get(graph_type or "generic",
-                                     tuple(Category))
-                for graph_type in graph_types
-            ]
-            retrieved_per = self._retrieve_batch(
-                [p.text for p in prompts], categories_per)
-            span.set(batch_size=n)
-        timings["retrieval"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("sequentialize") as span:
-            sequences_per: list[GraphSequences | None] = []
-            graph_tokens_per: list[tuple[tuple[str, int], ...]] = []
-            for prompt in prompts:
-                if prompt.graph is None:
-                    sequences_per.append(None)
-                    graph_tokens_per.append(())
-                    continue
-                sequences = self.sequentializer.sequentialize(prompt.graph)
-                sequences_per.append(sequences)
-                graph_tokens_per.append(
-                    GenerationState.graph_tokens_from_counter(
-                        sequences.feature_counts))
-            span.set(batch_size=n)
-        timings["sequentialize"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        with self._stage("generate") as span:
-            llm = self.config.llm
-            states = []
-            for i, prompt in enumerate(prompts):
-                allowed = tuple(
-                    spec.name for spec in
-                    self.registry.by_category(*categories_per[i]))
-                states.append(GenerationState(
-                    prompt_text=prompt.text,
-                    graph_tokens=graph_tokens_per[i],
-                    retrieved=retrieved_per[i],
-                    allowed=allowed))
-            if llm.beam_width > 1:
-                names_per = [beam_decode(self.model, state,
-                                         beam_width=llm.beam_width,
-                                         max_length=llm.max_chain_length)
-                             for state in states]
-            else:
-                names_per = greedy_decode_batch(
-                    self.model, states, max_length=llm.max_chain_length)
-            span.set(batch_size=n)
-        timings["generate"] = time.perf_counter() - start
-
-        shared_timings = {stage: seconds / n
-                          for stage, seconds in timings.items()}
-        results: list[PipelineResult] = []
-        for i, prompt in enumerate(prompts):
-            chain = APIChain.from_names(list(names_per[i]))
-            used_fallback = False
-            try:
-                chain.validate(self.registry)
-            except ChainError:
-                chain = APIChain.from_names(list(self._fallback(
-                    graph_types[i], intents[i])))
-                chain.validate(self.registry)
-                used_fallback = True
-            results.append(PipelineResult(
-                prompt=prompt,
-                intent=intents[i],
-                graph_type=graph_types[i],
-                type_prediction=type_predictions[i],
-                retrieved=retrieved_per[i],
-                sequences=sequences_per[i],
-                chain=chain,
-                used_fallback=used_fallback,
-                timings=dict(shared_timings),
-            ))
-        return results
-
-    #: Cache-miss sentinel distinguishing "absent" from cached ``()``.
-    _MISS = object()
-
-    def _retrieve_batch(self, texts: list[str],
-                        categories_per: list[tuple[Category, ...]]
-                        ) -> list[tuple[str, ...]]:
-        """Batched retrieval stage with the same memoization as scalar."""
-        k = self.config.retrieval.top_k_apis
-        results: list[tuple[str, ...] | None] = [None] * len(texts)
-        miss_rows: list[int] = []
-        for i, (text, categories) in enumerate(zip(texts, categories_per)):
-            if self.caches is not None:
-                cached = self.caches.retrieval.get((text, k, categories),
-                                                   self._MISS)
-                if cached is not self._MISS:
-                    results[i] = cached
-                    continue
-            miss_rows.append(i)
-        if miss_rows:
-            hit_lists = self.retriever.retrieve_batch(
-                [texts[i] for i in miss_rows], k=k,
-                categories_per=[categories_per[i] for i in miss_rows])
-            for i, hits in zip(miss_rows, hit_lists):
-                # None marks an unembeddable text — same degradation as
-                # the scalar stage catching EmbeddingError
-                names = (() if hits is None
-                         else tuple(hit.name for hit in hits))
-                results[i] = names
-                if self.caches is not None and hits is not None:
-                    self.caches.retrieval.put(
-                        (texts[i], k, categories_per[i]), names)
-        return [result if result is not None else ()
-                for result in results]
-
-    def _retrieve(self, text: str,
-                  categories: tuple[Category, ...]) -> tuple[str, ...]:
-        """Retrieval stage, memoized when a cache bundle is attached."""
-        k = self.config.retrieval.top_k_apis
-        if self.caches is None:
-            return self.retriever.retrieve_names(text, k=k,
-                                                 categories=categories)
-        key = (text, k, categories)
-        return self.caches.retrieval.get_or_compute(
-            key, lambda: self.retriever.retrieve_names(
-                text, k=k, categories=categories))
+    @staticmethod
+    def _result(ctx: StageContext) -> PipelineResult:
+        return PipelineResult(
+            prompt=ctx.prompt,
+            intent=ctx.intent,
+            graph_type=ctx.graph_type,
+            type_prediction=ctx.type_prediction,
+            retrieved=ctx.retrieved,
+            sequences=ctx.sequences,
+            chain=ctx.chain,
+            used_fallback=ctx.used_fallback,
+            timings=dict(ctx.timings),
+        )
 
     @staticmethod
     def _fallback(graph_type: str | None, intent: str) -> tuple[str, ...]:
-        return FALLBACK_CHAINS.get((graph_type or "generic", intent),
-                                   DEFAULT_FALLBACK)
+        """Legacy lookup, delegating to the one fallback registry."""
+        return FALLBACKS.chain_for(graph_type, intent)

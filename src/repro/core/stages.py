@@ -1,0 +1,663 @@
+"""Stage-graph pipeline runtime: declarative stages plus middleware.
+
+The paper's Fig. 1 pipeline (intent -> graph-type routing -> ANN
+retrieval -> sequentialize -> generate -> repair) is declared here
+exactly once.  Each stage is an object with a name, the context keys it
+reads and writes, a scalar :meth:`Stage.run` and an optional vectorized
+:meth:`Stage.run_batch` (defaulting to mapped scalar).  Stages compose
+into a :class:`StageGraph` that validates the dataflow at construction
+time, so a stage reading a key nothing produces fails fast instead of
+at request time.
+
+Cross-cutting concerns are middleware wrapping each stage invocation
+rather than branches inside stage bodies:
+
+* :class:`TimingMiddleware` — per-stage wall seconds into the context's
+  ``timings`` (amortized per item on the batch path);
+* :class:`ProfilingMiddleware` — adapts :class:`repro.obs.StageProfiler`;
+* :class:`TracingMiddleware` — adapts :class:`repro.obs.Tracer`, one
+  ``stage`` span per observed stage;
+* :class:`CacheMiddleware` — content-addressed memoization for stages
+  that declare a cache key; a batched invocation runs the stage only on
+  the cache-missing subset (the :data:`MISS` sentinel keeps a cached
+  falsy value, e.g. ``()``, distinct from "absent").
+
+Middleware lists are outermost-first; a detached concern simply is not
+in the list, so the hot path carries zero overhead objects for it.
+Every stage name in the system lives in this module — other layers
+derive stage lists from the graph (``StageGraph.stage_names``) or from
+result timings, never from hand-written copies.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Hashable, Iterable, Sequence
+
+from ..apis.chain import APIChain
+from ..apis.registry import APIRegistry, Category
+from ..config import ChatGraphConfig
+from ..errors import ChainError, ConfigError, EmbeddingError
+from ..llm.chain_model import ChainLanguageModel, GenerationState
+from ..llm.decoding import beam_decode, greedy_decode, greedy_decode_batch
+from ..llm.intent import (
+    CATEGORY_ROUTING,
+    GraphTypePredictor,
+    IntentClassifier,
+    TypePrediction,
+)
+from ..retrieval.api_retriever import APIRetriever
+from ..sequencer.serializer import GraphSequentializer
+from .fallbacks import FallbackRegistry
+
+#: Cache-miss sentinel distinguishing "absent" from a cached falsy
+#: value such as ``()`` (an empty retrieval result is a valid entry).
+MISS = object()
+
+
+class StageContext:
+    """One prompt's mutable dataflow record through the stage graph.
+
+    Keys are written with ``ctx[key] = value`` (stage bodies) and read
+    either way — ``ctx[key]`` or attribute-style ``ctx.key``.  The
+    ``timings`` dict is middleware territory, kept apart from the
+    dataflow keys.
+    """
+
+    __slots__ = ("data", "timings")
+
+    def __init__(self, data: dict[str, Any] | None = None) -> None:
+        self.data: dict[str, Any] = dict(data or {})
+        self.timings: dict[str, float] = {}
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self.data[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+    def __getattr__(self, key: str) -> Any:
+        try:
+            return self.data[key]
+        except KeyError:
+            raise AttributeError(
+                f"stage context has no key {key!r}; present keys: "
+                f"{sorted(self.data)}") from None
+
+    def __repr__(self) -> str:
+        return f"StageContext(keys={sorted(self.data)})"
+
+
+class Stage:
+    """One declared pipeline stage.
+
+    Subclasses set :attr:`name`, :attr:`inputs` and :attr:`outputs` and
+    implement :meth:`run`; :meth:`run_batch` defaults to mapped scalar
+    and may be overridden with a genuinely vectorized body.  The
+    remaining hooks drive middleware:
+
+    * :attr:`observed` — ``False`` exempts the stage from timing,
+      tracing and profiling (used by ``repair``, which predates the
+      observability contract and must keep golden traces stable);
+    * :meth:`span_attrs` — deterministic attributes stamped on the
+      stage's trace span after a scalar run;
+    * the cache protocol — :attr:`cache_name` (which cache in the
+      bundle), :meth:`cache_key` (``None`` = uncacheable call),
+      :attr:`cache_output` (the memoized context key),
+      :meth:`may_cache` (whether the just-computed value may be
+      stored) and :meth:`apply_cached` (how a hit re-enters the
+      context).
+    """
+
+    name: str = ""
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+    observed: bool = True
+    cache_name: str | None = None
+    cache_output: str | None = None
+
+    def run(self, ctx: StageContext) -> None:
+        raise NotImplementedError
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        for ctx in ctxs:
+            self.run(ctx)
+
+    def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
+        return {}
+
+    def cache_key(self, ctx: StageContext) -> Hashable | None:
+        return None
+
+    def may_cache(self, ctx: StageContext) -> bool:
+        return True
+
+    def apply_cached(self, ctx: StageContext, value: Any) -> None:
+        assert self.cache_output is not None
+        ctx[self.cache_output] = value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# middleware
+# ----------------------------------------------------------------------
+ScalarCall = Callable[[StageContext], None]
+BatchCall = Callable[[Sequence[StageContext]], None]
+
+
+class StageMiddleware:
+    """Wraps every stage invocation; ``call`` is the next inner layer."""
+
+    def run(self, stage: Stage, ctx: StageContext,
+            call: ScalarCall) -> None:
+        call(ctx)
+
+    def run_batch(self, stage: Stage, ctxs: Sequence[StageContext],
+                  call: BatchCall) -> None:
+        call(ctxs)
+
+
+class TimingMiddleware(StageMiddleware):
+    """Per-stage wall seconds into ``ctx.timings``.
+
+    Batched invocations record each context's amortized share (stage
+    seconds divided by batch size), since the stage work is genuinely
+    shared across the batch.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter
+                 ) -> None:
+        self._clock = clock
+
+    def run(self, stage: Stage, ctx: StageContext,
+            call: ScalarCall) -> None:
+        if not stage.observed:
+            return call(ctx)
+        start = self._clock()
+        call(ctx)
+        ctx.timings[stage.name] = self._clock() - start
+
+    def run_batch(self, stage: Stage, ctxs: Sequence[StageContext],
+                  call: BatchCall) -> None:
+        if not stage.observed:
+            return call(ctxs)
+        start = self._clock()
+        call(ctxs)
+        share = (self._clock() - start) / len(ctxs)
+        for ctx in ctxs:
+            ctx.timings[stage.name] = share
+
+
+class ProfilingMiddleware(StageMiddleware):
+    """Adapts a :class:`repro.obs.StageProfiler` to the stage graph."""
+
+    def __init__(self, profiler: Any) -> None:
+        self.profiler = profiler
+
+    def run(self, stage: Stage, ctx: StageContext,
+            call: ScalarCall) -> None:
+        if not stage.observed:
+            return call(ctx)
+        with self.profiler.profile(stage.name):
+            call(ctx)
+
+    def run_batch(self, stage: Stage, ctxs: Sequence[StageContext],
+                  call: BatchCall) -> None:
+        if not stage.observed:
+            return call(ctxs)
+        with self.profiler.profile(stage.name):
+            call(ctxs)
+
+
+class TracingMiddleware(StageMiddleware):
+    """Adapts a :class:`repro.obs.Tracer`: one ``stage`` span per stage.
+
+    Scalar spans carry the stage's deterministic :meth:`Stage.span_attrs`
+    (``intent``, ``n_retrieved``, ...); batched spans carry the batch
+    size.  Unobserved stages emit nothing, which is what keeps the
+    checked-in golden traces stable across the middleware refactor.
+    """
+
+    def __init__(self, tracer: Any) -> None:
+        self.tracer = tracer
+
+    def run(self, stage: Stage, ctx: StageContext,
+            call: ScalarCall) -> None:
+        if not stage.observed:
+            return call(ctx)
+        with self.tracer.span(f"stage:{stage.name}", kind="stage") as span:
+            call(ctx)
+            span.set(**stage.span_attrs(ctx))
+
+    def run_batch(self, stage: Stage, ctxs: Sequence[StageContext],
+                  call: BatchCall) -> None:
+        if not stage.observed:
+            return call(ctxs)
+        with self.tracer.span(f"stage:{stage.name}", kind="stage") as span:
+            call(ctxs)
+            span.set(batch_size=len(ctxs))
+
+
+class CacheMiddleware(StageMiddleware):
+    """Content-addressed memoization for cache-declaring stages.
+
+    ``caches`` maps :attr:`Stage.cache_name` to an LRU cache (``get`` /
+    ``put`` duck type, e.g. :class:`repro.serve.cache.LRUCache`).  A hit
+    skips the stage body but — because this middleware sits innermost —
+    still flows through timing, profiling and tracing.  A batched
+    invocation partitions the batch with the :data:`MISS` sentinel and
+    runs the stage only on the missing subset, then stores each freshly
+    computed value that :meth:`Stage.may_cache` allows (degraded
+    results, e.g. unembeddable texts, are never cached).
+    """
+
+    def __init__(self, caches: dict[str, Any]) -> None:
+        self.caches = dict(caches)
+
+    def _cache_for(self, stage: Stage) -> Any:
+        if stage.cache_name is None or stage.cache_output is None:
+            return None
+        return self.caches.get(stage.cache_name)
+
+    def run(self, stage: Stage, ctx: StageContext,
+            call: ScalarCall) -> None:
+        cache = self._cache_for(stage)
+        key = stage.cache_key(ctx) if cache is not None else None
+        if cache is None or key is None:
+            return call(ctx)
+        value = cache.get(key, MISS)
+        if value is not MISS:
+            stage.apply_cached(ctx, value)
+            return
+        call(ctx)
+        if stage.may_cache(ctx):
+            cache.put(key, ctx[stage.cache_output])
+
+    def run_batch(self, stage: Stage, ctxs: Sequence[StageContext],
+                  call: BatchCall) -> None:
+        cache = self._cache_for(stage)
+        if cache is None:
+            return call(ctxs)
+        misses: list[StageContext] = []
+        for ctx in ctxs:
+            key = stage.cache_key(ctx)
+            if key is None:
+                misses.append(ctx)
+                continue
+            value = cache.get(key, MISS)
+            if value is not MISS:
+                stage.apply_cached(ctx, value)
+            else:
+                misses.append(ctx)
+        if not misses:
+            return
+        call(misses)
+        for ctx in misses:
+            key = stage.cache_key(ctx)
+            if key is not None and stage.may_cache(ctx):
+                cache.put(key, ctx[stage.cache_output])
+
+
+# ----------------------------------------------------------------------
+# the graph
+# ----------------------------------------------------------------------
+class StageGraph:
+    """An ordered, dataflow-validated composition of stages.
+
+    Construction checks that stage names are unique and non-empty and
+    that every stage's declared inputs are produced by an earlier
+    stage's outputs (or seeded into the initial context), so a
+    miswired graph fails at definition time, not per request.
+    """
+
+    def __init__(self, stages: Iterable[Stage],
+                 seeds: tuple[str, ...] = ("prompt",)) -> None:
+        self.stages = tuple(stages)
+        self.seeds = tuple(seeds)
+        if not self.stages:
+            raise ConfigError("a stage graph needs at least one stage")
+        available = set(self.seeds)
+        seen: set[str] = set()
+        for stage in self.stages:
+            if not stage.name:
+                raise ConfigError(
+                    f"stage {stage!r} has an empty name")
+            if stage.name in seen:
+                raise ConfigError(
+                    f"duplicate stage name {stage.name!r}")
+            seen.add(stage.name)
+            missing = [key for key in stage.inputs if key not in available]
+            if missing:
+                raise ConfigError(
+                    f"stage {stage.name!r} reads {missing} which no "
+                    f"earlier stage produces (available: "
+                    f"{sorted(available)})")
+            if stage.cache_output is not None and \
+                    stage.cache_output not in stage.outputs:
+                raise ConfigError(
+                    f"stage {stage.name!r} memoizes {stage.cache_output!r}"
+                    f" which is not among its outputs {stage.outputs}")
+            available.update(stage.outputs)
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Every stage name, in execution order."""
+        return tuple(stage.name for stage in self.stages)
+
+    @property
+    def observed_stage_names(self) -> tuple[str, ...]:
+        """Names of the stages timing/tracing/profiling report on."""
+        return tuple(stage.name for stage in self.stages if stage.observed)
+
+    def __iter__(self):
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: StageContext,
+            middlewares: Sequence[StageMiddleware] = ()) -> StageContext:
+        """Run every stage for one context, through the middleware onion.
+
+        ``middlewares`` is outermost-first; each layer's ``run`` wraps
+        the next, with the stage body innermost.
+        """
+        for stage in self.stages:
+            self._invoke(stage, ctx, middlewares, 0)
+        return ctx
+
+    def _invoke(self, stage: Stage, ctx: StageContext,
+                middlewares: Sequence[StageMiddleware],
+                depth: int) -> None:
+        if depth == len(middlewares):
+            stage.run(ctx)
+            return
+        middlewares[depth].run(
+            stage, ctx,
+            lambda inner: self._invoke(stage, inner, middlewares,
+                                       depth + 1))
+
+    def run_batch(self, ctxs: Sequence[StageContext],
+                  middlewares: Sequence[StageMiddleware] = ()
+                  ) -> Sequence[StageContext]:
+        """Batched :meth:`run`: shared stage bodies, no per-item barrier.
+
+        Middleware may shrink the batch a stage body sees (cache hits),
+        so inner layers receive whatever subset the outer layer passes
+        down.
+        """
+        for stage in self.stages:
+            self._invoke_batch(stage, ctxs, middlewares, 0)
+        return ctxs
+
+    def _invoke_batch(self, stage: Stage, ctxs: Sequence[StageContext],
+                      middlewares: Sequence[StageMiddleware],
+                      depth: int) -> None:
+        if depth == len(middlewares):
+            stage.run_batch(ctxs)
+            return
+        middlewares[depth].run_batch(
+            stage, ctxs,
+            lambda inner: self._invoke_batch(stage, inner, middlewares,
+                                             depth + 1))
+
+
+# ----------------------------------------------------------------------
+# the ChatGraph pipeline's concrete stages (paper Fig. 1)
+# ----------------------------------------------------------------------
+class IntentStage(Stage):
+    """Classify the prompt text (understand/compare/clean/compute)."""
+
+    name = "intent"
+    inputs = ("prompt",)
+    outputs = ("intent",)
+
+    def __init__(self, classifier: IntentClassifier) -> None:
+        self.classifier = classifier
+
+    def run(self, ctx: StageContext) -> None:
+        ctx["intent"] = self.classifier.predict(ctx.prompt.text)
+
+    def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
+        return {"intent": ctx.intent}
+
+
+class GraphTypeStage(Stage):
+    """Predict the uploaded graph's type and route the API categories.
+
+    Scenario-1 routing: the predicted type selects which API categories
+    retrieval (and the generate stage's allowed set) may draw from —
+    social graphs get social APIs, molecules get chemistry.
+    """
+
+    name = "graph_type"
+    inputs = ("prompt",)
+    outputs = ("type_prediction", "graph_type", "categories")
+
+    def __init__(self, predictor: GraphTypePredictor) -> None:
+        self.predictor = predictor
+
+    def run(self, ctx: StageContext) -> None:
+        prediction: TypePrediction | None = None
+        graph_type: str | None = None
+        if ctx.prompt.graph is not None:
+            prediction = self.predictor.predict(ctx.prompt.graph)
+            graph_type = prediction.graph_type
+        ctx["type_prediction"] = prediction
+        ctx["graph_type"] = graph_type
+        ctx["categories"] = CATEGORY_ROUTING.get(graph_type or "generic",
+                                                 tuple(Category))
+
+    def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
+        return {"graph_type": ctx.graph_type}
+
+
+class RetrieveStage(Stage):
+    """ANN search over API-description embeddings.
+
+    Unembeddable text (e.g. punctuation only) degrades to an empty
+    result instead of failing the request — the repair stage's fallback
+    covers generation — and degraded results are never memoized.
+    """
+
+    name = "retrieval"
+    inputs = ("prompt", "categories")
+    outputs = ("retrieved", "retrieval_ok")
+    cache_name = "retrieval"
+    cache_output = "retrieved"
+
+    def __init__(self, retriever: APIRetriever,
+                 config: ChatGraphConfig) -> None:
+        self.retriever = retriever
+        self.config = config
+
+    @property
+    def top_k(self) -> int:
+        return self.config.retrieval.top_k_apis
+
+    def run(self, ctx: StageContext) -> None:
+        try:
+            names = self.retriever.retrieve_names(
+                ctx.prompt.text, k=self.top_k, categories=ctx.categories)
+        except EmbeddingError:
+            ctx["retrieved"] = ()
+            ctx["retrieval_ok"] = False
+            return
+        ctx["retrieved"] = names
+        ctx["retrieval_ok"] = True
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        hit_lists = self.retriever.retrieve_batch(
+            [ctx.prompt.text for ctx in ctxs], k=self.top_k,
+            categories_per=[ctx.categories for ctx in ctxs])
+        for ctx, hits in zip(ctxs, hit_lists):
+            # None marks an unembeddable text — same degradation as the
+            # scalar path catching EmbeddingError
+            ctx["retrieved"] = (() if hits is None
+                                else tuple(hit.name for hit in hits))
+            ctx["retrieval_ok"] = hits is not None
+
+    def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
+        return {"n_retrieved": len(ctx.retrieved)}
+
+    def cache_key(self, ctx: StageContext) -> Hashable:
+        return (ctx.prompt.text, self.top_k, ctx.categories)
+
+    def may_cache(self, ctx: StageContext) -> bool:
+        return bool(ctx.retrieval_ok)
+
+    def apply_cached(self, ctx: StageContext, value: Any) -> None:
+        ctx["retrieved"] = value
+        ctx["retrieval_ok"] = True
+
+
+class SequentializeStage(Stage):
+    """Render the graph for the model (length-constrained path cover)."""
+
+    name = "sequentialize"
+    inputs = ("prompt",)
+    outputs = ("sequences", "graph_tokens")
+
+    def __init__(self, sequentializer: GraphSequentializer) -> None:
+        self.sequentializer = sequentializer
+
+    def run(self, ctx: StageContext) -> None:
+        sequences = None
+        graph_tokens: tuple[tuple[str, int], ...] = ()
+        if ctx.prompt.graph is not None:
+            sequences = self.sequentializer.sequentialize(ctx.prompt.graph)
+            graph_tokens = GenerationState.graph_tokens_from_counter(
+                sequences.feature_counts)
+        ctx["sequences"] = sequences
+        ctx["graph_tokens"] = graph_tokens
+
+    def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
+        return {"n_sequences":
+                ctx.sequences.n_sequences if ctx.sequences else 0}
+
+
+class GenerateStage(Stage):
+    """Decode an API chain (greedy or beam) from the assembled state.
+
+    The batched body decodes every greedy context through one lockstep
+    :func:`~repro.llm.decoding.greedy_decode_batch` fleet; beam search
+    carries per-candidate state and decodes per item.
+    """
+
+    name = "generate"
+    inputs = ("prompt", "categories", "retrieved", "graph_tokens")
+    outputs = ("names",)
+
+    def __init__(self, model: ChainLanguageModel, registry: APIRegistry,
+                 config: ChatGraphConfig) -> None:
+        self.model = model
+        self.registry = registry
+        self.config = config
+
+    def _state(self, ctx: StageContext) -> GenerationState:
+        allowed = tuple(spec.name for spec in
+                        self.registry.by_category(*ctx.categories))
+        return GenerationState(prompt_text=ctx.prompt.text,
+                               graph_tokens=ctx.graph_tokens,
+                               retrieved=ctx.retrieved,
+                               allowed=allowed)
+
+    def run(self, ctx: StageContext) -> None:
+        llm = self.config.llm
+        state = self._state(ctx)
+        if llm.beam_width > 1:
+            names = beam_decode(self.model, state,
+                                beam_width=llm.beam_width,
+                                max_length=llm.max_chain_length)
+        else:
+            names = greedy_decode(self.model, state,
+                                  max_length=llm.max_chain_length)
+        ctx["names"] = names
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        llm = self.config.llm
+        states = [self._state(ctx) for ctx in ctxs]
+        if llm.beam_width > 1:
+            names_per = [beam_decode(self.model, state,
+                                     beam_width=llm.beam_width,
+                                     max_length=llm.max_chain_length)
+                         for state in states]
+        else:
+            names_per = greedy_decode_batch(
+                self.model, states, max_length=llm.max_chain_length)
+        for ctx, names in zip(ctxs, names_per):
+            ctx["names"] = names
+
+    def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
+        return {"n_generated": len(ctx.names)}
+
+
+class RepairStage(Stage):
+    """Validate the generated chain; fall back to a keyed default.
+
+    Consults the one :class:`~repro.core.fallbacks.FallbackRegistry`,
+    so every layer repairs identically.  ``observed=False``: repair is
+    sub-microsecond bookkeeping and predates the observability
+    contract, so it stays out of timings, spans and profiles (keeping
+    golden traces and ``PipelineResult.timings`` byte-stable).
+    """
+
+    name = "repair"
+    inputs = ("names", "graph_type", "intent")
+    outputs = ("chain", "used_fallback")
+    observed = False
+
+    def __init__(self, registry: APIRegistry,
+                 fallbacks: FallbackRegistry) -> None:
+        self.registry = registry
+        self.fallbacks = fallbacks
+
+    def run(self, ctx: StageContext) -> None:
+        chain = APIChain.from_names(list(ctx.names))
+        used_fallback = False
+        try:
+            chain.validate(self.registry)
+        except ChainError:
+            chain = APIChain.from_names(list(self.fallbacks.chain_for(
+                ctx.graph_type, ctx.intent)))
+            chain.validate(self.registry)
+            used_fallback = True
+        ctx["chain"] = chain
+        ctx["used_fallback"] = used_fallback
+
+
+#: The concrete stage classes of the ChatGraph pipeline, in order.
+CHAT_STAGE_CLASSES: tuple[type[Stage], ...] = (
+    IntentStage, GraphTypeStage, RetrieveStage, SequentializeStage,
+    GenerateStage, RepairStage)
+
+#: Every canonical stage name, in execution order — the reference the
+#: stage-literal lint checks other layers against.
+CANONICAL_STAGE_NAMES: tuple[str, ...] = tuple(
+    cls.name for cls in CHAT_STAGE_CLASSES)
+
+
+def build_chat_graph(registry: APIRegistry, retriever: APIRetriever,
+                     model: ChainLanguageModel, config: ChatGraphConfig,
+                     sequentializer: GraphSequentializer,
+                     type_predictor: GraphTypePredictor,
+                     intent_classifier: IntentClassifier,
+                     fallbacks: FallbackRegistry) -> StageGraph:
+    """The one declarative definition of the paper's Fig. 1 pipeline."""
+    return StageGraph([
+        IntentStage(intent_classifier),
+        GraphTypeStage(type_predictor),
+        RetrieveStage(retriever, config),
+        SequentializeStage(sequentializer),
+        GenerateStage(model, registry, config),
+        RepairStage(registry, fallbacks),
+    ])

@@ -3,8 +3,9 @@
 The tracer already stamps wall/CPU/allocation figures on every span;
 :class:`StageProfiler` is the standalone aggregation for callers who
 want cumulative per-stage totals without keeping a full span log — the
-pipeline accepts one via ``ChatPipeline.profiler`` and wraps each stage
-in :meth:`StageProfiler.profile`.
+pipeline accepts one via ``ChatGraph.set_profiler`` (a
+:class:`~repro.core.stages.ProfilingMiddleware` then wraps each
+observed stage of the stage graph in :meth:`StageProfiler.profile`).
 
 Wall time uses :func:`time.perf_counter`, CPU time
 :func:`time.process_time`; allocation deltas (``track_alloc=True``)

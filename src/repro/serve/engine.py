@@ -49,10 +49,6 @@ from .stats import ServerStats
 #: Operations a :class:`ServeRequest` may name.
 OPS = ("propose", "execute", "ask")
 
-#: Pipeline stages mirrored into per-stage latency histograms.
-_PIPELINE_STAGES = ("intent", "graph_type", "retrieval", "sequentialize",
-                    "generate")
-
 
 @dataclass
 class ServeRequest:
@@ -170,6 +166,10 @@ class ChatGraphServer:
                 retrieval=self.config.retrieval_cache_size,
                 sequence=self.config.sequence_cache_size)
         chatgraph.enable_caches(self.caches)
+        #: Per-stage histogram names, derived from the pipeline's stage
+        #: graph (the single stage definition) rather than a mirror.
+        self.pipeline_stages = tuple(
+            chatgraph.pipeline.graph.observed_stage_names)
         self.sessions = SessionStore(
             chatgraph, ttl_seconds=self.config.session_ttl_seconds,
             max_sessions=self.config.max_sessions)
@@ -478,9 +478,10 @@ class ChatGraphServer:
             time.sleep(self.config.backend_latency_seconds)
 
     def _record_pipeline(self, result: PipelineResult) -> None:
-        for stage in _PIPELINE_STAGES:
-            if stage in result.timings:
-                self._stats.observe(stage, result.timings[stage])
+        # per-stage latency histogram names come from the stage graph
+        # (via the result's timings) — never from a hand-written list
+        for stage, seconds in result.timings.items():
+            self._stats.observe(stage, seconds)
         if result.used_fallback:
             self._stats.incr("fallback_chains")
 
@@ -629,6 +630,7 @@ class ChatGraphServer:
             "clients": len(self.limiter) if self.limiter is not None
             else 0}
         snapshot["workers"] = self.config.workers
+        snapshot["pipeline_stages"] = list(self.pipeline_stages)
         return snapshot
 
     def metrics_snapshot(self) -> dict[str, Any]:

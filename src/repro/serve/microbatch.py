@@ -3,9 +3,11 @@
 A worker that pops one request from the admission queue hands it to the
 :class:`MicroBatcher`, which greedily gathers more *batchable* requests
 (stateless ``propose``/``ask``) until either the batch is full or the
-flush deadline expires.  The whole batch then runs through the
-pipeline's shared batched stages — one embedding call, one ANN search,
-one decode matmul per step — instead of N scalar passes.
+flush deadline expires.  The whole batch then drives the *same*
+declarative stage graph the scalar path uses (see
+:mod:`repro.core.stages`), down its vectorized path — one embedding
+call, one ANN search, one decode matmul per step — instead of N scalar
+passes.
 
 Session-bound and ``execute`` requests never batch: sessions serialize
 on their own locks and executions carry per-request state, so they pass

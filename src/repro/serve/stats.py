@@ -1,11 +1,15 @@
 """Serving metrics: counters and fixed-bucket latency histograms.
 
 The runtime records one histogram per stage — ``queued`` (admission to
-dispatch), the pipeline stages (``retrieval``, ``sequentialize``,
-``generate``, ...), ``execute`` and end-to-end ``total`` — plus plain
-counters (admitted/rejected/failed, fallbacks).  Everything is cheap
-enough to stay on by default; ``ServerStats.snapshot()`` renders a
-plain-dict view for logging, tests and the ``serve-bench`` CLI.
+dispatch), one per pipeline stage, ``execute`` and end-to-end
+``total`` — plus plain counters (admitted/rejected/failed, fallbacks).
+The pipeline-stage histogram names are *derived* from the stage graph
+(each :class:`~repro.core.pipeline.PipelineResult` carries timings
+keyed by the graph's observed stage names; the server also snapshots
+``pipeline.graph.observed_stage_names``), so adding a stage to the
+graph grows the histograms without touching this module.  Everything is
+cheap enough to stay on by default; ``ServerStats.snapshot()`` renders
+a plain-dict view for logging, tests and the ``serve-bench`` CLI.
 
 The histogram primitive now lives in :mod:`repro.obs.metrics` (the
 observability layer owns it); ``LatencyHistogram`` stays as an alias

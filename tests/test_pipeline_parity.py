@@ -1,0 +1,120 @@
+"""Scalar/batch parity at the stage-graph level.
+
+``process_batch(prompts)`` must equal ``[process(p) for p in prompts]``
+field by field — chains, retrieved names, fallback flags, routing —
+across mixed graph/no-graph prompts, unembeddable texts and
+invalid-chain (nonsense) inputs, for all three model presets.  The
+hypothesis strategy draws arbitrary mixed batches from that input
+space; a warmed-cache case covers the batched MISS-sentinel path.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ChatGraph
+from repro.config import MODEL_PRESETS, ChatGraphConfig, LLMConfig
+from repro.graphs import knowledge_graph, molecule_like_graph, social_network
+from repro.llm.prompts import Prompt
+from repro.serve.cache import PipelineCaches
+
+#: Mixed input space: routable prompts, compute questions, nonsense
+#: that forces the repair fallback, and unembeddable punctuation-only
+#: text that degrades retrieval.
+TEXTS = (
+    "write a brief report for G",
+    "count the nodes",
+    "find communities",
+    "clean up the knowledge graph",
+    "is this molecule toxic",
+    "zzz qqq xxx yyy",          # invalid chain -> repair fallback
+    "?!. ,,,",                  # unembeddable -> empty retrieval
+)
+
+GRAPHS = (
+    None,                       # no-graph prompt
+    social_network(25, 3, p_in=0.3, p_out=0.02, seed=1),
+    knowledge_graph(n_entities=25, n_facts=80, seed=3),
+    molecule_like_graph(n_rings=2, chain_length=3, seed=0),
+)
+
+prompt_indices = st.lists(
+    st.tuples(st.integers(0, len(TEXTS) - 1),
+              st.integers(0, len(GRAPHS) - 1)),
+    min_size=1, max_size=6)
+
+
+@pytest.fixture(scope="module", params=MODEL_PRESETS)
+def preset_chatgraph(request):
+    config = ChatGraphConfig(llm=LLMConfig(model=request.param))
+    return ChatGraph.pretrained(config=config, corpus_size=300, seed=0)
+
+
+def build_prompts(indices):
+    return [Prompt(TEXTS[t], GRAPHS[g]) for t, g in indices]
+
+
+def assert_result_parity(scalar, batched):
+    assert len(scalar) == len(batched)
+    for expected, actual in zip(scalar, batched):
+        assert actual.intent == expected.intent
+        assert actual.graph_type == expected.graph_type
+        assert actual.retrieved == expected.retrieved
+        assert actual.used_fallback == expected.used_fallback
+        assert actual.chain.api_names() == expected.chain.api_names()
+        if expected.type_prediction is None:
+            assert actual.type_prediction is None
+        else:
+            assert actual.type_prediction.graph_type == \
+                expected.type_prediction.graph_type
+        if expected.sequences is None:
+            assert actual.sequences is None
+        else:
+            assert actual.sequences.n_sequences == \
+                expected.sequences.n_sequences
+        assert set(actual.timings) == set(expected.timings)
+
+
+class TestScalarBatchParity:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(indices=prompt_indices)
+    def test_batch_equals_mapped_scalar(self, preset_chatgraph, indices):
+        pipeline = preset_chatgraph.pipeline
+        prompts = build_prompts(indices)
+        scalar = [pipeline.process(p) for p in prompts]
+        batched = pipeline.process_batch(build_prompts(indices))
+        assert_result_parity(scalar, batched)
+
+    def test_empty_batch(self, preset_chatgraph):
+        assert preset_chatgraph.pipeline.process_batch([]) == []
+
+    def test_parity_with_warm_and_cold_caches(self, preset_chatgraph):
+        """Batched cache misses (MISS sentinel) match the scalar path."""
+        pipeline = preset_chatgraph.pipeline
+        prompts = build_prompts([(0, 1), (6, 1), (1, 0), (0, 1), (5, 2)])
+        scalar = [pipeline.process(p) for p in prompts]
+        caches = PipelineCaches.with_sizes()
+        try:
+            preset_chatgraph.enable_caches(caches)
+            # warm a strict subset so the batch mixes hits and misses
+            pipeline.process(prompts[0])
+            batched = pipeline.process_batch(prompts)
+        finally:
+            preset_chatgraph.enable_caches(None)
+        assert_result_parity(scalar, batched)
+        stats = caches.retrieval.stats()
+        assert stats.hits > 0 and stats.misses > 0
+        # the unembeddable text's degraded () was never memoized
+        assert all(key[0] != TEXTS[6]
+                   for key in caches.retrieval._data)
+
+
+class TestBeamParity:
+    def test_beam_decoding_batch_matches_scalar(self):
+        config = ChatGraphConfig(llm=LLMConfig(beam_width=3))
+        cg = ChatGraph.pretrained(config=config, corpus_size=300, seed=1)
+        prompts = build_prompts([(0, 1), (2, 1), (3, 2), (5, 0)])
+        scalar = [cg.pipeline.process(p) for p in prompts]
+        batched = cg.pipeline.process_batch(prompts)
+        assert_result_parity(scalar, batched)

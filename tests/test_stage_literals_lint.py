@@ -1,0 +1,81 @@
+"""Lint: stage names must not be hand-mirrored outside the stage graph.
+
+The stage graph in ``repro/core/stages.py`` is the single definition of
+the pipeline's stages.  Before the stage-graph refactor, the serve
+layer mirrored the stage list by hand (``_PIPELINE_STAGES``) and
+drifted silently when stages changed.  This lint walks every module
+under ``src/repro`` except the definition site and rejects:
+
+* any string literal equal to ``"stage:<name>"`` for a canonical stage
+  name (span names are the tracing middleware's job);
+* any list/tuple/set literal whose string elements include two or more
+  canonical stage names (a hand-written stage list).
+
+Single coincidental key literals (``"retrieval"`` as a cache-bundle
+field, ``"graph_type"`` as a report key) are deliberately tolerated —
+the drift hazard is the *list*, not the word.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.core.stages import CANONICAL_STAGE_NAMES
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+DEFINITION_SITE = SRC / "core" / "stages.py"
+
+SPAN_LITERALS = {f"stage:{name}" for name in CANONICAL_STAGE_NAMES}
+STAGE_NAMES = set(CANONICAL_STAGE_NAMES)
+
+
+def iter_source_files():
+    return sorted(path for path in SRC.rglob("*.py")
+                  if path != DEFINITION_SITE)
+
+
+def violations_in(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str) and \
+                node.value in SPAN_LITERALS:
+            found.append((node.lineno,
+                          f"span-name literal {node.value!r}"))
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            names = {element.value for element in node.elts
+                     if isinstance(element, ast.Constant)
+                     and isinstance(element.value, str)
+                     and element.value in STAGE_NAMES}
+            if len(names) >= 2:
+                found.append((node.lineno,
+                              f"hand-written stage list {sorted(names)}"))
+    return found
+
+
+def test_source_files_exist():
+    files = iter_source_files()
+    assert len(files) > 50  # sanity: we are really walking the tree
+    assert DEFINITION_SITE.exists()
+
+
+def test_no_stage_name_literals_outside_the_graph_definition():
+    problems = []
+    for path in iter_source_files():
+        for lineno, message in violations_in(path):
+            problems.append(
+                f"{path.relative_to(SRC.parent.parent)}:{lineno}: "
+                f"{message}")
+    assert not problems, (
+        "stage names are defined once, in repro/core/stages.py; derive "
+        "stage lists from StageGraph.stage_names or PipelineResult."
+        "timings instead of mirroring them:\n" + "\n".join(problems))
+
+
+def test_lint_catches_a_planted_violation(tmp_path):
+    planted = tmp_path / "bad.py"
+    planted.write_text(
+        "STAGES = ('intent', 'graph_type', 'retrieval')\n"
+        "SPAN = 'stage:generate'\n", encoding="utf-8")
+    found = violations_in(planted)
+    assert len(found) == 2
