@@ -30,6 +30,8 @@ Package map (one subpackage per subsystem; see DESIGN.md):
   control, caches, sessions, metrics)
 - :mod:`repro.obs` — observability (hierarchical tracing, metrics
   registry, exporters, profiling hooks)
+- :mod:`repro.store` — durable multi-graph catalog (append-only edit
+  log, deterministic snapshots, incremental ANN index maintenance)
 """
 
 from .config import (
@@ -45,6 +47,7 @@ from .core.chatgraph import ChatGraph, ChatResponse
 from .core.session import ChatSession
 from .errors import ChatGraphError
 from .serve.engine import ChatGraphServer, ServeRequest, ServeResponse
+from .store.catalog import GraphCatalog
 
 __version__ = "1.0.0"
 
@@ -62,6 +65,7 @@ __all__ = [
     "ServeRequest",
     "ServeResponse",
     "FinetuneConfig",
+    "GraphCatalog",
     "LLMConfig",
     "__version__",
 ]

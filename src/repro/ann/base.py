@@ -33,6 +33,10 @@ class AnnIndex(ABC):
     def __init__(self) -> None:
         self._data: np.ndarray | None = None
         self._sq_norms: np.ndarray | None = None
+        #: Vector ids deleted since the last build/compaction.  The
+        #: rows stay in ``_data`` (graph indexes may still route
+        #: through them) but every search filters them from its hits.
+        self._tombstones: set[int] = set()
         #: Number of point-to-query distance evaluations since reset.
         self.distance_computations = 0
         #: When True (the default), searches route through the
@@ -52,8 +56,92 @@ class AnnIndex(ABC):
             raise IndexError_("data must be a non-empty (n, d) matrix")
         self._data = data
         self._sq_norms = row_sq_norms(data)
+        self._tombstones = set()
         self._build(data)
         return self
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (see docs/STORE.md)
+    # ------------------------------------------------------------------
+    def insert(self, vector: np.ndarray) -> int:
+        """Add one vector without a full rebuild; returns its id.
+
+        Inserting into an unbuilt index builds a one-row index.  The
+        incremental structure is approximate for graph indexes — a
+        later :meth:`compact` restores exact fresh-build parity.
+        """
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if self._data is None:
+            self.build(vector[None, :])
+            return 0
+        if vector.shape[0] != self._data.shape[1]:
+            raise IndexError_(
+                f"vector dim {vector.shape[0]} != data dim "
+                f"{self._data.shape[1]}")
+        self._data = np.vstack([self._data, vector[None, :]])
+        self._sq_norms = row_sq_norms(self._data)
+        new_id = self._data.shape[0] - 1
+        self._insert_one(new_id)
+        return new_id
+
+    def delete(self, vector_id: int) -> None:
+        """Tombstone ``vector_id``: excluded from every later search.
+
+        The row stays in the data matrix (graph searches may still
+        route through it) until :meth:`compact` rewrites the index.
+        """
+        if self._data is None:
+            raise IndexError_("index not built")
+        if not 0 <= vector_id < self._data.shape[0]:
+            raise IndexError_(f"no such vector id {vector_id}")
+        if vector_id in self._tombstones:
+            raise IndexError_(f"vector id {vector_id} already deleted")
+        self._tombstones.add(vector_id)
+
+    def compact(self) -> dict[int, int]:
+        """Drop tombstoned rows and rebuild from the live vectors.
+
+        Runs the exact fresh-build code path over the live rows in
+        ascending id order, so the compacted index is bit-compatible
+        with ``type(self)(same params).build(live_vectors)`` — same
+        structure, same search results, same distance counts.  Returns
+        the ``old id -> new id`` mapping of surviving vectors.
+        """
+        if self._data is None:
+            raise IndexError_("index not built")
+        live = [i for i in range(self._data.shape[0])
+                if i not in self._tombstones]
+        if not live:
+            self._data = None
+            self._sq_norms = None
+            self._tombstones = set()
+            return {}
+        id_map = {old: new for new, old in enumerate(live)}
+        self.build(self._data[np.array(live, dtype=np.intp)])
+        return id_map
+
+    def _insert_one(self, new_id: int) -> None:
+        """Incremental-insert hook; data/norms are already updated."""
+        raise IndexError_(
+            f"{type(self).__name__} does not support incremental "
+            "insertion; rebuild with build()")
+
+    @property
+    def n_tombstones(self) -> int:
+        return len(self._tombstones)
+
+    @property
+    def live_size(self) -> int:
+        """Number of searchable (non-tombstoned) vectors."""
+        return 0 if self._data is None else (
+            self._data.shape[0] - len(self._tombstones))
+
+    def live_ids(self) -> list[int]:
+        """Non-tombstoned vector ids, ascending."""
+        if self._data is None:
+            return []
+        return [i for i in range(self._data.shape[0])
+                if i not in self._tombstones]
 
     def search(self, query: np.ndarray, k: int = 1) -> list[SearchResult]:
         """Return (approximately) the ``k`` nearest vectors to ``query``."""
@@ -66,7 +154,14 @@ class AnnIndex(ABC):
             raise IndexError_(
                 f"query dim {query.shape[0]} != data dim {self._data.shape[1]}")
         k = min(k, self._data.shape[0])
-        return self._search(query, k)
+        if not self._tombstones:
+            return self._search(query, k)
+        # over-fetch so the hit list still holds k live vectors after
+        # the tombstone filter, then trim
+        fetch = min(self._data.shape[0], k + len(self._tombstones))
+        hits = [hit for hit in self._search(query, fetch)
+                if hit.vector_id not in self._tombstones]
+        return hits[:min(k, self.live_size)]
 
     def search_batch(self, queries: np.ndarray,
                      k: int = 1) -> list[list[SearchResult]]:
@@ -78,7 +173,14 @@ class AnnIndex(ABC):
         whole query matrix.
         """
         queries, k = self._validate_batch(queries, k)
-        return self._search_batch(queries, k)
+        if not self._tombstones:
+            return self._search_batch(queries, k)
+        assert self._data is not None
+        fetch = min(self._data.shape[0], k + len(self._tombstones))
+        trim = min(k, self.live_size)
+        return [[hit for hit in row
+                 if hit.vector_id not in self._tombstones][:trim]
+                for row in self._search_batch(queries, fetch)]
 
     def search_batch_pairs(self, queries: np.ndarray,
                            k: int = 1) -> list[list[tuple[int, float]]]:
@@ -89,7 +191,14 @@ class AnnIndex(ABC):
         immediately re-rank or filter large candidate pools.
         """
         queries, k = self._validate_batch(queries, k)
-        return self._search_batch_pairs(queries, k)
+        if not self._tombstones:
+            return self._search_batch_pairs(queries, k)
+        assert self._data is not None
+        fetch = min(self._data.shape[0], k + len(self._tombstones))
+        trim = min(k, self.live_size)
+        return [[pair for pair in row
+                 if pair[0] not in self._tombstones][:trim]
+                for row in self._search_batch_pairs(queries, fetch)]
 
     def _validate_batch(self, queries: np.ndarray,
                         k: int) -> tuple[np.ndarray, int]:

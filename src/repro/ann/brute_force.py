@@ -15,6 +15,10 @@ class BruteForceIndex(AnnIndex):
         # row norms are precomputed by the base class
         return
 
+    def _insert_one(self, new_id: int) -> None:
+        # the appended row and refreshed norms are the whole structure
+        return
+
     def _search(self, query: np.ndarray, k: int) -> list[SearchResult]:
         assert self._data is not None
         ids = np.arange(self._data.shape[0])

@@ -66,6 +66,22 @@ class HNSWIndex(AnnIndex):
             for layer in self.layers
         ]
 
+    def _insert_one(self, new_id: int) -> None:
+        """Incremental insert — HNSW insertion is natively incremental.
+
+        The per-insert RNG is derived from ``(seed, new_id)`` so the
+        level draw is a pure function of the vector's identity, not of
+        how many inserts happened before; a later
+        :meth:`~repro.ann.base.AnnIndex.compact` rebuilds with the
+        fresh-build RNG stream and restores bit-compatibility.
+        """
+        assert self._data is not None
+        rng = random.Random(f"{self.seed}:{new_id}")
+        # drop to the mutable-list scalar path while the graph changes
+        self._layer_arrays = None
+        self._insert(self._data, new_id, rng)
+        self._freeze_layers()
+
     def _random_level(self, rng: random.Random) -> int:
         return int(-math.log(max(rng.random(), 1e-12)) * self._level_mult)
 

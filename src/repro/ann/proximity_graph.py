@@ -97,6 +97,52 @@ class ProximityGraphIndex(AnnIndex):
         self._neighbor_arrays = frozen
         self._neighbor_lists = [arr.tolist() for arr in frozen]
 
+    def _insert_one(self, new_id: int) -> None:
+        """Incremental insert: local occlusion pruning, no rebuild.
+
+        The new node's out-edges are selected with the subclass
+        occlusion rule over its exact nearest candidates — the same
+        rule a fresh build applies — but existing nodes are *not*
+        re-pruned, so the graph drifts from the fresh-build shape until
+        :meth:`~repro.ann.base.AnnIndex.compact` restores exact parity.
+        Reverse edges keep the new node reachable from the entry point
+        (reachability outranks the degree cap, as in ``_repair_
+        connectivity``).
+        """
+        assert self._data is not None
+        data = self._data
+        if new_id == 0 or len(self.neighbors) == 0:
+            # first vector, or insert into a 1-row index built fresh
+            self.neighbors = [[] for __ in range(new_id + 1)]
+            self.entry_point = 0
+            self._freeze_neighbors()
+            return
+        diffs = data[:new_id] - data[new_id]
+        dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+        order = np.argsort(dists, kind="stable")
+        pool = order[:min(self.candidate_pool, new_id)]
+        selected: list[int] = []
+        for idx in pool:
+            v = int(idx)
+            d_uv = float(dists[idx])
+            if self._occludes(data, new_id, v, d_uv, selected):
+                continue
+            selected.append(v)
+            if len(selected) >= self.max_degree:
+                break
+        self.neighbors.append(selected)
+        attached = False
+        for v in selected:
+            if len(self.neighbors[v]) < self.max_degree:
+                self.neighbors[v].append(new_id)
+                attached = True
+        if not attached:
+            # every selected neighbor is at capacity (or none selected):
+            # attach from the nearest node anyway so routing can reach us
+            nearest = int(order[0])
+            self.neighbors[nearest].append(new_id)
+        self._freeze_neighbors()
+
     @staticmethod
     def _exact_knn(data: np.ndarray, k: int) -> np.ndarray:
         """Exact kNN ids per point, chunked to bound memory."""

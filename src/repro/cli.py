@@ -565,7 +565,9 @@ def main(argv: list[str] | None = None) -> int:
     ``python -m repro.cli chaos [...]`` runs the seeded
     fault-injection check of the serve engine;
     ``python -m repro.cli trace [...]`` records a seeded traced run or
-    replays a span log (see :mod:`repro.obs`).
+    replays a span log (see :mod:`repro.obs`);
+    ``python -m repro.cli store [...]`` manages a durable graph
+    catalog (see :mod:`repro.store`).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve-bench":
@@ -576,6 +578,9 @@ def main(argv: list[str] | None = None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "store":
+        from .store.cli import store_main
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="ChatGraph terminal chat")
     parser.add_argument("--graph", help="graph file to upload at start")

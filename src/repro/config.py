@@ -212,6 +212,15 @@ class ServeConfig:
     #: (first request waits up to this long) against batching
     #: efficiency; ``0`` flushes immediately with whatever is queued.
     microbatch_deadline_seconds: float = 0.005
+    #: Root directory of a durable :class:`repro.store.GraphCatalog`;
+    #: empty disables the store (requests then must carry inline
+    #: graphs).  When set, requests may name catalog graphs via
+    #: ``ServeRequest.graph_name``.
+    store_root: str = ""
+    #: Auto-snapshot threshold forwarded to the catalog: roll the epoch
+    #: once an edit log holds this many records (``0`` = only explicit
+    #: snapshots/compactions).
+    store_snapshot_every: int = 0
     #: Base seed folded into every request's deterministic per-request
     #: seed (content-keyed, so results are order-independent).
     seed: int = 0
@@ -256,6 +265,8 @@ class ServeConfig:
                  "microbatch_size must be >= 0")
         _require(self.microbatch_deadline_seconds >= 0.0,
                  "microbatch_deadline_seconds must be >= 0")
+        _require(self.store_snapshot_every >= 0,
+                 "store_snapshot_every must be >= 0")
 
 
 @dataclass(frozen=True)

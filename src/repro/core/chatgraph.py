@@ -90,6 +90,10 @@ class ChatGraph:
         #: Optional :class:`repro.obs.Tracer` threaded through the
         #: pipeline and every execution (see :meth:`set_tracer`).
         self.tracer: Any = None
+        #: Optional :class:`repro.store.GraphCatalog`; when attached,
+        #: :meth:`propose`/:meth:`ask` accept a catalog graph *name*
+        #: wherever they accept a graph (see :meth:`use_catalog`).
+        self.catalog: Any = None
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -123,10 +127,30 @@ class ChatGraph:
     # ------------------------------------------------------------------
     # chat
     # ------------------------------------------------------------------
-    def propose(self, text: str, graph: Graph | None = None,
+    def use_catalog(self, catalog: Any) -> None:
+        """Attach a :class:`repro.store.GraphCatalog` (``None`` detaches).
+
+        With a catalog attached, the ``graph`` argument of
+        :meth:`propose` and :meth:`ask` may be a catalog graph *name*;
+        it resolves to an immutable epoch-pinned view at call time.
+        """
+        self.catalog = catalog
+
+    def resolve_graph(self, graph: Graph | str | None) -> Graph | None:
+        """Resolve a graph argument: pass-through, or catalog lookup."""
+        if not isinstance(graph, str):
+            return graph
+        if self.catalog is None:
+            raise SessionError(
+                f"graph named {graph!r} but no catalog attached; call "
+                "use_catalog() first")
+        return self.catalog.view(graph).graph
+
+    def propose(self, text: str, graph: Graph | str | None = None,
                 **attachments: Any) -> PipelineResult:
         """Generate (but do not execute) the API chain for a prompt."""
-        prompt = Prompt(text=text, graph=graph, attachments=attachments)
+        prompt = Prompt(text=text, graph=self.resolve_graph(graph),
+                        attachments=attachments)
         return self.pipeline.process(prompt)
 
     def propose_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
@@ -212,7 +236,7 @@ class ChatGraph:
         record = executor.execute(chain, context, stop_on_error=False)
         return record, monitor
 
-    def ask(self, text: str, graph: Graph | None = None,
+    def ask(self, text: str, graph: Graph | str | None = None,
             confirm: Callable[[str, Any], bool] | None = None,
             **attachments: Any) -> ChatResponse:
         """Full round trip: propose, execute, render the answer."""

@@ -159,3 +159,11 @@ class RateLimitError(ServeError):
 
 class ConfigError(ChatGraphError):
     """Invalid configuration value."""
+
+
+class StoreError(ChatGraphError):
+    """Durable graph-store failure (see :mod:`repro.store`)."""
+
+
+class StoreCorruptionError(StoreError):
+    """An on-disk store file failed a framing or checksum check."""

@@ -2,12 +2,16 @@
 
 Writes/reads a strict subset of GraphML: one ``<graph>``, node/edge
 elements with ``<data>`` children, and a key table typed ``string`` /
-``int`` / ``double`` / ``boolean``.  Round-trips everything our
-:class:`~repro.graphs.graph.Graph` stores with scalar attribute values.
+``int`` / ``double`` / ``boolean`` — plus a ``json`` extension type
+carrying lists, dicts and ``None`` as JSON text, so every attribute
+value the :mod:`repro.store` edit log accepts survives a GraphML round
+trip.  A key used with conflicting value types across elements widens
+to ``json``, which preserves each value's original type.
 """
 
 from __future__ import annotations
 
+import json
 import xml.etree.ElementTree as ET
 from pathlib import Path
 from typing import Any
@@ -17,7 +21,6 @@ from .graph import DiGraph, Graph
 
 _NS = "http://graphml.graphdrawing.org/xmlns"
 
-_TYPES = {str: "string", int: "int", float: "double", bool: "boolean"}
 _PARSERS = {
     "string": str,
     "int": int,
@@ -25,18 +28,41 @@ _PARSERS = {
     "double": float,
     "float": float,
     "boolean": lambda text: text.strip().lower() == "true",
+    "json": json.loads,
 }
 
 
 def _attr_type(value: Any) -> str:
-    for python_type, name in _TYPES.items():
-        if isinstance(value, python_type) and not (
-                python_type is int and isinstance(value, bool)):
-            return name
     if isinstance(value, bool):
         return "boolean"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "double"
+    if value is None or isinstance(value, (list, dict)):
+        return "json"
     raise GraphIOError(
-        f"GraphML supports scalar attributes only, got {type(value)}")
+        f"GraphML supports JSON-encodable attributes only, got "
+        f"{type(value)}")
+
+
+def _register(keys: dict[tuple[str, str], str], domain: str, name: str,
+              value: Any) -> None:
+    """Record ``name``'s type; conflicting types widen to ``json``."""
+    type_name = _attr_type(value)
+    previous = keys.get((domain, name))
+    if previous is not None and previous != type_name:
+        type_name = "json"
+    keys[(domain, name)] = type_name
+
+
+def _encode(value: Any, type_name: str) -> str:
+    """The ``<data>`` text for ``value`` under the key's final type."""
+    if type_name == "json":
+        return json.dumps(value, sort_keys=True)
+    return str(value)
 
 
 def write_graphml(graph: Graph, path: str | Path) -> None:
@@ -46,10 +72,10 @@ def write_graphml(graph: Graph, path: str | Path) -> None:
     keys: dict[tuple[str, str], str] = {}
     for node in graph.nodes():
         for name, value in graph.node_attrs(node).items():
-            keys[("node", name)] = _attr_type(value)
+            _register(keys, "node", name, value)
     for u, v in graph.edges():
         for name, value in graph.edge_attrs(u, v).items():
-            keys[("edge", name)] = _attr_type(value)
+            _register(keys, "edge", name, value)
     key_ids: dict[tuple[str, str], str] = {}
     for i, ((domain, name), type_name) in enumerate(sorted(keys.items())):
         key_id = f"k{i}"
@@ -68,14 +94,14 @@ def write_graphml(graph: Graph, path: str | Path) -> None:
         for name, value in graph.node_attrs(node).items():
             data = ET.SubElement(node_el, "data",
                                  key=key_ids[("node", name)])
-            data.text = str(value)
+            data.text = _encode(value, keys[("node", name)])
     for i, (u, v) in enumerate(graph.edges()):
         edge_el = ET.SubElement(graph_el, "edge", id=f"e{i}",
                                 source=node_ids[u], target=node_ids[v])
         for name, value in graph.edge_attrs(u, v).items():
             data = ET.SubElement(edge_el, "data",
                                  key=key_ids[("edge", name)])
-            data.text = str(value)
+            data.text = _encode(value, keys[("edge", name)])
     ET.ElementTree(root).write(Path(path), encoding="unicode",
                                xml_declaration=True)
 
@@ -121,7 +147,10 @@ def read_graphml(path: str | Path) -> Graph:
                 name, parser = key_table[key]
                 attrs[name] = parser(data.text or "")
         id_map[gid] = original
-        graph.add_node(original, **attrs)
+        graph.add_node(original)
+        # setters, not **kwargs: attribute names like "node" are legal
+        for name, value in attrs.items():
+            graph.set_node_attr(original, name, value)
     for edge_el in graph_el.findall(tag("edge")):
         source = id_map.get(edge_el.get("source", ""))
         target = id_map.get(edge_el.get("target", ""))
@@ -133,5 +162,7 @@ def read_graphml(path: str | Path) -> Graph:
             if key in key_table:
                 name, parser = key_table[key]
                 attrs[name] = parser(data.text or "")
-        graph.add_edge(source, target, **attrs)
+        graph.add_edge(source, target)
+        for name, value in attrs.items():
+            graph.set_edge_attr(source, target, name, value)
     return graph

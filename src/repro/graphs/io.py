@@ -46,14 +46,14 @@ def parse_edgelist_text(text: str, directed: bool = False) -> Graph:
             graph.add_node(tokens[0])
             continue
         u, v, *rest = tokens
-        attrs: dict[str, Any] = {}
+        graph.add_edge(u, v)
+        # setters, not **kwargs: attribute names like "u" are legal
         for item in rest:
             key, sep, value = item.partition("=")
             if not sep:
                 raise GraphIOError(
                     f"line {lineno}: expected key=value, got {item!r}")
-            attrs[key] = _parse_scalar(value)
-        graph.add_edge(u, v, **attrs)
+            graph.set_edge_attr(u, v, key, _parse_scalar(value))
     return graph
 
 
@@ -79,8 +79,21 @@ def write_edgelist(graph: Graph, path: str | Path) -> None:
         for u, v in graph.edges():
             parts = [str(u), str(v)]
             for key, value in graph.edge_attrs(u, v).items():
-                parts.append(f"{key}={json.dumps(value)}")
+                parts.append(f"{key}={_dump_scalar(value)}")
             handle.write(" ".join(parts) + "\n")
+
+
+def _dump_scalar(value: Any) -> str:
+    """JSON-encode an attribute value as one whitespace-free token.
+
+    The edge-list grammar splits lines on whitespace, so any space in
+    the encoded value would break the token apart.  In compact JSON,
+    spaces can only occur inside string literals, where the ``\\u0020``
+    escape is the same character — so the replacement below keeps the
+    token whitespace-free while :func:`json.loads` restores the value
+    exactly (tabs/newlines are already escaped by ``json.dumps``).
+    """
+    return json.dumps(value, separators=(",", ":")).replace(" ", "\\u0020")
 
 
 def to_adjacency(graph: Graph) -> dict[Node, list[Node]]:
@@ -145,12 +158,17 @@ def from_dict(data: Mapping[str, Any]) -> Graph:
         graph: Graph = DiGraph(name=data.get("name", "")) if directed \
             else Graph(name=data.get("name", ""))
         for entry in data.get("nodes", []):
-            attrs = {k: v for k, v in entry.items() if k != "id"}
-            graph.add_node(entry["id"], **attrs)
+            node = entry["id"]
+            graph.add_node(node)
+            for key, value in entry.items():
+                if key != "id":
+                    graph.set_node_attr(node, key, value)
         for entry in data.get("edges", []):
-            attrs = {k: v for k, v in entry.items()
-                     if k not in ("source", "target")}
-            graph.add_edge(entry["source"], entry["target"], **attrs)
+            u, v = entry["source"], entry["target"]
+            graph.add_edge(u, v)
+            for key, value in entry.items():
+                if key not in ("source", "target"):
+                    graph.set_edge_attr(u, v, key, value)
     except (KeyError, TypeError, AttributeError) as exc:
         raise GraphIOError(f"malformed graph document: {exc}") from exc
     return graph

@@ -63,6 +63,11 @@ class ServeRequest:
     op: str
     text: str = ""
     graph: Graph | None = None
+    #: Name of a graph in the server's durable catalog (see
+    #: ``ServeConfig.store_root``); resolved to an immutable
+    #: epoch-pinned view at service time.  Mutually exclusive with an
+    #: inline ``graph``.
+    graph_name: str | None = None
     #: Binds the request to a stateful dialog; None = stateless.
     session_id: str | None = None
     #: Rate-limiting principal.
@@ -82,6 +87,9 @@ class ServeRequest:
             raise ServeError(f"op {self.op!r} requires text")
         if self.op == "execute" and self.pipeline_result is None:
             raise ServeError("op 'execute' requires pipeline_result")
+        if self.graph is not None and self.graph_name is not None:
+            raise ServeError(
+                "pass either an inline graph or a graph_name, not both")
 
     def content_seed(self, base_seed: int) -> int:
         """Deterministic seed from request *content* (not arrival order).
@@ -94,6 +102,10 @@ class ServeRequest:
             str(base_seed), self.op, self.text,
             self.session_id or "", self.client_id,
         ))
+        # appended only when present so store-less requests keep the
+        # exact seeds (and span identities) they had before the catalog
+        if self.graph_name is not None:
+            material += "\x1f" + self.graph_name
         digest = hashlib.sha256(material.encode("utf-8")).digest()
         return int.from_bytes(digest[:8], "little")
 
@@ -156,7 +168,8 @@ class ChatGraphServer:
     """
 
     def __init__(self, chatgraph: ChatGraph,
-                 config: ServeConfig | None = None) -> None:
+                 config: ServeConfig | None = None,
+                 catalog: Any = None) -> None:
         self.chatgraph = chatgraph
         self.config = config or ServeConfig()
         self.caches: PipelineCaches | None = None
@@ -200,6 +213,18 @@ class ChatGraphServer:
                 profile_cpu=self.config.obs.profile_cpu,
                 profile_alloc=self.config.obs.profile_alloc)
         self._saved_tracer: Any = None
+        # durable graph catalog: passed in, or built from the config's
+        # store_root; sessions pin (name, epoch) refs into it and its
+        # compactions evict sessions left on pruned epochs
+        self.catalog: Any = catalog
+        if self.catalog is None and self.config.store_root:
+            from ..store.catalog import GraphCatalog
+            self.catalog = GraphCatalog(
+                self.config.store_root,
+                snapshot_every=self.config.store_snapshot_every,
+                metrics=self.metrics, tracer=self.tracer)
+        if self.catalog is not None:
+            self.chatgraph.use_catalog(self.catalog)
         # robustness layer: per-API circuit breakers shared by every
         # worker, plus default step policies (timeout + retries) the
         # executor applies to each chain step
@@ -251,6 +276,11 @@ class ChatGraphServer:
                                   self.chatgraph.breakers)
         self.chatgraph.set_robustness(policy=self.policy,
                                       breakers=self.breakers)
+        # compactions of the durable store evict sessions whose pinned
+        # epoch was pruned, for as long as this server runs
+        if self.catalog is not None:
+            self.catalog.add_compact_listener(
+                self.sessions.evict_compacted)
         self.queue.reopen()
         self._workers = []
         for index in range(self.config.workers):
@@ -294,6 +324,9 @@ class ChatGraphServer:
         if self._saved_robustness is not None:
             self.chatgraph.set_robustness(*self._saved_robustness)
             self._saved_robustness = None
+        if self.catalog is not None:
+            self.catalog.remove_compact_listener(
+                self.sessions.evict_compacted)
 
     def __enter__(self) -> "ChatGraphServer":
         if not self._running:
@@ -485,12 +518,28 @@ class ChatGraphServer:
         if result.used_fallback:
             self._stats.incr("fallback_chains")
 
+    def _resolve_view(self, request: ServeRequest) -> Any:
+        """The catalog view for ``request.graph_name`` (or None)."""
+        if request.graph_name is None:
+            return None
+        if self.catalog is None:
+            raise ServeError(
+                f"request names graph {request.graph_name!r} but the "
+                "server has no graph catalog (set ServeConfig."
+                "store_root or pass catalog=)")
+        return self.catalog.view(request.graph_name)
+
+    def _resolve_graph(self, request: ServeRequest) -> Graph | None:
+        view = self._resolve_view(request)
+        return request.graph if view is None else view.graph
+
     def _serve_propose(self, request: ServeRequest,
                        seed: int) -> PipelineResult:
         self._backend_pause()
         attachments = dict(request.attachments)
         attachments.setdefault("request_seed", seed)
-        result = self.chatgraph.propose(request.text, request.graph,
+        result = self.chatgraph.propose(request.text,
+                                        self._resolve_graph(request),
                                         **attachments)
         self._record_pipeline(result)
         return result
@@ -516,16 +565,22 @@ class ChatGraphServer:
     def _serve_ask(self, request: ServeRequest, seed: int) -> ChatResponse:
         self._backend_pause()
         if request.session_id is not None:
+            view = self._resolve_view(request)
             entry = self.sessions.get_or_create(request.session_id)
             with entry.lock:
-                if request.graph is not None:
+                if view is not None:
+                    entry.session.upload_graph(view.graph,
+                                               **request.attachments)
+                    entry.graph_ref = (view.name, view.epoch)
+                elif request.graph is not None:
                     entry.session.upload_graph(request.graph,
                                                **request.attachments)
                 chat_response = entry.session.send(request.text)
         else:
             attachments = dict(request.attachments)
             attachments.setdefault("request_seed", seed)
-            chat_response = self.chatgraph.ask(request.text, request.graph,
+            chat_response = self.chatgraph.ask(request.text,
+                                               self._resolve_graph(request),
                                                **attachments)
         self._record_pipeline(chat_response.pipeline)
         if chat_response.record is not None:
@@ -560,7 +615,7 @@ class ChatGraphServer:
             attachments = dict(item.request.attachments)
             attachments.setdefault("request_seed", seed)
             prompts.append(Prompt(text=item.request.text,
-                                  graph=item.request.graph,
+                                  graph=self._resolve_graph(item.request),
                                   attachments=attachments))
         self._backend_pause()
         if self.tracer is None:
@@ -631,6 +686,8 @@ class ChatGraphServer:
             else 0}
         snapshot["workers"] = self.config.workers
         snapshot["pipeline_stages"] = list(self.pipeline_stages)
+        snapshot["store"] = (self.catalog.stats()
+                             if self.catalog is not None else {})
         return snapshot
 
     def metrics_snapshot(self) -> dict[str, Any]:

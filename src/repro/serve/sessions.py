@@ -32,6 +32,11 @@ class SessionEntry:
     created: float
     last_used: float
     requests: int = 0
+    #: Durable-store binding: ``(catalog name, epoch)`` of the graph
+    #: view this session last worked against.  The name survives a
+    #: server restart (the graph lives in the store, not the session);
+    #: the epoch lets compaction evict sessions pinned to pruned state.
+    graph_ref: tuple[str, int] | None = None
     #: Serializes requests that target this session.
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -63,6 +68,7 @@ class SessionStore:
         self._created = 0
         self._evicted_ttl = 0
         self._evicted_lru = 0
+        self._evicted_epoch = 0
 
     # ------------------------------------------------------------------
     def get_or_create(self, session_id: str) -> SessionEntry:
@@ -103,6 +109,24 @@ class SessionStore:
         with self._lock:
             return self._entries.pop(session_id, None) is not None
 
+    def evict_compacted(self, graph_name: str,
+                        live_epochs: list[int]) -> int:
+        """Evict sessions pinned to pruned epochs of ``graph_name``.
+
+        Called by the serve engine's catalog compact listener: a
+        session whose ``graph_ref`` epoch no longer exists on disk
+        would silently keep chatting against vanished state.
+        """
+        with self._lock:
+            stale = [sid for sid, entry in self._entries.items()
+                     if entry.graph_ref is not None
+                     and entry.graph_ref[0] == graph_name
+                     and entry.graph_ref[1] not in live_epochs]
+            for session_id in stale:
+                del self._entries[session_id]
+                self._evicted_epoch += 1
+            return len(stale)
+
     def evict_expired(self) -> int:
         """Evict every session idle for longer than the TTL."""
         with self._lock:
@@ -136,6 +160,7 @@ class SessionStore:
                 "created": self._created,
                 "evicted_ttl": self._evicted_ttl,
                 "evicted_lru": self._evicted_lru,
+                "evicted_epoch": self._evicted_epoch,
                 "max_sessions": self.max_sessions,
                 "ttl_seconds": self.ttl_seconds,
             }

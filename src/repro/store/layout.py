@@ -1,0 +1,137 @@
+"""On-disk layout of the graph store — the single owner of its paths.
+
+One directory per named graph under the catalog root::
+
+    <root>/<name>/manifest.json        catalog entry (directedness, epoch)
+    <root>/<name>/epoch-<k>.snap       state snapshot opening epoch k
+    <root>/<name>/epoch-<k>.editlog    CRC-framed edits applied since
+
+Every ``open()`` of a store file happens in this package; the rest of
+the codebase goes through :class:`~repro.store.catalog.GraphCatalog`.
+An AST lint (``tests/test_store_path_lint.py``) enforces that the
+reserved file-name tokens below never appear outside ``repro/store`` —
+the on-disk format stays single-owner by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from ..errors import StoreError
+
+#: Reserved file-name tokens; referencing them outside ``repro/store``
+#: fails the store-path lint.
+LOG_SUFFIX = ".editlog"
+SNAPSHOT_SUFFIX = ".snap"
+MANIFEST_NAME = "manifest.json"
+RESERVED_TOKENS = (LOG_SUFFIX, SNAPSHOT_SUFFIX, MANIFEST_NAME)
+
+#: Graph names double as directory names, so keep them path-safe.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+
+_EPOCH_RE = re.compile(r"^epoch-(\d{6})$")
+
+
+def check_name(name: str) -> str:
+    """Validate a catalog graph name (path-safe slug); returns it."""
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise StoreError(
+            f"invalid graph name {name!r}: expected a slug of letters, "
+            "digits, '.', '_' or '-' (max 128 chars)")
+    return name
+
+
+def graph_dir(root: Path, name: str) -> Path:
+    return root / check_name(name)
+
+
+def manifest_path(root: Path, name: str) -> Path:
+    return graph_dir(root, name) / MANIFEST_NAME
+
+
+def snapshot_path(root: Path, name: str, epoch: int) -> Path:
+    return graph_dir(root, name) / f"epoch-{epoch:06d}{SNAPSHOT_SUFFIX}"
+
+
+def log_path(root: Path, name: str, epoch: int) -> Path:
+    return graph_dir(root, name) / f"epoch-{epoch:06d}{LOG_SUFFIX}"
+
+
+def list_epochs(root: Path, name: str) -> list[int]:
+    """Epochs with a snapshot on disk, ascending."""
+    directory = graph_dir(root, name)
+    if not directory.is_dir():
+        return []
+    epochs = []
+    for path in directory.iterdir():
+        if path.suffix != SNAPSHOT_SUFFIX:
+            continue
+        match = _EPOCH_RE.match(path.stem)
+        if match:
+            epochs.append(int(match.group(1)))
+    return sorted(epochs)
+
+
+def list_graph_names(root: Path) -> list[str]:
+    """Names with a manifest under ``root``, sorted."""
+    if not root.is_dir():
+        return []
+    return sorted(path.name for path in root.iterdir()
+                  if path.is_dir() and (path / MANIFEST_NAME).is_file())
+
+
+# ----------------------------------------------------------------------
+# raw file access (kept here so the format has exactly one owner)
+# ----------------------------------------------------------------------
+def read_bytes(path: Path) -> bytes:
+    try:
+        return path.read_bytes()
+    except OSError as exc:
+        raise StoreError(f"cannot read store file {path}: {exc}") from exc
+
+
+def write_bytes_atomic(path: Path, payload: bytes) -> None:
+    """Write via a temp file + rename so readers never see a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_bytes(payload)
+        tmp.replace(path)
+    except OSError as exc:
+        raise StoreError(f"cannot write store file {path}: {exc}") from exc
+
+
+def append_handle(path: Path):
+    """An append-mode binary handle for the edit log."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        return open(path, "ab")
+    except OSError as exc:
+        raise StoreError(f"cannot open store log {path}: {exc}") from exc
+
+
+def truncate_file(path: Path, size: int) -> None:
+    try:
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+    except OSError as exc:
+        raise StoreError(f"cannot truncate store log {path}: {exc}") from exc
+
+
+def read_manifest(root: Path, name: str) -> dict[str, Any]:
+    path = manifest_path(root, name)
+    try:
+        document = json.loads(read_bytes(path).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StoreError(f"malformed manifest {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise StoreError(f"malformed manifest {path}: not an object")
+    return document
+
+
+def write_manifest(root: Path, name: str, document: dict[str, Any]) -> None:
+    payload = json.dumps(document, sort_keys=True, indent=1).encode("utf-8")
+    write_bytes_atomic(manifest_path(root, name), payload + b"\n")

@@ -1,0 +1,174 @@
+"""Edit-log records: typed graph mutations with CRC-guarded framing.
+
+A record is a JSON object with an ``op`` field; on disk each record is
+one frame::
+
+    length (uint32 LE) | crc32(payload) (uint32 LE) | payload
+
+where ``payload`` is the canonical JSON encoding (sorted keys, compact
+separators, ASCII-only).  Canonical encoding makes the log bytes a pure
+function of the edit sequence, which is what the snapshot/replay parity
+gate relies on.
+
+Node ids must be JSON scalars (``str``/``int``/``float``/``bool``);
+attribute values may be any JSON value.  Anything else is rejected at
+record-construction time, so a record that made it into the log always
+replays.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any, Iterator
+
+from ..errors import StoreCorruptionError, StoreError
+from ..graphs.graph import Graph
+
+_FRAME = struct.Struct("<II")
+FRAME_HEADER_SIZE = _FRAME.size
+
+#: Every operation the edit log understands, with its required fields.
+OPS: dict[str, tuple[str, ...]] = {
+    "add_node": ("id", "attrs"),
+    "remove_node": ("id",),
+    "add_edge": ("u", "v", "attrs"),
+    "remove_edge": ("u", "v"),
+    "set_node_attr": ("id", "key", "value"),
+    "set_edge_attr": ("u", "v", "key", "value"),
+}
+
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _check_id(value: Any, field: str) -> Any:
+    if isinstance(value, _SCALAR_TYPES):
+        return value
+    raise StoreError(
+        f"node id field {field!r} must be a JSON scalar "
+        f"(str/int/float/bool), got {type(value).__name__}")
+
+
+def _check_json(value: Any, field: str) -> Any:
+    """Reject values that do not survive a JSON round trip."""
+    if value is None or isinstance(value, _SCALAR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_json(item, field) for item in value]
+    if isinstance(value, dict):
+        checked: dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"attribute field {field!r}: dict keys must be str, "
+                    f"got {type(key).__name__}")
+            checked[key] = _check_json(item, field)
+        return checked
+    raise StoreError(
+        f"attribute field {field!r} must be JSON-encodable, got "
+        f"{type(value).__name__}")
+
+
+def _check_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
+    if not isinstance(attrs, dict):
+        raise StoreError(f"attrs must be a dict, got "
+                         f"{type(attrs).__name__}")
+    checked: dict[str, Any] = {}
+    for key, value in attrs.items():
+        if not isinstance(key, str):
+            raise StoreError("attribute names must be str, got "
+                             f"{type(key).__name__}")
+        checked[key] = _check_json(value, key)
+    return checked
+
+
+def make_record(op: str, **fields: Any) -> dict[str, Any]:
+    """Build and validate one edit record."""
+    if op not in OPS:
+        raise StoreError(f"unknown edit op {op!r}; expected one of "
+                         f"{sorted(OPS)}")
+    required = OPS[op]
+    if set(fields) != set(required):
+        raise StoreError(f"op {op!r} requires fields {required}, got "
+                         f"{tuple(sorted(fields))}")
+    record: dict[str, Any] = {"op": op}
+    for field in required:
+        value = fields[field]
+        if field in ("id", "u", "v"):
+            record[field] = _check_id(value, field)
+        elif field == "attrs":
+            record[field] = _check_attrs(value)
+        elif field == "key":
+            if not isinstance(value, str):
+                raise StoreError("attribute names must be str, got "
+                                 f"{type(value).__name__}")
+            record[field] = value
+        else:  # "value"
+            record[field] = _check_json(value, field)
+    return record
+
+
+def apply_record(graph: Graph, record: dict[str, Any]) -> None:
+    """Replay one record against ``graph`` (mutates in place)."""
+    op = record.get("op")
+    if op == "add_node":
+        graph.add_node(record["id"], **record["attrs"])
+    elif op == "remove_node":
+        graph.remove_node(record["id"])
+    elif op == "add_edge":
+        graph.add_edge(record["u"], record["v"], **record["attrs"])
+    elif op == "remove_edge":
+        graph.remove_edge(record["u"], record["v"])
+    elif op == "set_node_attr":
+        graph.set_node_attr(record["id"], record["key"], record["value"])
+    elif op == "set_edge_attr":
+        graph.set_edge_attr(record["u"], record["v"], record["key"],
+                            record["value"])
+    else:
+        raise StoreError(f"unknown edit op {op!r} in log record")
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_record(record: dict[str, Any]) -> bytes:
+    """One CRC-guarded frame for ``record`` (canonical JSON payload)."""
+    payload = json.dumps(record, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_frames(blob: bytes) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Yield ``(end_offset, record)`` per complete, CRC-valid frame.
+
+    Raises :class:`StoreCorruptionError` at the first incomplete or
+    corrupt frame; ``end_offset`` on the exception's ``valid_size``
+    attribute tells recovery where the intact prefix ends.
+    """
+    offset = 0
+    total = len(blob)
+    while offset < total:
+        if offset + FRAME_HEADER_SIZE > total:
+            raise _corruption(offset, "truncated frame header")
+        length, crc = _FRAME.unpack_from(blob, offset)
+        start = offset + FRAME_HEADER_SIZE
+        end = start + length
+        if end > total:
+            raise _corruption(offset, "truncated frame payload")
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            raise _corruption(offset, "CRC mismatch")
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise _corruption(offset, f"undecodable payload: {exc}") from exc
+        yield end, record
+        offset = end
+
+
+def _corruption(offset: int, reason: str) -> StoreCorruptionError:
+    error = StoreCorruptionError(
+        f"edit log corrupt at byte {offset}: {reason}")
+    error.valid_size = offset  # type: ignore[attr-defined]
+    return error

@@ -153,11 +153,21 @@ class TestGraphml:
         with pytest.raises(GraphIOError):
             read_graphml(path)
 
-    def test_non_scalar_attr_rejected(self, tmp_path):
+    def test_json_attrs_roundtrip_and_non_json_rejected(self, tmp_path):
+        # lists/dicts/None ride the "json" extension type (see
+        # docs/STORE.md: everything the edit log accepts must survive)
         g = Graph()
-        g.add_node(1, stuff=[1, 2])
+        g.add_node(1, stuff=[1, 2], extra={"a": None})
+        path = tmp_path / "x.graphml"
+        write_graphml(g, path)
+        back = read_graphml(path)
+        node = next(iter(back.nodes()))
+        assert back.get_edge_attr is not None  # api smoke
+        assert back.node_attrs(node)["stuff"] == [1, 2]
+        assert back.node_attrs(node)["extra"] == {"a": None}
+        g.add_node(2, bad=object())
         with pytest.raises(GraphIOError):
-            write_graphml(g, tmp_path / "x.graphml")
+            write_graphml(g, tmp_path / "y.graphml")
 
 
 class TestNewApis:

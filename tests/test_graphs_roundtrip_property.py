@@ -1,0 +1,153 @@
+"""Property tests: GraphML and edge-list round trips.
+
+The store's guarantee is that any attribute value accepted by the edit
+log (``repro.store.records.make_record``) survives export/import.
+Hypothesis generates arbitrary JSON attribute values — including
+nested lists/dicts, ``None``, and keys whose type conflicts across
+elements — and the round trip must restore them exactly.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import DiGraph, Graph
+from repro.graphs.graphml import read_graphml, write_graphml
+from repro.graphs.io import parse_edgelist_text, write_edgelist
+from repro.store.records import make_record
+
+# printable ASCII without the XML/JSON troublemakers the formats do not
+# promise to carry (control chars, \r normalization in XML)
+_text = st.text(
+    alphabet=st.characters(min_codepoint=0x20, max_codepoint=0x7E),
+    max_size=12)
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-10**9, max_value=10**9)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | _text,
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(_text, children, max_size=3),
+    max_leaves=6)
+
+node_ids = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1,
+    max_size=8)
+
+attr_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8)
+
+attr_dicts = st.dictionaries(attr_keys, json_values, max_size=3)
+
+
+def assert_attrs_equal(got, want):
+    assert set(got) == set(want)
+    for key in want:
+        a, b = got[key], want[key]
+        if isinstance(b, float) and not isinstance(b, bool):
+            assert isinstance(a, float) and math.isclose(
+                a, b, rel_tol=0, abs_tol=0) or a == b
+        else:
+            assert a == b and type(a) is type(b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    nodes=st.lists(st.tuples(node_ids, attr_dicts), min_size=1,
+                   max_size=5, unique_by=lambda item: item[0]),
+    extra_edge_attrs=attr_dicts,
+    directed=st.booleans(),
+)
+def test_graphml_round_trips_any_loggable_attrs(nodes, extra_edge_attrs,
+                                                directed):
+    graph = DiGraph() if directed else Graph()
+    for node, attrs in nodes:
+        # the store gate: values must be loggable to be in scope
+        make_record("add_node", id=node, attrs=attrs)
+        graph.add_node(node)
+        for key, value in attrs.items():
+            graph.set_node_attr(node, key, value)
+    ordered = [node for node, __ in nodes]
+    for u, v in zip(ordered, ordered[1:]):
+        graph.add_edge(u, v)
+        for key, value in extra_edge_attrs.items():
+            graph.set_edge_attr(u, v, key, value)
+
+    restored = read_graphml_via_tmp(graph)
+    assert restored.directed == directed
+    assert sorted(restored.nodes(), key=str) == sorted(
+        graph.nodes(), key=str)
+    for node, attrs in nodes:
+        assert_attrs_equal(restored.node_attrs(node), attrs)
+    for u, v in graph.edges():
+        assert_attrs_equal(restored.edge_attrs(u, v), extra_edge_attrs)
+
+
+def read_graphml_via_tmp(graph):
+    import tempfile
+    from pathlib import Path
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "g.graphml"
+        write_graphml(graph, path)
+        return read_graphml(path)
+
+
+def test_graphml_widens_conflicting_key_types(tmp_path):
+    graph = Graph()
+    graph.add_node("a", x=1)
+    graph.add_node("b", x="one")
+    graph.add_node("c", x=[1, "one"])
+    graph.add_node("d", x=None)
+    graph.add_node("e", x=True)
+    path = tmp_path / "widen.graphml"
+    write_graphml(graph, path)
+    restored = read_graphml(path)
+    for node in graph.nodes():
+        got = restored.node_attrs(node)["x"]
+        want = graph.node_attrs(node)["x"]
+        assert got == want and type(got) is type(want)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    edges=st.lists(st.tuples(node_ids, node_ids, attr_dicts),
+                   min_size=1, max_size=5),
+)
+def test_edgelist_round_trips_json_attrs(edges, tmp_path_factory):
+    graph = Graph()
+    for u, v, attrs in edges:
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        # setters, not kwargs: keys like "u" are valid attribute names
+        for key, value in attrs.items():
+            make_record("set_edge_attr", u=u, v=v, key=key, value=value)
+            graph.set_edge_attr(u, v, key, value)
+    if graph.number_of_edges() == 0:
+        return
+    path = tmp_path_factory.mktemp("el") / "g.edgelist"
+    write_edgelist(graph, path)
+    restored = parse_edgelist_text(path.read_text(encoding="utf-8"))
+    assert sorted(map(str, restored.nodes())) == sorted(
+        map(str, graph.nodes()))
+    for u, v in graph.edges():
+        assert_attrs_equal(restored.edge_attrs(u, v),
+                           graph.edge_attrs(u, v))
+
+
+def test_edgelist_attr_values_with_spaces_stay_one_token(tmp_path):
+    graph = Graph()
+    graph.add_edge("a", "b", label="two words",
+                   data=[1, "x y", {"a b": None}])
+    path = tmp_path / "g.edgelist"
+    write_edgelist(graph, path)
+    line = next(line for line in path.read_text().splitlines()
+                if line.startswith("a b "))
+    # each key=value token is whitespace-free, so the line re-splits
+    # into exactly u, v, and one token per attribute
+    assert len(line.split()) == 2 + len(graph.edge_attrs("a", "b"))
+    restored = parse_edgelist_text(path.read_text())
+    assert restored.edge_attrs("a", "b") == graph.edge_attrs("a", "b")

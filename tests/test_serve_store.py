@@ -1,0 +1,168 @@
+"""Serving against the durable graph catalog.
+
+Requests name a stored graph (``graph_name``) instead of shipping an
+inline copy; sessions pin the epoch they uploaded; compaction evicts
+sessions whose epoch was pruned; and a restarted server resumes serving
+the same catalog.  Also guards the seed-stability contract: store-less
+requests compute the exact seeds they did before the catalog existed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChatGraph, ChatGraphServer, ServeConfig, ServeRequest
+from repro.errors import ServeError, SessionError
+from repro.graphs import social_network
+from repro.store import GraphCatalog
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    cat = GraphCatalog(tmp_path / "store")
+    handle = cat.create("social")
+    handle.ingest(social_network(20, 3, seed=1))
+    return cat
+
+
+def make_server(chatgraph, catalog=None, **overrides):
+    defaults = dict(workers=2, queue_depth=32)
+    defaults.update(overrides)
+    return ChatGraphServer(chatgraph, ServeConfig(**defaults),
+                           catalog=catalog)
+
+
+# ----------------------------------------------------------------------
+# ChatGraph-level resolution
+# ----------------------------------------------------------------------
+def test_chatgraph_resolves_graph_names(chatgraph, catalog):
+    chatgraph.use_catalog(catalog)
+    try:
+        result = chatgraph.propose("how many nodes are there?", "social")
+        assert result.chain.nodes  # resolved and proposed a chain
+        response = chatgraph.ask("how many nodes are there?", "social")
+        assert "20" in response.answer
+    finally:
+        chatgraph.use_catalog(None)
+
+
+def test_graph_name_without_catalog_is_a_session_error(chatgraph):
+    with pytest.raises(SessionError):
+        chatgraph.propose("count nodes", "social")
+
+
+# ----------------------------------------------------------------------
+# server-level resolution
+# ----------------------------------------------------------------------
+def test_server_serves_requests_by_graph_name(chatgraph, catalog):
+    server = make_server(chatgraph, catalog=catalog)
+    with server:
+        response = server.request(ServeRequest(
+            op="ask", text="how many nodes are there?",
+            graph_name="social"))
+    assert response.ok
+    assert "20" in response.value.answer
+    assert server.stats()["store"]["social"]["nodes"] == 20
+
+
+def test_store_root_config_builds_the_catalog(chatgraph, tmp_path):
+    root = tmp_path / "store"
+    GraphCatalog(root).create("g").add_edge("a", "b")
+    server = make_server(chatgraph, store_root=str(root))
+    with server:
+        response = server.request(ServeRequest(
+            op="ask", text="how many nodes are there?", graph_name="g"))
+    assert response.ok and "2" in response.value.answer
+
+
+def test_graph_and_graph_name_are_mutually_exclusive(catalog):
+    request = ServeRequest(op="ask", text="x",
+                           graph=social_network(5, 2, seed=0),
+                           graph_name="social")
+    with pytest.raises(ServeError):
+        request.validate()
+
+
+def test_unknown_name_and_missing_catalog_fail_cleanly(chatgraph,
+                                                       catalog):
+    server = make_server(chatgraph, catalog=catalog)
+    with server:
+        response = server.request(ServeRequest(
+            op="ask", text="count", graph_name="nope"))
+    assert not response.ok and response.error_type == "StoreError"
+
+    bare = make_server(chatgraph)
+    with bare:
+        response = bare.request(ServeRequest(
+            op="ask", text="count", graph_name="social"))
+    assert not response.ok and response.error_type == "ServeError"
+    assert "no graph catalog" in response.error
+
+
+# ----------------------------------------------------------------------
+# sessions: epoch pinning, restart survival, compaction eviction
+# ----------------------------------------------------------------------
+def test_session_pins_graph_ref_and_survives_restart(chatgraph, catalog):
+    server = make_server(chatgraph, catalog=catalog)
+    with server:
+        response = server.request(ServeRequest(
+            op="ask", text="how many nodes are there?",
+            graph_name="social", session_id="s1"))
+        assert response.ok
+        entry = server.sessions.get_or_create("s1")
+        assert entry.graph_ref == ("social", 0)
+
+    # a new server over the same catalog serves the same graph: the
+    # session's graph lives in the durable store, not server memory
+    revived = make_server(chatgraph, catalog=catalog)
+    with revived:
+        response = revived.request(ServeRequest(
+            op="ask", text="how many nodes are there?",
+            graph_name="social", session_id="s1"))
+    assert response.ok and "20" in response.value.answer
+
+
+def test_compaction_evicts_sessions_pinned_to_pruned_epochs(chatgraph,
+                                                            catalog):
+    server = make_server(chatgraph, catalog=catalog)
+    with server:
+        assert server.request(ServeRequest(
+            op="ask", text="count the nodes", graph_name="social",
+            session_id="pinned")).ok
+        assert server.sessions.get("pinned") is not None
+        catalog.open("social").compact()
+        with pytest.raises(SessionError):
+            server.sessions.get("pinned")
+        assert server.sessions.stats()["evicted_epoch"] == 1
+        # a fresh session immediately pins the compacted epoch
+        assert server.request(ServeRequest(
+            op="ask", text="count the nodes", graph_name="social",
+            session_id="fresh")).ok
+        entry = server.sessions.get_or_create("fresh")
+        assert entry.graph_ref == ("social", 1)
+    # stop() detaches the listener: later compactions are ignored
+    catalog.open("social").compact()
+    assert server.sessions.get("fresh") is not None
+
+
+# ----------------------------------------------------------------------
+# seed stability (golden-trace safety)
+# ----------------------------------------------------------------------
+def test_storeless_content_seed_is_unchanged():
+    request = ServeRequest(op="ask", text="hello", session_id="s",
+                           client_id="c")
+    # the exact pre-catalog material: graph_name must not contribute
+    import hashlib
+    material = "\x1f".join(("7", "ask", "hello", "s", "c"))
+    expected = int.from_bytes(
+        hashlib.sha256(material.encode("utf-8")).digest()[:8], "little")
+    assert request.content_seed(7) == expected
+
+
+def test_graph_name_contributes_to_the_seed():
+    base = ServeRequest(op="ask", text="hello")
+    named = ServeRequest(op="ask", text="hello", graph_name="social")
+    other = ServeRequest(op="ask", text="hello", graph_name="cites")
+    seeds = {base.content_seed(0), named.content_seed(0),
+             other.content_seed(0)}
+    assert len(seeds) == 3

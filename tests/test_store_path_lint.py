@@ -1,0 +1,76 @@
+"""Lint: the store's on-disk layout is private to ``repro/store``.
+
+``repro/store/layout.py`` is the single definition of the store's file
+names (``*.editlog``, ``*.snap``, ``manifest.json``).  Any other module
+that spells those names in a string literal is reaching into the store
+directory by hand and will drift silently if the layout changes — it
+must go through the catalog API (or ``repro.store.layout``) instead.
+
+This lint walks every module under ``src/repro`` except the store
+package itself and rejects any string literal containing a reserved
+layout token.  A token only counts when it ends the word it appears in
+(``"x.snap"`` violates, prose mentioning ``.snapshot()`` does not).
+"""
+
+import re
+
+import ast
+from pathlib import Path
+
+from repro.store.layout import RESERVED_TOKENS
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+OWNER = SRC / "store"
+
+
+def iter_source_files():
+    return sorted(path for path in SRC.rglob("*.py")
+                  if OWNER not in path.parents)
+
+
+_PATTERNS = [(token, re.compile(re.escape(token) + r"(?![A-Za-z0-9_])"))
+             for token in RESERVED_TOKENS]
+
+
+def violations_in(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and \
+                isinstance(node.value, str):
+            for token, pattern in _PATTERNS:
+                if pattern.search(node.value):
+                    found.append(
+                        (node.lineno,
+                         f"store-layout literal {node.value!r} "
+                         f"(contains {token!r})"))
+    return found
+
+
+def test_source_files_exist():
+    files = iter_source_files()
+    assert len(files) > 50  # sanity: we are really walking the tree
+    assert OWNER.is_dir()
+    assert RESERVED_TOKENS  # the token table is non-empty
+
+
+def test_no_store_path_literals_outside_the_store_package():
+    problems = []
+    for path in iter_source_files():
+        for lineno, message in violations_in(path):
+            problems.append(
+                f"{path.relative_to(SRC.parent.parent)}:{lineno}: "
+                f"{message}")
+    assert not problems, (
+        "store file names are defined once, in repro/store/layout.py; "
+        "use GraphCatalog or repro.store.layout helpers instead of "
+        "spelling paths by hand:\n" + "\n".join(problems))
+
+
+def test_lint_catches_a_planted_violation(tmp_path):
+    planted = tmp_path / "bad.py"
+    planted.write_text(
+        "LOG = root / 'epoch-000000.editlog'\n"
+        "MANIFEST = str(root) + '/manifest.json'\n", encoding="utf-8")
+    found = violations_in(planted)
+    assert len(found) == 2
