@@ -272,12 +272,13 @@ def serve_bench_main(argv: list[str]) -> int:
 def bench_perf_main(argv: list[str]) -> int:
     """``python -m repro.cli bench-perf``: the scalar-vs-batched gate.
 
-    Measures the batched decode kernels, the vectorized ANN search and
-    the micro-batched pipeline against their scalar references on the
-    seeded E13-style workload, verifies the batched paths produce
-    identical chains, writes the report JSON (``BENCH_PR4.json`` by
-    default), and exits non-zero when the speedup gate or the
-    chain-equality check fails.
+    Measures the batched decode kernels, the vectorized ANN search,
+    the fully batched pipeline and the micro-batched server against
+    their scalar references on the seeded E13-style workload, verifies
+    the batched paths produce identical chains, writes the report JSON
+    (``BENCH_PR7.json`` by default), and exits non-zero when any
+    speedup gate (composite kernels, end-to-end pipeline, served-path
+    floor) or the chain-equality check fails.
     """
     parser = argparse.ArgumentParser(
         prog="repro.cli bench-perf",
@@ -294,8 +295,16 @@ def bench_perf_main(argv: list[str]) -> int:
     parser.add_argument("--min-speedup", type=float, default=3.0,
                         help="required decode+retrieval composite "
                              "speedup (default 3.0)")
-    parser.add_argument("--out", default="BENCH_PR4.json",
-                        help="report path (default BENCH_PR4.json)")
+    parser.add_argument("--pipeline-min-speedup", type=float,
+                        default=2.0,
+                        help="required end-to-end pipeline speedup at "
+                             "the batch size (default 2.0)")
+    parser.add_argument("--serve-min-speedup", type=float, default=1.0,
+                        help="required served-path speedup with micro-"
+                             "batching on (default 1.0: must not "
+                             "regress; ignored with --no-serve)")
+    parser.add_argument("--out", default="BENCH_PR7.json",
+                        help="report path (default BENCH_PR7.json)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quick", action="store_true",
                         help="small workload + relaxed runtime for CI "
@@ -315,6 +324,8 @@ def bench_perf_main(argv: list[str]) -> int:
     report = run_perf_benchmark(
         chatgraph, n_requests=n_requests, batch_size=args.batch_size,
         repeats=repeats, min_speedup=args.min_speedup,
+        pipeline_min_speedup=args.pipeline_min_speedup,
+        serve_min_speedup=args.serve_min_speedup,
         include_serve=not args.no_serve)
 
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n",
@@ -337,15 +348,25 @@ def bench_perf_main(argv: list[str]) -> int:
           f"({pipe['scalar']['throughput_rps']:7.1f} -> "
           f"{pipe['batched']['throughput_rps']:7.1f} req/s, "
           f"p50 {pipe['scalar']['p50_ms']:.1f} -> "
-          f"{pipe['batched']['p50_ms']:.1f} ms)")
+          f"{pipe['batched']['p50_ms']:.1f} ms)  [gated]")
     if "serve" in report:
         serve = report["serve"]
         print(f"serve    : {serve['speedup']:5.2f}x  "
               f"({serve['scalar']['throughput_rps']:7.1f} -> "
-              f"{serve['microbatched']['throughput_rps']:7.1f} req/s)")
+              f"{serve['microbatched']['throughput_rps']:7.1f} req/s)"
+              f"  [gated]")
+    print("stage costs (scalar-cost ranked, wall ms over the "
+          "workload):")
+    for row in report["stage_costs"]["stages"]:
+        print(f"  {row['stage']:<13} "
+              f"{row['scalar_wall_seconds'] * 1000:8.2f} -> "
+              f"{row['batched_wall_seconds'] * 1000:8.2f} ms "
+              f"({row['speedup']:5.2f}x)")
     gate = report["gate"]
     print(f"chains identical: {gate['chains_equal']}")
-    print(f"gate (>= {gate['min_speedup']}x): "
+    print(f"gate (composite >= {gate['min_speedup']}x, pipeline >= "
+          f"{gate['pipeline_min_speedup']}x, serve >= "
+          f"{gate['serve_min_speedup']}x): "
           + ("PASSED" if gate["passed"] else "FAILED"))
     return 0 if gate["passed"] else 1
 

@@ -212,6 +212,13 @@ class ServeConfig:
     #: (first request waits up to this long) against batching
     #: efficiency; ``0`` flushes immediately with whatever is queued.
     microbatch_deadline_seconds: float = 0.005
+    #: Overlap the per-request tail of a micro-batch (chain execution
+    #: for ``ask``, stats, resolution) with decode for the *next*
+    #: micro-batch: the worker hands finished pipeline results to a
+    #: dedicated finisher thread and immediately returns to collecting.
+    #: Off by default — it adds a thread and reorders nothing but is
+    #: only worth it for execution-heavy batched workloads.
+    microbatch_overlap_execute: bool = False
     #: Root directory of a durable :class:`repro.store.GraphCatalog`;
     #: empty disables the store (requests then must carry inline
     #: graphs).  When set, requests may name catalog graphs via

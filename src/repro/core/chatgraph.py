@@ -153,16 +153,22 @@ class ChatGraph:
                         attachments=attachments)
         return self.pipeline.process(prompt)
 
-    def propose_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
+    def propose_batch(self, prompts: list[Prompt],
+                      return_exceptions: bool = False
+                      ) -> list[PipelineResult | BaseException]:
         """Batched :meth:`propose`: shared pipeline stages for a fleet.
 
-        Retrieval and decoding run through the vectorized batch kernels
-        (one embed/search/matmul call per stage instead of one per
+        Every stage runs through its vectorized batch body (one
+        embed/search/matmul/scoring call per stage instead of one per
         prompt); the proposed chains are identical to processing each
         prompt alone.  This is what the serve layer's micro-batcher
-        calls.
+        calls.  ``return_exceptions`` is the per-prompt failure-
+        isolation switch of :meth:`~repro.core.pipeline.ChatPipeline.
+        process_batch`: failed slots then hold exception instances
+        instead of aborting the whole batch.
         """
-        return self.pipeline.process_batch(prompts)
+        return self.pipeline.process_batch(
+            prompts, return_exceptions=return_exceptions)
 
     def set_robustness(self, policy: ExecutionPolicy | None = None,
                        breakers: Any = None) -> None:

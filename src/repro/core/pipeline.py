@@ -183,18 +183,31 @@ class ChatPipeline:
                      chain=ctx.chain.render())
             return self._result(ctx)
 
-    def process_batch(self, prompts: list[Prompt]) -> list[PipelineResult]:
+    def process_batch(self, prompts: list[Prompt],
+                      return_exceptions: bool = False
+                      ) -> list[PipelineResult | BaseException]:
         """Run the pipeline for many prompts with shared batched stages.
 
         Produces exactly the chains ``[self.process(p) for p in
         prompts]`` would — the same stage graph runs down its
-        vectorized path, where retrieval goes through the batched
-        embed/search kernels and generation through
-        :func:`~repro.llm.decoding.greedy_decode_batch`, both of which
-        are result-identical to their scalar counterparts.  Per-result
-        ``timings`` report each prompt's amortized share (stage seconds
-        divided by batch size), since the stage work is genuinely
-        shared.
+        vectorized path: every stage now has a genuinely batched body
+        (retrieval through the batched embed/search kernels, generation
+        through :func:`~repro.llm.decoding.greedy_decode_batch`, intent
+        via one shared scoring pass, graph-type and sequentialize via
+        content-keyed graph grouping, repair via deduplicated registry
+        validation), each result-identical to its scalar counterpart.
+        Per-result ``timings`` report each prompt's amortized share
+        (stage seconds divided by batch size), since the stage work is
+        genuinely shared.
+
+        Failure isolation follows the scalar path: a stage exception
+        degrades only the prompt that raised it (see
+        :meth:`~repro.core.stages.StageGraph.run_batch`).  By default
+        the first recorded failure re-raises — the historical contract,
+        where callers treat the batch as all-or-nothing.  With
+        ``return_exceptions=True`` the failed slots hold the exception
+        instances instead and healthy prompts still return results, so
+        servers can fail requests individually.
         """
         if not prompts:
             return []
@@ -205,7 +218,15 @@ class ChatPipeline:
             with self._tracer.span("pipeline:batch", kind="pipeline",
                                    batch_size=len(prompts)):
                 self.graph.run_batch(ctxs, self._middlewares)
-        return [self._result(ctx) for ctx in ctxs]
+        results: list[PipelineResult | BaseException] = []
+        for ctx in ctxs:
+            if ctx.failure is not None:
+                if not return_exceptions:
+                    raise ctx.failure
+                results.append(ctx.failure)
+            else:
+                results.append(self._result(ctx))
+        return results
 
     @staticmethod
     def _result(ctx: StageContext) -> PipelineResult:

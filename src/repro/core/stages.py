@@ -38,6 +38,7 @@ from ..apis.chain import APIChain
 from ..apis.registry import APIRegistry, Category
 from ..config import ChatGraphConfig
 from ..errors import ChainError, ConfigError, EmbeddingError
+from ..graphs.io import fingerprint
 from ..llm.chain_model import ChainLanguageModel, GenerationState
 from ..llm.decoding import beam_decode, greedy_decode, greedy_decode_batch
 from ..llm.intent import (
@@ -54,6 +55,11 @@ from .fallbacks import FallbackRegistry
 #: value such as ``()`` (an empty retrieval result is a valid entry).
 MISS = object()
 
+#: Private context key memoizing the prompt graph's content digest
+#: across the batch path's grouping stages (not a declared dataflow
+#: output; see :func:`_group_contexts_by_graph`).
+_FINGERPRINT_KEY = "_graph_fingerprint"
+
 
 class StageContext:
     """One prompt's mutable dataflow record through the stage graph.
@@ -61,14 +67,20 @@ class StageContext:
     Keys are written with ``ctx[key] = value`` (stage bodies) and read
     either way — ``ctx[key]`` or attribute-style ``ctx.key``.  The
     ``timings`` dict is middleware territory, kept apart from the
-    dataflow keys.
+    dataflow keys.  ``failure`` records the exception that aborted this
+    context's flow on the batch path (``None`` while healthy): a batch
+    member that fails mid-stage is parked instead of poisoning its
+    batchmates, and the pipeline entry point re-raises (or returns) the
+    recorded exception per context — the same outcome the scalar path
+    produces by propagation.
     """
 
-    __slots__ = ("data", "timings")
+    __slots__ = ("data", "timings", "failure")
 
     def __init__(self, data: dict[str, Any] | None = None) -> None:
         self.data: dict[str, Any] = dict(data or {})
         self.timings: dict[str, float] = {}
+        self.failure: BaseException | None = None
 
     def __getitem__(self, key: str) -> Any:
         return self.data[key]
@@ -126,8 +138,14 @@ class Stage:
         raise NotImplementedError
 
     def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        # mapped scalar, isolating failures: one poisoned context parks
+        # its exception on ``ctx.failure`` (scalar semantics: that one
+        # request fails) instead of aborting the contexts after it
         for ctx in ctxs:
-            self.run(ctx)
+            try:
+                self.run(ctx)
+            except Exception as exc:  # noqa: BLE001 - per-ctx isolation
+                ctx.failure = exc
 
     def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
         return {}
@@ -301,6 +319,8 @@ class CacheMiddleware(StageMiddleware):
             return
         call(misses)
         for ctx in misses:
+            if ctx.failure is not None:
+                continue  # no output to store for a parked context
             key = stage.cache_key(ctx)
             if key is not None and stage.may_cache(ctx):
                 cache.put(key, ctx[stage.cache_output])
@@ -394,9 +414,30 @@ class StageGraph:
         Middleware may shrink the batch a stage body sees (cache hits),
         so inner layers receive whatever subset the outer layer passes
         down.
+
+        Failure isolation: a stage exception on the batch path must
+        degrade only the context that caused it, matching the scalar
+        path where each request fails alone.  A raising batch invocation
+        (mapped-scalar default or vectorized body alike) is retried
+        per-context down the scalar middleware path; contexts that
+        still raise get the exception parked on ``ctx.failure`` and are
+        filtered out of the remaining stages.  Stage bodies are pure
+        functions of their declared inputs, so re-running the survivors
+        scalar is result-identical (cache middleware re-serves anything
+        the aborted batch attempt already stored).
         """
         for stage in self.stages:
-            self._invoke_batch(stage, ctxs, middlewares, 0)
+            live = [ctx for ctx in ctxs if ctx.failure is None]
+            if not live:
+                break
+            try:
+                self._invoke_batch(stage, live, middlewares, 0)
+            except Exception:  # noqa: BLE001 - isolate the poisoned ctx
+                for ctx in live:
+                    try:
+                        self._invoke(stage, ctx, middlewares, 0)
+                    except Exception as exc:  # noqa: BLE001
+                        ctx.failure = exc
         return ctxs
 
     def _invoke_batch(self, stage: Stage, ctxs: Sequence[StageContext],
@@ -414,6 +455,47 @@ class StageGraph:
 # ----------------------------------------------------------------------
 # the ChatGraph pipeline's concrete stages (paper Fig. 1)
 # ----------------------------------------------------------------------
+def _group_contexts_by_graph(
+        ctxs: Sequence[StageContext], content_keyed: bool = True
+) -> tuple[list[StageContext], list[list[StageContext]]]:
+    """Partition a batch into graph-less contexts and shared-graph groups.
+
+    Returns ``(no_graph, groups)`` where each group holds every context
+    whose prompt carries the same graph.  Grouping goes by object
+    identity first (the common served case: one uploaded graph object
+    fanned out across a batch, at zero hashing cost) and — when
+    ``content_keyed`` — merges identity groups by
+    :func:`~repro.graphs.io.fingerprint`, so two equal-but-distinct
+    graph objects still land in one group (the fresh-object-per-request
+    regime).  Content keying is only worth its hashing cost when the
+    per-group work it saves is *more* expensive than the digest
+    (sequentialize yes, a type prediction no); the digest is stashed on
+    the contexts so later content-keyed stages in the same batch reuse
+    it (graphs are not mutated between pipeline stages, keeping the
+    stash valid for the batch's lifetime).  Group order follows first
+    appearance, keeping batch results deterministic.
+    """
+    no_graph: list[StageContext] = []
+    by_object: dict[int, list[StageContext]] = {}
+    for ctx in ctxs:
+        graph = ctx.prompt.graph
+        if graph is None:
+            no_graph.append(ctx)
+        else:
+            by_object.setdefault(id(graph), []).append(ctx)
+    if not content_keyed:
+        return no_graph, list(by_object.values())
+    by_content: dict[str, list[StageContext]] = {}
+    for members in by_object.values():
+        key = members[0].data.get(_FINGERPRINT_KEY)
+        if key is None:
+            key = fingerprint(members[0].prompt.graph)
+            for ctx in members:
+                ctx.data[_FINGERPRINT_KEY] = key
+        by_content.setdefault(key, []).extend(members)
+    return no_graph, list(by_content.values())
+
+
 class IntentStage(Stage):
     """Classify the prompt text (understand/compare/clean/compute)."""
 
@@ -426,6 +508,14 @@ class IntentStage(Stage):
 
     def run(self, ctx: StageContext) -> None:
         ctx["intent"] = self.classifier.predict(ctx.prompt.text)
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        # one shared scoring call: the classifier tokenizes and votes
+        # once per *distinct* text, not once per context
+        intents = self.classifier.predict_batch(
+            [ctx.prompt.text for ctx in ctxs])
+        for ctx, intent in zip(ctxs, intents):
+            ctx["intent"] = intent
 
     def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
         return {"intent": ctx.intent}
@@ -456,6 +546,27 @@ class GraphTypeStage(Stage):
         ctx["graph_type"] = graph_type
         ctx["categories"] = CATEGORY_ROUTING.get(graph_type or "generic",
                                                  tuple(Category))
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        # identity grouping: predict once per distinct graph object and
+        # share the frozen TypePrediction across the group (prediction
+        # is cheaper than a content digest, so content keying would
+        # cost more than it saves here)
+        no_graph, groups = _group_contexts_by_graph(ctxs,
+                                                    content_keyed=False)
+        for ctx in no_graph:
+            ctx["type_prediction"] = None
+            ctx["graph_type"] = None
+            ctx["categories"] = CATEGORY_ROUTING.get("generic",
+                                                     tuple(Category))
+        for group in groups:
+            prediction = self.predictor.predict(group[0].prompt.graph)
+            categories = CATEGORY_ROUTING.get(prediction.graph_type,
+                                              tuple(Category))
+            for ctx in group:
+                ctx["type_prediction"] = prediction
+                ctx["graph_type"] = prediction.graph_type
+                ctx["categories"] = categories
 
     def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
         return {"graph_type": ctx.graph_type}
@@ -539,6 +650,23 @@ class SequentializeStage(Stage):
                 sequences.feature_counts)
         ctx["sequences"] = sequences
         ctx["graph_tokens"] = graph_tokens
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        # the supergraph path cover is a function of graph content
+        # alone, so contexts sharing a graph sequence once and share
+        # the frozen GraphSequences (documented immutable/shareable)
+        no_graph, groups = _group_contexts_by_graph(ctxs)
+        for ctx in no_graph:
+            ctx["sequences"] = None
+            ctx["graph_tokens"] = ()
+        for group in groups:
+            sequences = self.sequentializer.sequentialize(
+                group[0].prompt.graph)
+            graph_tokens = GenerationState.graph_tokens_from_counter(
+                sequences.feature_counts)
+            for ctx in group:
+                ctx["sequences"] = sequences
+                ctx["graph_tokens"] = graph_tokens
 
     def span_attrs(self, ctx: StageContext) -> dict[str, Any]:
         return {"n_sequences":
@@ -633,6 +761,26 @@ class RepairStage(Stage):
             used_fallback = True
         ctx["chain"] = chain
         ctx["used_fallback"] = used_fallback
+
+    def run_batch(self, ctxs: Sequence[StageContext]) -> None:
+        # validation and fallback resolution are functions of the
+        # routing key alone, so each distinct (names, graph_type,
+        # intent) is validated against the registry once; every context
+        # still receives its own APIChain instance because chains are
+        # mutable (callers edit proposed chains in place)
+        resolved: dict[tuple[Any, ...], tuple[tuple[str, ...], bool]] = {}
+        for ctx in ctxs:
+            key = (tuple(ctx.names), ctx.graph_type, ctx.intent)
+            hit = resolved.get(key)
+            if hit is None:
+                self.run(ctx)
+                resolved[key] = (tuple(node.api_name for node in
+                                       ctx.chain.nodes),
+                                 ctx.used_fallback)
+            else:
+                names, used_fallback = hit
+                ctx["chain"] = APIChain.from_names(list(names))
+                ctx["used_fallback"] = used_fallback
 
 
 #: The concrete stage classes of the ChatGraph pipeline, in order.

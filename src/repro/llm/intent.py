@@ -117,13 +117,26 @@ _INTENT_KEYWORDS: dict[str, tuple[str, ...]] = {
 }
 
 
+#: Inverted vote table (keyword -> intents it votes for), shared by the
+#: scalar and batched classifier paths: scoring walks the prompt's
+#: distinct tokens once instead of probing every keyword list per call.
+#: Counting is identical to the keyword-major loop because tokens are
+#: deduplicated and no keyword repeats within one intent's tuple.
+_KEYWORD_INTENTS: dict[str, tuple[str, ...]] = {}
+for _intent, _keywords in _INTENT_KEYWORDS.items():
+    for _kw in _keywords:
+        _KEYWORD_INTENTS[_kw] = _KEYWORD_INTENTS.get(_kw, ()) + (_intent,)
+
+
 class IntentClassifier:
     """Keyword-vote intent classifier over prompt text."""
 
     def predict(self, text: str) -> str:
         tokens = set(tokenize(text, drop_stop_words=False))
-        votes = {intent: sum(1 for kw in keywords if kw in tokens)
-                 for intent, keywords in _INTENT_KEYWORDS.items()}
+        votes = dict.fromkeys(_INTENT_KEYWORDS, 0)
+        for token in tokens:
+            for intent in _KEYWORD_INTENTS.get(token, ()):
+                votes[intent] += 1
         # "clean"/"compare" keywords outrank the broad "compute" bucket
         for intent in ("clean", "compare", "understand"):
             if votes[intent] > 0 and votes[intent] >= max(
@@ -131,3 +144,21 @@ class IntentClassifier:
                 return intent
         best = max(votes.items(), key=lambda kv: kv[1])
         return best[0] if best[1] > 0 else "understand"
+
+    def predict_batch(self, texts: list[str]) -> list[str]:
+        """Classify many prompts through one shared scoring pass.
+
+        Result-identical to ``[self.predict(t) for t in texts]``; each
+        *distinct* text is tokenized and scored once and the verdict is
+        shared across its duplicates (served micro-batches routinely
+        repeat prompt texts, and the scoring table above is shared
+        across the whole call).
+        """
+        verdicts: dict[str, str] = {}
+        out: list[str] = []
+        for text in texts:
+            verdict = verdicts.get(text)
+            if verdict is None:
+                verdict = verdicts[text] = self.predict(text)
+            out.append(verdict)
+        return out

@@ -48,22 +48,28 @@ class Histogram:
             if seconds > self.max:
                 self.max = seconds
 
-    def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile in seconds (0 when empty)."""
+    @staticmethod
+    def _quantile_from(counts: list[int], count: int, maximum: float,
+                       q: float) -> float:
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
+        if count == 0:
+            return 0.0
+        target = q * count
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                if index >= len(_BUCKET_BOUNDS):
+                    return maximum
+                return min(_BUCKET_BOUNDS[index], maximum)
+        return maximum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile in seconds (0 when empty)."""
         with self._lock:
-            if self.count == 0:
-                return 0.0
-            target = q * self.count
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= target and bucket_count:
-                    if index >= len(_BUCKET_BOUNDS):
-                        return self.max
-                    return min(_BUCKET_BOUNDS[index], self.max)
-            return self.max
+            return self._quantile_from(self._counts, self.count,
+                                       self.max, q)
 
     @property
     def mean(self) -> float:
@@ -71,14 +77,30 @@ class Histogram:
             return self.total / self.count if self.count else 0.0
 
     def summary(self) -> dict[str, float]:
+        """One self-consistent snapshot of every statistic.
+
+        All state is copied under a single lock acquisition and the
+        quantiles are computed from the copy, so a summary taken while
+        workers observe concurrently can never mix statistics from two
+        different points in time (the old per-field reads could report
+        e.g. a ``count`` newer than the ``p99`` beside it — and read
+        ``count``/``min``/``max`` with no lock at all).  Quantile math
+        runs outside the lock: observers are never blocked on it.
+        """
+        with self._lock:
+            counts = list(self._counts)
+            count = self.count
+            total = self.total
+            minimum = self.min
+            maximum = self.max
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "min": 0.0 if self.count == 0 else self.min,
-            "max": self.max,
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "p50": self._quantile_from(counts, count, maximum, 0.50),
+            "p95": self._quantile_from(counts, count, maximum, 0.95),
+            "p99": self._quantile_from(counts, count, maximum, 0.99),
+            "min": 0.0 if count == 0 else minimum,
+            "max": maximum,
         }
 
 

@@ -23,6 +23,7 @@ Example::
 from __future__ import annotations
 
 import hashlib
+import queue as stdlib_queue
 import threading
 import time
 from dataclasses import dataclass, field
@@ -139,6 +140,10 @@ class PendingRequest:
         #: Span ID active on the submitting thread (trace-context
         #: propagation across the worker-pool boundary).
         self.parent_span_id: str | None = None
+        #: Seconds this request waited inside the micro-batcher for
+        #: company (stamped by :meth:`MicroBatcher.collect`; 0 for the
+        #: scalar path).  Distinct from the admission-queue wait.
+        self.batch_wait_seconds: float = 0.0
         self._done = threading.Event()
         self._response: ServeResponse | None = None
 
@@ -245,6 +250,14 @@ class ChatGraphServer:
             seed=self.config.seed)
         self._saved_robustness: tuple[Any, Any] | None = None
         self._workers: list[threading.Thread] = []
+        # optional micro-batch finisher lane: workers hand the per-item
+        # tail of a served batch here and return to collecting/decoding
+        # the next one (ServeConfig.microbatch_overlap_execute)
+        self._finish_queue: Any = None
+        self._finish_thread: threading.Thread | None = None
+        if (self.batcher is not None
+                and self.config.microbatch_overlap_execute):
+            self._finish_queue = stdlib_queue.SimpleQueue()
         self._running = False
         self._id_lock = threading.Lock()
         self._next_id = 0
@@ -289,6 +302,11 @@ class ChatGraphServer:
                 name=f"chatgraph-serve-{index}", daemon=True)
             thread.start()
             self._workers.append(thread)
+        if self._finish_queue is not None:
+            self._finish_thread = threading.Thread(
+                target=self._finish_lane_loop,
+                name="chatgraph-serve-finish", daemon=True)
+            self._finish_thread.start()
         self._running = True
         return self
 
@@ -311,6 +329,13 @@ class ChatGraphServer:
         for thread in self._workers:
             thread.join(max(0.0, deadline - time.monotonic()))
         self._workers = []
+        if self._finish_thread is not None:
+            # workers are gone, so no new jobs can arrive: the sentinel
+            # lands behind every queued tail and the lane drains fully
+            self._finish_queue.put(None)
+            self._finish_thread.join(
+                max(0.0, deadline - time.monotonic()))
+            self._finish_thread = None
         self._running = False
         for listener in (self._stats.on_execution_event,
                          self.metrics.on_execution_event):
@@ -448,32 +473,29 @@ class ChatGraphServer:
             queued = now - item.enqueued_at
             queued_per.append(queued)
             self._stats.observe("queued", queued)
-            self.metrics.observe("microbatch_queue_delay", queued)
+            # the coalescing wait the batcher added on top of admission
+            # queueing (stamped per item at flush time) — not the full
+            # queue delay, which the ``queued`` histogram already holds
+            self.metrics.observe("microbatch_queue_delay",
+                                 item.batch_wait_seconds)
         self.metrics.observe("microbatch_size", float(len(batch)))
         start = time.perf_counter()
         try:
-            responses = self._handle_batch(batch, worker)
+            seeds, outcomes = self._propose_batch(batch)
         except Exception as exc:  # noqa: BLE001 - keep workers alive
-            responses = []
-            for item in batch:
-                self._stats.incr("failed")
-                responses.append(ServeResponse(
-                    request_id=item.request_id, op=item.request.op,
-                    ok=False, error=str(exc),
-                    error_type=type(exc).__name__, worker=worker))
-        service = time.perf_counter() - start
-        # the whole batch shares one service interval; the EMA feeding
-        # backpressure retry hints gets the per-request amortized cost
-        self.queue.record_service_time(service / len(batch))
-        for item, queued, response in zip(batch, queued_per, responses):
-            response.ok = not response.error
-            response.queued_seconds = queued
-            response.service_seconds = service
-            self._stats.observe("service", service)
-            self._stats.observe("total", queued + service)
-            self._stats.incr(f"op_{item.request.op}")
-            self._stats.incr("microbatched")
-            item._resolve(response)
+            seeds = [item.request.content_seed(self.config.seed)
+                     for item in batch]
+            outcomes = [exc] * len(batch)
+        if self._finish_queue is not None:
+            # overlap: hand the per-item tail (chain execution for ask,
+            # stats, resolution) to the finisher lane so this worker
+            # immediately returns to collecting and decoding the next
+            # micro-batch
+            self._finish_queue.put(
+                (batch, worker, seeds, outcomes, queued_per, start))
+        else:
+            self._finish_batch(batch, worker, seeds, outcomes,
+                               queued_per, start)
 
     def _handle(self, item: PendingRequest, worker: str) -> ServeResponse:
         request = item.request
@@ -593,52 +615,118 @@ class ChatGraphServer:
     # ------------------------------------------------------------------
     # micro-batched serving
     # ------------------------------------------------------------------
-    def _handle_batch(self, batch: list[PendingRequest],
-                      worker: str) -> list[ServeResponse]:
-        """Propose every request in one batched pipeline pass.
+    def _propose_batch(self, batch: list[PendingRequest]
+                       ) -> tuple[list[int], list[Any]]:
+        """Phase 1 of a micro-batch: one shared batched pipeline pass.
 
         The emulated backend round trip is paid once for the whole
         batch — that amortization is the point of micro-batching a
-        remote-LLM-shaped workload.  ``ask`` requests additionally
-        execute their chains one by one afterwards (execution carries
-        per-request state and does not batch).
+        remote-LLM-shaped workload.  Returns ``(seeds, outcomes)``
+        where each outcome is the item's :class:`PipelineResult` or the
+        exception that failed it: a bad graph name or a mid-batch stage
+        failure degrades that one response, never its batchmates
+        (matching what the scalar path would do to each request alone).
         """
         seeds = [item.request.content_seed(self.config.seed)
                  for item in batch]
-        responses = [
-            ServeResponse(request_id=item.request_id, op=item.request.op,
-                          ok=True, worker=worker, seed=seed)
-            for item, seed in zip(batch, seeds)
-        ]
+        outcomes: list[Any] = [None] * len(batch)
         prompts: list[Prompt] = []
-        for item, seed in zip(batch, seeds):
+        live: list[int] = []
+        for index, (item, seed) in enumerate(zip(batch, seeds)):
+            try:
+                graph = self._resolve_graph(item.request)
+            except Exception as exc:  # noqa: BLE001 - this item only
+                outcomes[index] = exc
+                continue
             attachments = dict(item.request.attachments)
             attachments.setdefault("request_seed", seed)
-            prompts.append(Prompt(text=item.request.text,
-                                  graph=self._resolve_graph(item.request),
+            prompts.append(Prompt(text=item.request.text, graph=graph,
                                   attachments=attachments))
+            live.append(index)
         self._backend_pause()
-        if self.tracer is None:
-            results = self.chatgraph.propose_batch(prompts)
-        else:
-            with self.tracer.span("microbatch", kind="batch",
-                                  key=f"{seeds[0]:016x}",
-                                  batch_size=len(batch)):
-                results = self.chatgraph.propose_batch(prompts)
-        for item, seed, result, response in zip(batch, seeds, results,
-                                                responses):
+        if prompts:
             if self.tracer is None:
-                self._finish_batch_item(item, result, response)
-                continue
-            with self.tracer.span(f"request:{item.request.op}",
-                                  kind="request", key=f"{seed:016x}",
-                                  parent=item.parent_span_id,
-                                  op=item.request.op,
-                                  client=item.request.client_id,
-                                  batch_size=len(batch)) as span:
-                self._finish_batch_item(item, result, response)
-                span.set(ok=not response.error)
-        return responses
+                results = self.chatgraph.propose_batch(
+                    prompts, return_exceptions=True)
+            else:
+                with self.tracer.span("microbatch", kind="batch",
+                                      key=f"{seeds[live[0]]:016x}",
+                                      batch_size=len(batch)):
+                    results = self.chatgraph.propose_batch(
+                        prompts, return_exceptions=True)
+            for index, result in zip(live, results):
+                outcomes[index] = result
+        return seeds, outcomes
+
+    def _finish_batch(self, batch: list[PendingRequest], worker: str,
+                      seeds: list[int], outcomes: list[Any],
+                      queued_per: list[float], start: float) -> None:
+        """Phase 2 of a micro-batch: per-item tails and resolution.
+
+        ``ask`` requests execute their chains one by one here
+        (execution carries per-request state and does not batch);
+        failed outcomes from phase 1 become per-item error responses.
+        Runs on the worker, or on the finisher lane when execution
+        overlap is enabled.
+        """
+        responses: list[ServeResponse] = []
+        for item, seed, outcome in zip(batch, seeds, outcomes):
+            response = ServeResponse(request_id=item.request_id,
+                                     op=item.request.op, ok=True,
+                                     worker=worker, seed=seed)
+            responses.append(response)
+            if isinstance(outcome, BaseException):
+                self._stats.incr("failed")
+                response.error = str(outcome)
+                response.error_type = type(outcome).__name__
+            elif self.tracer is None:
+                self._finish_batch_item(item, outcome, response)
+            else:
+                with self.tracer.span(f"request:{item.request.op}",
+                                      kind="request", key=f"{seed:016x}",
+                                      parent=item.parent_span_id,
+                                      op=item.request.op,
+                                      client=item.request.client_id,
+                                      batch_size=len(batch)) as span:
+                    self._finish_batch_item(item, outcome, response)
+                    span.set(ok=not response.error)
+        service = time.perf_counter() - start
+        # the whole batch shares one service interval; the EMA feeding
+        # backpressure retry hints gets the per-request amortized cost
+        self.queue.record_service_time(service / len(batch))
+        for item, queued, response in zip(batch, queued_per, responses):
+            response.ok = not response.error
+            response.queued_seconds = queued
+            response.service_seconds = service
+            self._stats.observe("service", service)
+            self._stats.observe("total", queued + service)
+            self._stats.incr(f"op_{item.request.op}")
+            self._stats.incr("microbatched")
+            item._resolve(response)
+
+    def _finish_lane_loop(self) -> None:
+        """Drain queued batch tails; ``None`` is the shutdown sentinel.
+
+        Whatever happens, every item of a popped job resolves — a
+        caller blocked in :meth:`PendingRequest.result` must never be
+        stranded by a finisher bug.
+        """
+        while True:
+            job = self._finish_queue.get()
+            if job is None:
+                return
+            batch = job[0]
+            try:
+                self._finish_batch(*job)
+            except Exception as exc:  # noqa: BLE001 - resolve anyway
+                for item in batch:
+                    if not item.done():
+                        self._stats.incr("failed")
+                        item._resolve(ServeResponse(
+                            request_id=item.request_id,
+                            op=item.request.op, ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__))
 
     def _finish_batch_item(self, item: PendingRequest,
                            result: PipelineResult,

@@ -60,20 +60,45 @@ class MicroBatcher:
         """
         if not self.batchable(first):
             return [], [first]
+        start = self._clock()
         batch = [first]
+        join_times = [start]
         passthrough: list[Any] = []
-        deadline = self._clock() + self.deadline_seconds
+        deadline = start + self.deadline_seconds
         while len(batch) < self.max_batch:
-            remaining = deadline - self._clock()
+            before = self._clock()
+            remaining = deadline - before
             if remaining <= 0 and len(queue) == 0:
                 break
             item = queue.get(timeout=max(0.0, remaining))
             if item is None:
                 if queue.closed or remaining <= 0:
                     break
+                # distinguish a raced wakeup (another consumer stole
+                # the notified item; keep waiting out the remainder)
+                # from an elapsed or unmeasurable wait: on a coarse or
+                # fake clock the elapsed time reads 0 and ``remaining``
+                # would stay positive forever, so clamp the deadline to
+                # "now" — the next iteration then drains only what is
+                # already queued instead of spinning hot
+                waited = self._clock() - before
+                if waited <= 0.0 or waited >= remaining:
+                    deadline = min(deadline, self._clock())
                 continue
             if self.batchable(item):
                 batch.append(item)
+                join_times.append(self._clock())
             else:
                 passthrough.append(item)
+        # stamp each member's coalescing wait (flush minus join) with
+        # the batcher's own clock: the first request of a deadline
+        # flush waited ~deadline_seconds, the member that triggered a
+        # size flush ~0 — this is what microbatch_queue_delay reports,
+        # distinct from the admission-queue wait
+        flush = self._clock()
+        for item, joined in zip(batch, join_times):
+            try:
+                item.batch_wait_seconds = flush - joined
+            except AttributeError:  # slotted test doubles
+                pass
         return batch, passthrough

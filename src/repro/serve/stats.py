@@ -63,17 +63,27 @@ class ServerStats:
             return self._counters[name]
 
     def observe(self, stage: str, seconds: float) -> None:
-        with self._lock:
-            histogram = self._histograms.get(stage)
-            if histogram is None:
-                histogram = self._histograms[stage] = LatencyHistogram()
+        # fast path without the stats lock: dict reads are atomic under
+        # the GIL and a histogram, once created, is never replaced, so
+        # the common case contends only on that histogram's own lock —
+        # the stats lock is taken solely to create a missing histogram
+        histogram = self._histograms.get(stage)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.get(stage)
+                if histogram is None:
+                    histogram = self._histograms[stage] = \
+                        LatencyHistogram()
         histogram.observe(seconds)
 
     def histogram(self, stage: str) -> LatencyHistogram | None:
-        with self._lock:
-            return self._histograms.get(stage)
+        return self._histograms.get(stage)
 
     def snapshot(self) -> dict[str, Any]:
+        # copy the tables under the lock, render outside it: a summary
+        # is each histogram's own single-lock snapshot (see
+        # obs.metrics.Histogram.summary), so taking a server snapshot
+        # never blocks workers mid-observe on the stats lock
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)

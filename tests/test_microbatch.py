@@ -171,3 +171,109 @@ class TestServerMicroBatching:
         counters = server.stats()["counters"]
         assert counters.get("microbatched", 0) <= len(workload) - 1
         assert server.sessions.stats()["created"] >= 1
+
+
+class ScriptedQueue:
+    """AdmissionQueue stand-in driven by a fake clock.
+
+    Each ``get`` pops the next scripted ``(advance, item)`` step and
+    moves the clock forward by ``advance`` (capped at the requested
+    timeout when the step models a timeout/raced wakeup, i.e. the item
+    is None).  An exhausted script behaves like an empty queue: every
+    further ``get`` sleeps out its full timeout and returns None.
+    """
+
+    closed = False
+
+    def __init__(self, clock: FakeClock, script) -> None:
+        self.clock = clock
+        self.script = list(script)
+        self.gets = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _, item in self.script if item is not None)
+
+    def get(self, timeout: float):
+        self.gets += 1
+        if not self.script:
+            self.clock.now += timeout
+            return None
+        advance, item = self.script.pop(0)
+        self.clock.now += advance if item is not None \
+            else min(advance, timeout)
+        return item
+
+
+class TestQueueDelayAccounting:
+    """``batch_wait_seconds`` must be each member's actual coalescing
+    wait — not 0, not the full deadline — and the collect loop must
+    terminate even when the clock never visibly advances."""
+
+    def test_size_triggered_flush_stamps_per_member_waits(self):
+        clock = FakeClock(start=100.0)
+        batcher = MicroBatcher(max_batch=3, deadline_seconds=10.0,
+                               clock=clock)
+        first, second, third = (_pending("propose"), _pending("ask"),
+                                _pending("ask"))
+        queue = ScriptedQueue(clock, [(0.5, second), (0.5, third)])
+        batch, passthrough = batcher.collect(queue, first)
+        assert batch == [first, second, third] and passthrough == []
+        # the flush happened 1.0s after ``first`` joined: its wait is
+        # the real coalescing time, not 0 and not the 10s deadline
+        assert first.batch_wait_seconds == pytest.approx(1.0)
+        assert second.batch_wait_seconds == pytest.approx(0.5)
+        # the size-trigger member never waited
+        assert third.batch_wait_seconds == pytest.approx(0.0)
+
+    def test_deadline_flush_stamps_full_wait_for_first_only(self):
+        clock = FakeClock(start=100.0)
+        batcher = MicroBatcher(max_batch=8, deadline_seconds=2.0,
+                               clock=clock)
+        first, second = _pending("propose"), _pending("ask")
+        queue = ScriptedQueue(clock, [(0.5, second), (5.0, None)])
+        batch, passthrough = batcher.collect(queue, first)
+        assert batch == [first, second] and passthrough == []
+        assert first.batch_wait_seconds == pytest.approx(2.0)
+        assert second.batch_wait_seconds == pytest.approx(1.5)
+
+    def test_frozen_clock_terminates_without_spinning(self):
+        """A clock that never advances (coarse clock, sub-resolution
+        waits) must not make collect spin hot forever: the deadline is
+        clamped after the first unmeasurable wait and the loop drains
+        only what is already queued."""
+        clock = FakeClock(start=100.0)
+        batcher = MicroBatcher(max_batch=8, deadline_seconds=5.0,
+                               clock=clock)
+        first = _pending("propose")
+        queue = ScriptedQueue(clock, [(0.0, None), (0.0, None)])
+        batch, passthrough = batcher.collect(queue, first)
+        assert batch == [first] and passthrough == []
+        # one unmeasurable wait clamps the deadline; the loop must not
+        # have burned through the scripted steps in a hot spin
+        assert queue.gets <= 2
+
+    def test_server_records_coalescing_wait_not_admission_wait(
+            self, serve_chatgraph):
+        """The regression this PR fixes: ``microbatch_queue_delay``
+        used to record the full admission-queue wait, so a later
+        batch's members reported the previous batch's ~0.3s service
+        time instead of their own coalescing wait (bounded by the
+        0.02s flush deadline)."""
+        workload = build_workload(12, n_graphs=2)
+        server = ChatGraphServer(
+            serve_chatgraph,
+            ServeConfig(workers=1, enable_caches=False, queue_depth=64,
+                        microbatch_size=6,
+                        microbatch_deadline_seconds=0.02,
+                        backend_latency_seconds=0.3))
+        with server:
+            pending = [server.submit(request) for request in workload]
+            responses = [item.result(timeout=120.0) for item in pending]
+        assert all(r.ok for r in responses)
+        counters = server.stats()["counters"]
+        assert counters.get("microbatched", 0) >= len(workload) - 1
+        delay = server.metrics.histogram("microbatch_queue_delay")
+        assert delay.count >= counters["microbatched"]
+        # every wait is a coalescing wait: well under the 0.3s backend
+        # pause each batch spends in service
+        assert delay.max < 0.2

@@ -587,3 +587,111 @@ class TestDeterministicSeeding:
                 op="ask", text="summarize the graph").content_seed(0)
             assert response.value.prompt.attachments[
                 "request_seed"] == response.seed
+
+
+class TestStatsUnderLoad:
+    """Snapshots must stay responsive and self-consistent while
+    workers are mid-request (e.g. sleeping in the backend pause)."""
+
+    def test_stats_responsive_while_backend_sleeps(self,
+                                                   serve_chatgraph):
+        workload = build_workload(6, n_graphs=2)
+        server = ChatGraphServer(
+            serve_chatgraph,
+            ServeConfig(workers=2, queue_depth=32, enable_caches=False,
+                        backend_latency_seconds=0.4))
+        with server:
+            pending = [server.submit(request) for request in workload]
+            time.sleep(0.1)  # workers are now asleep in the backend pause
+            began = time.perf_counter()
+            snapshot = server.stats()
+            metrics = server.metrics_snapshot()
+            elapsed = time.perf_counter() - began
+            responses = [item.result(timeout=120.0) for item in pending]
+        # snapshots render from copied state: never blocked behind a
+        # worker's 0.4s pause, and every histogram is self-consistent
+        assert elapsed < 0.25
+        assert all(r.ok for r in responses)
+        for summary in snapshot["latency"].values():
+            if summary["count"]:
+                assert summary["min"] <= summary["mean"] <= summary["max"]
+                assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert server.stats()["counters"]["op_propose"] == len(workload)
+        assert isinstance(metrics, dict)
+
+    def test_histogram_summary_consistent_under_concurrent_observe(self):
+        histogram = LatencyHistogram()
+        stop = threading.Event()
+
+        def hammer():
+            value = 1e-4
+            while not stop.is_set():
+                histogram.observe(value)
+                value = value * 1.7 if value < 1.0 else 1e-4
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                summary = histogram.summary()
+                if summary["count"] == 0:
+                    continue
+                # a torn snapshot shows e.g. count>0 with mean/max from
+                # an older point in time; a single-lock copy cannot
+                assert summary["min"] <= summary["mean"] <= \
+                    summary["max"] * (1 + 1e-9)
+                assert summary["p50"] <= summary["p95"] <= \
+                    summary["p99"] <= summary["max"] * (1 + 1e-9)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+
+class TestOverlapExecuteLane:
+    """``microbatch_overlap_execute``: the worker hands the per-item
+    tail of a served batch to a finisher thread so it can start
+    collecting and decoding the next micro-batch immediately."""
+
+    def _run(self, chatgraph, workload, **config):
+        server = ChatGraphServer(
+            chatgraph, ServeConfig(workers=1, enable_caches=False,
+                                   queue_depth=64, microbatch_size=4,
+                                   microbatch_deadline_seconds=0.02,
+                                   **config))
+        with server:
+            pending = [server.submit(request) for request in workload]
+            responses = [item.result(timeout=120.0) for item in pending]
+        return server, responses
+
+    def test_overlap_responses_identical_and_counters_reconcile(
+            self, serve_chatgraph):
+        workload = build_workload(8, n_graphs=2)
+        workload += [ServeRequest(op="ask", text=r.text, graph=r.graph)
+                     for r in workload[:4]]
+        __, serial = self._run(serve_chatgraph, workload)
+        server, overlapped = self._run(serve_chatgraph, workload,
+                                       microbatch_overlap_execute=True)
+        assert server._finish_queue is not None
+        assert all(r.ok for r in serial)
+        assert all(r.ok for r in overlapped)
+        for left, right in zip(serial, overlapped):
+            assert left.seed == right.seed
+            if left.op == "propose":
+                assert left.value.chain.api_names() == \
+                    right.value.chain.api_names()
+            else:
+                assert left.value.answer == right.value.answer
+        counters = server.stats()["counters"]
+        assert counters["op_propose"] == 8
+        assert counters["op_ask"] == 4
+        assert counters.get("microbatched", 0) >= 2
+        # the finisher thread was joined and cleared on stop
+        assert server._finish_thread is None
+
+    def test_overlap_off_keeps_inline_finish(self, serve_chatgraph):
+        server, responses = self._run(serve_chatgraph,
+                                      build_workload(4, n_graphs=2))
+        assert all(r.ok for r in responses)
+        assert server._finish_queue is None

@@ -1,0 +1,277 @@
+"""Parity + failure isolation for the PR7-batched stage bodies.
+
+PR7 gave the four remaining stages — intent, graph_type,
+sequentialize and repair — genuinely vectorized ``run_batch`` bodies
+(shared scoring pass, identity/content-keyed graph grouping,
+deduplicated repair resolution).  These tests pin the contract those
+bodies must keep:
+
+* scalar/batch parity at sizes 1, 2, 16 and odd sizes, over mixed
+  graph/no-graph prompts and unembeddable text — byte-identical
+  rendered chains, identical stage outputs, and the same ANN
+  distance-computation count as the mapped-scalar path;
+* content-equal but distinct graph objects merge into one
+  sequentialize group (and identical sequences come back);
+* failure isolation — one poisoned context degrades only itself, at
+  every batch position, on the default mapped-scalar path, on a
+  wholesale-raising vectorized body, and end to end through
+  ``process_batch(return_exceptions=True)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ChatGraph
+from repro.core.stages import (
+    Stage,
+    StageContext,
+    StageGraph,
+    _group_contexts_by_graph,
+)
+from repro.graphs import knowledge_graph, molecule_like_graph, social_network
+from repro.llm.prompts import Prompt
+
+#: Mixed input space: routable prompts, compute questions, nonsense
+#: that forces the repair fallback, and unembeddable punctuation-only
+#: text that degrades retrieval (mirrors tests/test_pipeline_parity).
+TEXTS = (
+    "write a brief report for G",
+    "count the nodes",
+    "find communities",
+    "clean up the knowledge graph",
+    "is this molecule toxic",
+    "zzz qqq xxx yyy",          # invalid chain -> repair fallback
+    "?!. ,,,",                  # unembeddable -> empty retrieval
+)
+
+#: GRAPHS[2] and GRAPHS[4] are content-equal but *distinct* objects:
+#: identity grouping keeps them apart, fingerprint merging must not.
+GRAPHS = (
+    None,                       # no-graph prompt
+    social_network(25, 3, p_in=0.3, p_out=0.02, seed=1),
+    knowledge_graph(n_entities=25, n_facts=80, seed=3),
+    molecule_like_graph(n_rings=2, chain_length=3, seed=0),
+    knowledge_graph(n_entities=25, n_facts=80, seed=3),
+)
+
+prompt_indices = st.lists(
+    st.tuples(st.integers(0, len(TEXTS) - 1),
+              st.integers(0, len(GRAPHS) - 1)),
+    min_size=1, max_size=16)
+
+
+@pytest.fixture(scope="module")
+def parity_chatgraph():
+    return ChatGraph.pretrained(corpus_size=300, seed=0)
+
+
+def build_prompts(indices):
+    return [Prompt(TEXTS[t], GRAPHS[g]) for t, g in indices]
+
+
+def assert_result_parity(scalar, batched):
+    assert len(scalar) == len(batched)
+    for expected, actual in zip(scalar, batched):
+        assert actual.intent == expected.intent
+        assert actual.graph_type == expected.graph_type
+        assert actual.retrieved == expected.retrieved
+        assert actual.used_fallback == expected.used_fallback
+        # byte-identical chains, not just equal name lists
+        assert actual.chain.render() == expected.chain.render()
+        if expected.type_prediction is None:
+            assert actual.type_prediction is None
+        else:
+            assert actual.type_prediction.graph_type == \
+                expected.type_prediction.graph_type
+        if expected.sequences is None:
+            assert actual.sequences is None
+        else:
+            assert actual.sequences.sequences == \
+                expected.sequences.sequences
+            assert actual.sequences.feature_counts == \
+                expected.sequences.feature_counts
+        assert set(actual.timings) == set(expected.timings)
+
+
+# ----------------------------------------------------------------------
+# scalar/batch parity for the newly batched stages
+# ----------------------------------------------------------------------
+class TestNewlyBatchedStageParity:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 16])
+    def test_fixed_batch_sizes(self, parity_chatgraph, size):
+        """Sizes 1, 2, 16 and odd sizes over the mixed input table."""
+        combos = [(t % len(TEXTS), (t * 3 + 1) % len(GRAPHS))
+                  for t in range(size)]
+        pipeline = parity_chatgraph.pipeline
+        scalar = [pipeline.process(p) for p in build_prompts(combos)]
+        batched = pipeline.process_batch(build_prompts(combos))
+        assert_result_parity(scalar, batched)
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(indices=prompt_indices)
+    def test_arbitrary_mixed_batches(self, parity_chatgraph, indices):
+        pipeline = parity_chatgraph.pipeline
+        scalar = [pipeline.process(p) for p in build_prompts(indices)]
+        batched = pipeline.process_batch(build_prompts(indices))
+        assert_result_parity(scalar, batched)
+
+    def test_distance_computation_parity(self, parity_chatgraph):
+        """The batched path spends exactly the scalar ANN budget."""
+        pipeline = parity_chatgraph.pipeline
+        index = pipeline.retriever.index
+        combos = [(t, g) for t in range(len(TEXTS))
+                  for g in range(len(GRAPHS))]
+        base = index.distance_computations
+        scalar = [pipeline.process(p) for p in build_prompts(combos)]
+        scalar_work = index.distance_computations - base
+        base = index.distance_computations
+        batched = pipeline.process_batch(build_prompts(combos))
+        batched_work = index.distance_computations - base
+        assert scalar_work > 0
+        assert batched_work == scalar_work
+        assert_result_parity(scalar, batched)
+
+    def test_duplicate_prompts_share_one_verdict(self, parity_chatgraph):
+        """A batch of identical prompts returns identical results."""
+        pipeline = parity_chatgraph.pipeline
+        prompts = build_prompts([(1, 2)] * 5)
+        expected = pipeline.process(prompts[0])
+        for result in pipeline.process_batch(prompts):
+            assert result.chain.render() == expected.chain.render()
+            assert result.intent == expected.intent
+
+    def test_content_equal_graphs_merge_into_one_group(self):
+        """Fingerprint merging unifies equal-but-distinct graphs."""
+        ctxs = [StageContext({"prompt": p}) for p in build_prompts(
+            [(0, 2), (1, 4), (2, 0), (3, 2)])]
+        no_graph, groups = _group_contexts_by_graph(ctxs)
+        assert no_graph == [ctxs[2]]
+        # GRAPHS[2] and GRAPHS[4] are distinct objects, same content
+        assert sorted(len(group) for group in groups) == [3]
+        no_graph, groups = _group_contexts_by_graph(
+            ctxs, content_keyed=False)
+        assert no_graph == [ctxs[2]]
+        assert sorted(len(group) for group in groups) == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# failure isolation (satellite: one poisoned context degrades itself)
+# ----------------------------------------------------------------------
+class _Boom(RuntimeError):
+    pass
+
+
+class _UpperStage(Stage):
+    name = "upper"
+    inputs = ("text",)
+    outputs = ("upper",)
+
+    def run(self, ctx: StageContext) -> None:
+        if ctx.text == "poison":
+            raise _Boom(ctx.text)
+        ctx["upper"] = ctx.text.upper()
+
+
+class _ExclaimStage(Stage):
+    name = "exclaim"
+    inputs = ("upper",)
+    outputs = ("final",)
+
+    def run(self, ctx: StageContext) -> None:
+        ctx["final"] = ctx.upper + "!"
+
+
+class _WholesaleBoomStage(_UpperStage):
+    """Vectorized body that poisons the whole batch invocation."""
+
+    def run_batch(self, ctxs) -> None:
+        if any(ctx.text == "poison" for ctx in ctxs):
+            raise _Boom("wholesale")
+        for ctx in ctxs:
+            self.run(ctx)
+
+
+TEXT_BATCH = ("alpha", "bravo", "charlie", "delta", "echo")
+
+
+class TestBatchFailureIsolation:
+    def _contexts(self, position: int) -> list[StageContext]:
+        texts = list(TEXT_BATCH)
+        texts[position] = "poison"
+        return [StageContext({"text": text}) for text in texts]
+
+    @staticmethod
+    def _graph(first: Stage) -> StageGraph:
+        return StageGraph([first, _ExclaimStage()], seeds=("text",))
+
+    @pytest.mark.parametrize("position", range(len(TEXT_BATCH)))
+    def test_mapped_scalar_isolates_each_position(self, position):
+        graph = self._graph(_UpperStage())
+        ctxs = self._contexts(position)
+        graph.run_batch(ctxs)
+        for index, ctx in enumerate(ctxs):
+            if index == position:
+                assert isinstance(ctx.failure, _Boom)
+                assert "final" not in ctx
+            else:
+                assert ctx.failure is None
+                assert ctx.final == TEXT_BATCH[index].upper() + "!"
+
+    @pytest.mark.parametrize("position", range(len(TEXT_BATCH)))
+    def test_vectorized_body_failure_retries_scalar(self, position):
+        """A wholesale-raising run_batch degrades only the bad ctx."""
+        graph = self._graph(_WholesaleBoomStage())
+        ctxs = self._contexts(position)
+        graph.run_batch(ctxs)
+        for index, ctx in enumerate(ctxs):
+            if index == position:
+                assert isinstance(ctx.failure, _Boom)
+                assert "final" not in ctx
+            else:
+                assert ctx.failure is None
+                assert ctx.final == TEXT_BATCH[index].upper() + "!"
+
+    def test_all_contexts_poisoned_short_circuits(self):
+        graph = self._graph(_UpperStage())
+        ctxs = [StageContext({"text": "poison"}) for _ in range(3)]
+        graph.run_batch(ctxs)
+        assert all(isinstance(ctx.failure, _Boom) for ctx in ctxs)
+
+    @pytest.mark.parametrize("position", range(4))
+    def test_pipeline_poisoned_position(self, parity_chatgraph,
+                                        monkeypatch, position):
+        """End to end: the poisoned slot holds its exception, every
+        other slot matches the scalar result it would have produced."""
+        pipeline = parity_chatgraph.pipeline
+        marker = "##poisoned##"
+        combos = [(0, 1), (1, 2), (5, 0), (6, 3)]
+        prompts = build_prompts(combos)
+        healthy = [pipeline.process(p) for p in prompts]
+        prompts[position] = Prompt(marker, prompts[position].graph)
+
+        classifier = pipeline.intent_classifier
+        original = type(classifier).predict
+
+        def poisoned_predict(text: str) -> str:
+            if text == marker:
+                raise _Boom(text)
+            return original(classifier, text)
+
+        monkeypatch.setattr(classifier, "predict", poisoned_predict)
+        results = pipeline.process_batch(prompts,
+                                         return_exceptions=True)
+        assert len(results) == len(prompts)
+        for index, result in enumerate(results):
+            if index == position:
+                assert isinstance(result, _Boom)
+            else:
+                assert result.chain.render() == \
+                    healthy[index].chain.render()
+                assert result.intent == healthy[index].intent
+        # the historical default re-raises the first failure
+        with pytest.raises(_Boom):
+            pipeline.process_batch(prompts)
