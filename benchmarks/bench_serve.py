@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import os
 
-from repro.serve.bench import build_workload, run_one, run_serve_benchmark
+from repro.loadgen import bench_workload as build_workload
+from repro.serve.bench import run_one, run_serve_benchmark
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 N_REQUESTS = 16 if QUICK else 64

@@ -464,6 +464,102 @@ def chaos_main(argv: list[str]) -> int:
     return 0 if ok else 1
 
 
+def bench_slo_main(argv: list[str]) -> int:
+    """``python -m repro.cli bench-slo``: soak scenarios gated on SLOs.
+
+    Runs the named :mod:`repro.loadgen` scenarios (default: all of
+    steady / diurnal / spike) under the fake-clock discipline, writes
+    the combined report to ``--out`` (JSON, one block per scenario with
+    its SLO verdict and schedule fingerprint), and exits non-zero when
+    any gate fails.  Under a fixed ``--seed`` the generated request
+    schedule is byte-identical across runs (``--dump-schedule DIR``
+    writes the canonical JSONL to prove it).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli bench-slo",
+        description="Production traffic simulation with SLO gates "
+                    "over the repro.serve runtime")
+    parser.add_argument("--scenario", default="all",
+                        help="steady | diurnal | spike | smoke | all "
+                             "(default all)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized runs (shorter durations)")
+    parser.add_argument("--corpus", type=int, default=200,
+                        help="finetuning corpus size (default 200)")
+    parser.add_argument("--real-clock", action="store_true",
+                        help="replay against the real clock instead of "
+                             "the virtual one (slow: sleeps think "
+                             "times)")
+    parser.add_argument("--out", default="BENCH_PR8.json",
+                        help="combined report path "
+                             "(default BENCH_PR8.json)")
+    parser.add_argument("--dump-schedule", metavar="DIR",
+                        help="also write each scenario's canonical "
+                             "schedule JSONL into DIR")
+    args = parser.parse_args(argv)
+
+    from .loadgen import SCENARIOS, get_scenario, run_scenario
+    from .loadgen.personas import default_pool
+    from .loadgen.schedule import build_schedule
+
+    names = (list(SCENARIOS) if args.scenario == "all"
+             else [args.scenario])
+    scenarios = [get_scenario(name, quick=args.quick) for name in names]
+
+    report: dict = {"bench": "bench-slo", "seed": args.seed,
+                    "quick": args.quick,
+                    "fake_clock": not args.real_clock,
+                    "scenarios": {}}
+    passed = True
+    for scenario in scenarios:
+        if args.dump_schedule:
+            pool = default_pool()
+            catalog_names = tuple(f"demo-{key}"
+                                  for key in scenario.catalog_graphs)
+            schedule = build_schedule(
+                scenario.arrival, scenario.duration,
+                personas=scenario.personas, seed=args.seed, pool=pool,
+                catalog_names=catalog_names)
+            out_dir = Path(args.dump_schedule)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            path = out_dir / f"schedule-{scenario.name}.jsonl"
+            path.write_text(schedule.to_jsonl(), encoding="utf-8")
+            print(f"schedule ({len(schedule)} requests, "
+                  f"sha256 {schedule.sha256()[:16]}...) -> {path}",
+                  file=sys.stderr)
+        print(f"running scenario {scenario.name!r} "
+              f"({'quick, ' if args.quick else ''}"
+              f"{'real' if args.real_clock else 'fake'} clock, "
+              f"seed {args.seed})...", file=sys.stderr)
+        result = run_scenario(scenario, seed=args.seed,
+                              fake_clock=not args.real_clock,
+                              corpus_size=args.corpus)
+        report["scenarios"][scenario.name] = result
+        verdict = result["slo"]
+        passed = passed and verdict["passed"]
+        overall = result["overall"]
+        print(f"{scenario.name}: {overall['submitted']} submitted, "
+              f"{overall['ok']} ok, {overall['rejected']} rejected, "
+              f"{overall['errors']} errors, "
+              f"p95 {overall['latency']['p95'] * 1000:.1f}ms  "
+              f"[schedule {result['schedule_sha256'][:16]}...]")
+        for gate in verdict["gates"]:
+            status = "PASS" if gate["passed"] else "FAIL"
+            print(f"  {status}  {gate['gate']}")
+        if not result["reconciliation"]["exact"]:
+            passed = False
+            print(f"  FAIL  counter reconciliation: "
+                  f"{result['reconciliation']}")
+    report["passed"] = passed
+    Path(args.out).write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"report -> {args.out}", file=sys.stderr)
+    print("bench-slo: " + ("OK" if passed else "FAILED"))
+    return 0 if passed else 1
+
+
 def trace_main(argv: list[str]) -> int:
     """``python -m repro.cli trace``: record or replay pipeline traces.
 
@@ -585,6 +681,8 @@ def main(argv: list[str] | None = None) -> int:
     perf gate (see :mod:`repro.serve.perf`);
     ``python -m repro.cli chaos [...]`` runs the seeded
     fault-injection check of the serve engine;
+    ``python -m repro.cli bench-slo [...]`` runs soak scenarios with
+    SLO gates (see :mod:`repro.loadgen`);
     ``python -m repro.cli trace [...]`` records a seeded traced run or
     replays a span log (see :mod:`repro.obs`);
     ``python -m repro.cli store [...]`` manages a durable graph
@@ -597,6 +695,8 @@ def main(argv: list[str] | None = None) -> int:
         return bench_perf_main(argv[1:])
     if argv and argv[0] == "chaos":
         return chaos_main(argv[1:])
+    if argv and argv[0] == "bench-slo":
+        return bench_slo_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "store":

@@ -1,0 +1,154 @@
+"""Virtual-time chaos: fault APIs only inside a schedule window.
+
+The existing :mod:`repro.testing.faults` injector decides per *call
+count*; a soak needs faults tied to the *scenario timeline* — "the
+backend browns out between t=60s and t=75s" — so overload, breaker
+trips, and recovery line up with the arrival spike that the SLO report
+narrates.  :class:`WindowedChaos` wraps registry APIs with a proxy
+that consults an injectable monotonic clock (the soak's
+:class:`~repro.loadgen.runner.VirtualClock` in fake-clock runs): while
+the clock reads inside ``[start, end)`` the wrapped APIs slow down and
+fail; outside the window they pass straight through.
+
+Because activation is a pure function of (virtual) time, a fake-clock
+soak exercises the breaker/degradation/fallback paths deterministically
+— the same schedule always browns out the same calls.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+from dataclasses import replace
+from typing import Any, Callable
+
+from ..apis.registry import APIRegistry, APISpec
+from ..errors import ChatGraphError, FaultInjectionError
+
+Clock = Callable[[], float]
+Sleep = Callable[[float], None]
+
+
+class WindowedChaos:
+    """Fails (and slows) APIs while an injected clock is in a window.
+
+    ``api_names=None`` faults every API in the registry — the
+    brownout-everything profile the spike scenario uses to guarantee
+    breaker trips regardless of which chains the decoded traffic runs.
+    The clock binds late (:meth:`use_clock`) so one wrapped registry —
+    and the finetuned ChatGraph built over it — can be reused across
+    soak runs, each with a fresh virtual clock.
+    """
+
+    def __init__(self, start: float, end: float,
+                 api_names: tuple[str, ...] | None = None,
+                 failure_rate: float = 1.0,
+                 delay_seconds: float = 0.0,
+                 seed: int = 0,
+                 sleep: Sleep = time.sleep) -> None:
+        if not 0.0 <= start < end:
+            raise ChatGraphError("need 0 <= start < end")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ChatGraphError("failure_rate must be in [0, 1]")
+        if delay_seconds < 0.0:
+            raise ChatGraphError("delay_seconds must be >= 0")
+        self.start = start
+        self.end = end
+        self.api_names = api_names
+        self.failure_rate = failure_rate
+        self.delay_seconds = delay_seconds
+        self.seed = seed
+        self._sleep = sleep
+        self._clock: Clock | None = None
+        self._lock = threading.Lock()
+        self._rngs: dict[str, random.Random] = {}
+        self._injected: Counter = Counter()
+        self._delayed: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def use_clock(self, clock: Clock | None) -> None:
+        """Bind the soak's clock; ``None`` deactivates the window."""
+        with self._lock:
+            self._clock = clock
+
+    def reset(self) -> None:
+        """Clear per-run state (counters and RNG streams)."""
+        with self._lock:
+            self._rngs.clear()
+            self._injected.clear()
+            self._delayed.clear()
+
+    def active(self) -> bool:
+        """Whether the bound clock currently reads inside the window."""
+        with self._lock:
+            clock = self._clock
+        if clock is None:
+            return False
+        return self.start <= clock() < self.end
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {"injected_failures": dict(self._injected),
+                    "injected_delays": dict(self._delayed)}
+
+    @property
+    def injected_failures(self) -> int:
+        with self._lock:
+            return sum(self._injected.values())
+
+    # ------------------------------------------------------------------
+    def _tick(self, api_name: str) -> tuple[bool, bool]:
+        """(fail?, delay?) for one call of ``api_name`` right now."""
+        if not self.active():
+            return False, False
+        with self._lock:
+            rng = self._rngs.get(api_name)
+            if rng is None:
+                rng = random.Random(f"{self.seed}\x1f{api_name}")
+                self._rngs[api_name] = rng
+            fail = (self.failure_rate >= 1.0
+                    or rng.random() < self.failure_rate)
+            delay = self.delay_seconds > 0.0
+            if fail:
+                self._injected[api_name] += 1
+            if delay:
+                self._delayed[api_name] += 1
+            return fail, delay
+
+    def wrap_spec(self, spec: APISpec) -> APISpec:
+        inner = spec.func
+        api_name = spec.name
+
+        def browned_out(context: Any, **kwargs: Any) -> Any:
+            fail, delay = self._tick(api_name)
+            if delay:
+                # a stalled backend: the delay applies before the
+                # failure surfaces, like faults.FaultSpec(hang=True)
+                self._sleep(self.delay_seconds)
+            if fail:
+                raise FaultInjectionError(
+                    api_name, 0, "windowed chaos brownout")
+            return inner(context, **kwargs)
+
+        return replace(spec, func=browned_out)
+
+    def wrap_registry(self, registry: APIRegistry) -> APIRegistry:
+        """A new registry with the targeted specs wrapped.
+
+        Untouched specs are re-registered as-is, so retrieval (which
+        embeds names and descriptions) behaves identically.
+        """
+        if self.api_names is not None:
+            unknown = set(self.api_names) - set(registry.names())
+            if unknown:
+                raise ChatGraphError(
+                    f"cannot fault unknown APIs {sorted(unknown)}")
+        wrapped = APIRegistry()
+        for spec in registry:
+            if self.api_names is None or spec.name in self.api_names:
+                wrapped.register(self.wrap_spec(spec))
+            else:
+                wrapped.register(spec)
+        return wrapped

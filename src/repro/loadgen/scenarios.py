@@ -1,0 +1,306 @@
+"""Named soak scenarios: arrival shape + serve config + SLO contract.
+
+A :class:`Scenario` bundles everything one soak needs — the arrival
+process, the persona population, the server configuration, an optional
+chaos window, and the :class:`~repro.loadgen.slo.SLOSpec` the run is
+gated on.  Three presets cover the production shapes the ROADMAP
+names:
+
+* ``steady``  — constant arrivals, no faults: the baseline contract
+  (zero errors, zero shed load, flat latency).
+* ``diurnal`` — sinusoidal day/night arrivals with per-client rate
+  limiting and short session TTLs, so peak traffic exercises the token
+  buckets and the troughs exercise TTL eviction.
+* ``spike``   — a step overload aligned with a chaos brownout of every
+  API: the run must shed load via admission backpressure, trip
+  breakers, degrade the affected responses, and *recover* once the
+  spike passes — the breaker/degradation/fallback story end to end.
+
+:func:`run_scenario` builds the schedule, the (optionally
+chaos-wrapped) ChatGraph, a fresh server, and a
+:class:`~repro.loadgen.runner.SoakRunner`, then attaches the SLO
+verdict to the report.  Under the default fake clock a full scenario
+runs in seconds and is deterministic; ``fake_clock=False`` replays the
+same schedule against the real clock.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import ServeConfig
+from ..errors import ConfigError
+from .arrivals import (
+    ArrivalProcess,
+    ConstantRate,
+    DiurnalSinusoid,
+    StepSpike,
+)
+from .chaos import WindowedChaos
+from .personas import DEFAULT_PERSONAS, PersonaSpec, default_pool
+from .runner import SoakRunner, VirtualClock
+from .schedule import build_schedule
+from .slo import SLOGate, SLOSpec, evaluate_slo
+
+__all__ = ["SCENARIOS", "Scenario", "build_soak_chatgraph",
+           "get_scenario", "run_scenario"]
+
+#: Scenario names ``bench-slo --scenario all`` runs (``smoke`` is the
+#: extra real-clock sanity preset, addressable by name).
+SCENARIOS = ("steady", "diurnal", "spike")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully specified soak: traffic in, SLO contract out."""
+
+    name: str
+    description: str
+    duration: float
+    window_seconds: float
+    arrival: ArrivalProcess
+    serve: ServeConfig
+    slo: SLOSpec
+    personas: tuple[PersonaSpec, ...] = DEFAULT_PERSONAS
+    chaos: WindowedChaos | None = None
+    #: Demo-pool keys published into a temporary durable catalog so
+    #: personas with ``catalog_share > 0`` emit named-graph traffic.
+    catalog_graphs: tuple[str, ...] = ()
+    quick: bool = field(default=False, compare=False)
+
+
+def _steady(quick: bool) -> Scenario:
+    duration = 90.0 if quick else 300.0
+    return Scenario(
+        name="steady",
+        description="constant arrivals, no faults: the baseline "
+                    "contract of zero errors and flat latency",
+        duration=duration,
+        window_seconds=30.0,
+        arrival=ConstantRate(rate=0.4 if quick else 1.0),
+        serve=ServeConfig(workers=4, queue_depth=512),
+        catalog_graphs=("social-m", "kg-m"),
+        slo=SLOSpec(name="steady", gates=(
+            SLOGate(metric="error_rate", max_value=0.0),
+            SLOGate(metric="degraded_rate", max_value=0.0),
+            SLOGate(metric="rejection_rate", max_value=0.0),
+            SLOGate(metric="p95_latency", max_value=2.0),
+            SLOGate(metric="p99_latency", max_value=5.0),
+            SLOGate(metric="p95_latency", persona="one_shot",
+                    max_value=2.0),
+            SLOGate(metric="breaker_opened", max_value=0.0),
+            # the prompt/graph mix repeats, so a healthy retrieval
+            # cache must warm well past this floor (observed ~0.9)
+            SLOGate(metric="cache_hit_rate", min_value=0.3),
+        )),
+        quick=quick,
+    )
+
+
+def _diurnal(quick: bool) -> Scenario:
+    duration = 180.0 if quick else 1200.0
+    return Scenario(
+        name="diurnal",
+        description="sinusoidal day/night arrivals with per-client "
+                    "rate limits and short session TTLs",
+        duration=duration,
+        window_seconds=30.0 if quick else 60.0,
+        arrival=DiurnalSinusoid(
+            base_rate=0.3 if quick else 0.5,
+            amplitude=0.8,
+            period_seconds=90.0 if quick else 600.0),
+        serve=ServeConfig(
+            workers=4, queue_depth=512,
+            rate_limit_capacity=3,
+            rate_limit_refill_per_second=0.5,
+            rate_limit_idle_seconds=60.0 if quick else 120.0,
+            session_ttl_seconds=45.0 if quick else 180.0),
+        catalog_graphs=("social-m", "kg-m"),
+        slo=SLOSpec(name="diurnal", gates=(
+            SLOGate(metric="error_rate", max_value=0.0),
+            SLOGate(metric="degraded_rate", max_value=0.0),
+            # the power-burst persona is *expected* to hit its token
+            # bucket at peak; the budget bounds how much is shed
+            SLOGate(metric="rejection_rate", max_value=0.25),
+            SLOGate(metric="p95_latency", max_value=2.0,
+                    window_budget=0.25),
+            SLOGate(metric="breaker_opened", max_value=0.0),
+        )),
+        quick=quick,
+    )
+
+
+def _spike(quick: bool) -> Scenario:
+    duration = 120.0 if quick else 240.0
+    spike_start = 30.0 if quick else 60.0
+    spike_end = spike_start + 15.0
+    return Scenario(
+        name="spike",
+        description="step overload aligned with an all-API chaos "
+                    "brownout: shed, degrade, trip breakers, recover",
+        duration=duration,
+        window_seconds=15.0,
+        arrival=StepSpike(
+            base_rate=0.25,
+            spike_rate=5.0 if quick else 8.0,
+            spike_start=spike_start,
+            spike_end=spike_end),
+        serve=ServeConfig(
+            workers=2, queue_depth=8,
+            step_max_retries=1,
+            retry_backoff_seconds=0.002,
+            breaker_failure_threshold=3,
+            breaker_failure_rate=0.5,
+            breaker_window=10,
+            breaker_cooldown_seconds=20.0 if quick else 30.0),
+        chaos=WindowedChaos(
+            start=spike_start, end=spike_end,
+            api_names=None, failure_rate=1.0,
+            delay_seconds=0.004),
+        slo=SLOSpec(name="spike", gates=(
+            # the contract is the *recovery story*, not zero faults:
+            # breakers must trip, load must shed, and by the end no
+            # circuit may still be open
+            SLOGate(metric="breaker_opened", min_value=1.0),
+            SLOGate(metric="breakers_recovered", min_value=1.0),
+            SLOGate(metric="rejection_rate", min_value=0.001,
+                    max_value=0.9),
+            SLOGate(metric="error_rate", max_value=0.1,
+                    window_budget=0.25),
+            # the error budget: the brownout and the breaker cooldown
+            # may degrade up to ~a third of the windows, no more
+            SLOGate(metric="degraded_rate", max_value=0.05,
+                    window_budget=0.35),
+            SLOGate(metric="p95_latency", max_value=5.0),
+        )),
+        quick=quick,
+    )
+
+
+def _smoke(quick: bool) -> Scenario:
+    """Tiny constant-rate run, sized for a real-clock sanity pass."""
+    return Scenario(
+        name="smoke",
+        description="ten seconds of constant arrivals: the real-clock "
+                    "sanity pass",
+        duration=10.0,
+        window_seconds=5.0,
+        arrival=ConstantRate(rate=1.5),
+        serve=ServeConfig(workers=2, queue_depth=64),
+        slo=SLOSpec(name="smoke", gates=(
+            SLOGate(metric="error_rate", max_value=0.0),
+            SLOGate(metric="rejection_rate", max_value=0.0),
+            SLOGate(metric="p95_latency", max_value=5.0),
+        )),
+        quick=quick,
+    )
+
+
+_BUILDERS = {"steady": _steady, "diurnal": _diurnal, "spike": _spike,
+             "smoke": _smoke}
+
+
+def get_scenario(name: str, quick: bool = False) -> Scenario:
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ConfigError(f"unknown scenario {name!r}; expected one of "
+                          f"{tuple(_BUILDERS)}")
+    return builder(quick)
+
+
+def build_soak_chatgraph(chaos: WindowedChaos | None = None,
+                         corpus_size: int = 200,
+                         seed: int = 0) -> Any:
+    """A finetuned ChatGraph, optionally over a chaos-wrapped registry.
+
+    Chaos must wrap the registry *before* the model trains over it, so
+    the build goes registry -> wrap -> finetune (the same shape as the
+    chaos CLI).  With the chaos window inactive the wrapped registry is
+    a pass-through, so training sees normal behavior.
+    """
+    from ..apis.registry import default_registry
+    from ..core.chatgraph import ChatGraph
+    from ..finetune.dataset import CorpusSpec
+
+    if chaos is None:
+        return ChatGraph.pretrained(corpus_size=corpus_size, seed=seed)
+    chatgraph = ChatGraph(registry=chaos.wrap_registry(default_registry()))
+    chatgraph.finetune(CorpusSpec(n_examples=corpus_size, seed=seed))
+    return chatgraph
+
+
+def run_scenario(scenario: Scenario, seed: int = 0,
+                 fake_clock: bool = True, corpus_size: int = 200,
+                 chatgraph: Any = None,
+                 window_seconds: float | None = None) -> dict[str, Any]:
+    """Execute one scenario end to end and return its gated report.
+
+    Pass a prebuilt ``chatgraph`` to amortize finetuning across runs —
+    but for chaos scenarios it must have been built over *this*
+    scenario's chaos-wrapped registry (:func:`build_soak_chatgraph`).
+    """
+    from ..serve.engine import ChatGraphServer
+
+    if chatgraph is None:
+        chatgraph = build_soak_chatgraph(
+            chaos=scenario.chaos, corpus_size=corpus_size, seed=seed)
+    pool = default_pool()
+    clock = VirtualClock() if fake_clock else None
+    tmpdir = None
+    catalog = None
+    catalog_names: list[str] = []
+    try:
+        if scenario.catalog_graphs:
+            from ..store.catalog import GraphCatalog
+            tmpdir = tempfile.TemporaryDirectory(prefix="loadgen-store-")
+            catalog = GraphCatalog(tmpdir.name)
+            for key in scenario.catalog_graphs:
+                name = f"demo-{key}"
+                handle = catalog.create(
+                    name, directed=pool[key].directed)
+                handle.ingest(pool[key])
+                catalog_names.append(name)
+        schedule = build_schedule(
+            scenario.arrival, scenario.duration,
+            personas=scenario.personas, seed=seed, pool=pool,
+            catalog_names=tuple(catalog_names))
+        if scenario.chaos is not None:
+            scenario.chaos.reset()
+            if clock is not None:
+                scenario.chaos.use_clock(clock)
+            else:
+                # real-clock runs measure the chaos window from soak
+                # start, mirroring the runner's own origin
+                origin = time.monotonic()
+                scenario.chaos.use_clock(
+                    lambda: time.monotonic() - origin)
+        server = ChatGraphServer(chatgraph, scenario.serve,
+                                 catalog=catalog, clock=clock)
+        # the fake clock may not cross a chaos-window edge while work
+        # is still outstanding: everything admitted during the window
+        # must execute inside it (and pre-window work before it)
+        barriers: tuple[float, ...] = ()
+        if scenario.chaos is not None:
+            barriers = (scenario.chaos.start, scenario.chaos.end)
+        runner = SoakRunner(
+            server, schedule,
+            window_seconds=window_seconds or scenario.window_seconds,
+            clock=clock, barriers=barriers)
+        with server:
+            report = runner.run()
+    finally:
+        if scenario.chaos is not None:
+            scenario.chaos.use_clock(None)
+        if tmpdir is not None:
+            tmpdir.cleanup()
+    report["scenario"] = scenario.name
+    report["description"] = scenario.description
+    report["quick"] = scenario.quick
+    if scenario.chaos is not None:
+        report["chaos"] = scenario.chaos.stats()
+    report["slo_spec"] = scenario.slo.to_dict()
+    report["slo"] = evaluate_slo(report, scenario.slo)
+    return report

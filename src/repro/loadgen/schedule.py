@@ -1,0 +1,136 @@
+"""Deterministic population schedules: personas x arrival process.
+
+:func:`build_schedule` runs the whole generation pipeline up front,
+single-threaded: the arrival process lays down user start times, a
+weighted draw assigns each arrival a persona, and every user's turns
+are placed at ``start + cumulative think time``.  The result is one
+time-sorted :class:`Schedule` whose canonical JSONL serialization is
+byte-identical across runs under a fixed seed — the property the
+``bench-slo`` gate and the hypothesis suite both pin.
+
+This module must stay free of the :mod:`time` module entirely (virtual
+time only); ``tests/test_clock_discipline.py`` audits that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+
+from ..graphs.graph import Graph
+from .arrivals import ArrivalProcess
+from .personas import (
+    DEFAULT_PERSONAS,
+    PersonaSpec,
+    default_pool,
+    pick_persona,
+    user_requests,
+)
+
+__all__ = ["Schedule", "ScheduledRequest", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One scheduled unit of traffic."""
+
+    #: Virtual offset (seconds from soak start) the request is issued.
+    at: float
+    persona: str
+    #: Unique simulated-user id (doubles as client_id / session_id).
+    user: str
+    #: Index of this user's arrival (global, deterministic).
+    arrival: int
+    #: Turn index within the user's script.
+    seq: int
+    #: Graph label: pool key or ``name:<catalog>``.
+    graph_key: str
+    request: "object"
+
+    def to_canonical(self) -> dict[str, object]:
+        """The serializable identity of this entry (no live objects)."""
+        request = self.request
+        return {
+            "at": round(self.at, 9),
+            "persona": self.persona,
+            "user": self.user,
+            "seq": self.seq,
+            "op": request.op,
+            "text": request.text,
+            "client": request.client_id,
+            "session": request.session_id,
+            "graph": self.graph_key,
+        }
+
+
+class Schedule:
+    """A time-sorted request schedule plus its provenance."""
+
+    def __init__(self, items: list[ScheduledRequest], duration: float,
+                 seed: int, arrival_name: str) -> None:
+        self.items = tuple(items)
+        self.duration = duration
+        self.seed = seed
+        self.arrival_name = arrival_name
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def to_jsonl(self) -> str:
+        """Canonical byte-stable serialization (one line per request)."""
+        lines = [json.dumps(item.to_canonical(), sort_keys=True,
+                            separators=(",", ":"))
+                 for item in self.items]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def sha256(self) -> str:
+        """Fingerprint of the canonical serialization."""
+        return hashlib.sha256(
+            self.to_jsonl().encode("utf-8")).hexdigest()
+
+    def persona_counts(self) -> dict[str, int]:
+        """Requests per persona (for mix-convergence checks/reports)."""
+        counts: dict[str, int] = {}
+        for item in self.items:
+            counts[item.persona] = counts.get(item.persona, 0) + 1
+        return counts
+
+    def user_count(self) -> int:
+        return len({item.user for item in self.items})
+
+
+def build_schedule(arrival: ArrivalProcess, duration: float,
+                   personas: tuple[PersonaSpec, ...] = DEFAULT_PERSONAS,
+                   seed: int = 0,
+                   pool: dict[str, Graph] | None = None,
+                   catalog_names: tuple[str, ...] = ()) -> Schedule:
+    """Generate the full deterministic schedule for one soak run.
+
+    Separate seeded RNG streams per concern — arrivals, persona
+    assignment, and one stream per user — keep every component's draws
+    independent: adding a persona or lengthening the run never perturbs
+    the traffic other components generate.
+    """
+    pool = default_pool() if pool is None else pool
+    arrival_rng = random.Random(f"{seed}\x1farrivals\x1f{arrival.name}")
+    assign_rng = random.Random(f"{seed}\x1fassign")
+    items: list[ScheduledRequest] = []
+    for index, start in enumerate(arrival.times(duration, arrival_rng)):
+        spec = pick_persona(personas, assign_rng)
+        user_id = f"{spec.name}-{index}"
+        user_rng = random.Random(f"{seed}\x1f{spec.name}\x1f{index}")
+        for timed in user_requests(spec, user_id, start, user_rng, pool,
+                                   catalog_names=catalog_names):
+            items.append(ScheduledRequest(
+                at=timed.at, persona=spec.name, user=user_id,
+                arrival=index, seq=timed.seq,
+                graph_key=timed.graph_key, request=timed.request))
+    # stable total order: virtual time, then arrival order, then turn
+    items.sort(key=lambda item: (item.at, item.arrival, item.seq))
+    return Schedule(items, duration=duration, seed=seed,
+                    arrival_name=arrival.name)

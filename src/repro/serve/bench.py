@@ -20,35 +20,26 @@ from typing import Any, Sequence
 
 from ..config import ServeConfig
 from ..core.chatgraph import ChatGraph
-from ..graphs.generators import knowledge_graph, social_network
+# the prompt mix and the request builder live with the traffic
+# generator now (one seeded source for bench and soak workloads);
+# both stay re-exported here for compatibility
+from ..testing.workloads import PROMPTS
 from .engine import ChatGraphServer, ServeRequest
 
-#: The benchmark's prompt mix (cycled over the workload size).
-PROMPTS: tuple[str, ...] = (
-    "write a brief report for G",
-    "find the communities of this network",
-    "who are the influencers in G",
-    "summarize the uploaded graph",
-    "how dense is this graph",
-    "clean the knowledge graph",
-)
+__all__ = ["PROMPTS", "BenchResult", "build_workload", "run_one",
+           "run_serve_benchmark"]
 
 
 def build_workload(n_requests: int,
                    n_graphs: int = 4) -> list[ServeRequest]:
-    """A deterministic list of propose requests over demo graphs."""
-    graphs = []
-    for index in range(max(1, n_graphs // 2)):
-        graphs.append(social_network(30 + 4 * index, 3, seed=index))
-    for index in range(max(1, n_graphs - len(graphs))):
-        graphs.append(knowledge_graph(24 + 4 * index, 80, seed=index))
-    return [
-        ServeRequest(op="propose",
-                     text=PROMPTS[index % len(PROMPTS)],
-                     graph=graphs[index % len(graphs)],
-                     client_id=f"client-{index % 4}")
-        for index in range(n_requests)
-    ]
+    """A deterministic list of propose requests over demo graphs.
+
+    Delegates to :func:`repro.loadgen.bench_workload`, which produces
+    the byte-identical stream this module built before the load
+    generator existed.
+    """
+    from ..loadgen import bench_workload
+    return bench_workload(n_requests, n_graphs=n_graphs)
 
 
 @dataclass(frozen=True)

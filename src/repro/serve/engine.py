@@ -174,9 +174,18 @@ class ChatGraphServer:
 
     def __init__(self, chatgraph: ChatGraph,
                  config: ServeConfig | None = None,
-                 catalog: Any = None) -> None:
+                 catalog: Any = None,
+                 clock: Any = None) -> None:
         self.chatgraph = chatgraph
         self.config = config or ServeConfig()
+        #: Monotonic clock governing session TTLs, rate-limit refills,
+        #: admission retry hints, and breaker cooldowns.  ``None`` means
+        #: real time; soak tests inject a
+        #: :class:`repro.loadgen.VirtualClock` so hours of simulated
+        #: traffic elapse deterministically in seconds.  Latency
+        #: *measurement* stays on ``time.perf_counter`` either way —
+        #: observed service times are real even under a virtual clock.
+        self.clock = time.monotonic if clock is None else clock
         self.caches: PipelineCaches | None = None
         if self.config.enable_caches:
             self.caches = PipelineCaches.with_sizes(
@@ -190,19 +199,25 @@ class ChatGraphServer:
             chatgraph.pipeline.graph.observed_stage_names)
         self.sessions = SessionStore(
             chatgraph, ttl_seconds=self.config.session_ttl_seconds,
-            max_sessions=self.config.max_sessions)
-        self.queue = AdmissionQueue(self.config.queue_depth)
+            max_sessions=self.config.max_sessions, clock=self.clock)
+        self.queue = AdmissionQueue(self.config.queue_depth,
+                                    clock=self.clock)
         self.limiter: RateLimiter | None = None
         if self.config.rate_limit_capacity > 0:
             self.limiter = RateLimiter(
                 self.config.rate_limit_capacity,
                 self.config.rate_limit_refill_per_second,
+                clock=self.clock,
                 idle_seconds=self.config.rate_limit_idle_seconds)
         self._stats = ServerStats()
         #: Optional request coalescer (see :mod:`repro.serve.microbatch`);
         #: enabled by ``ServeConfig.microbatch_size > 0``.
         self.batcher: MicroBatcher | None = None
         if self.config.microbatch_size > 0:
+            # the batcher stays on real time even under an injected
+            # clock: its deadline is awaited by polling workers, and a
+            # virtual clock only advances between submissions, so a
+            # partial batch's coalescing window could never expire
             self.batcher = MicroBatcher(
                 self.config.microbatch_size,
                 self.config.microbatch_deadline_seconds)
@@ -239,7 +254,8 @@ class ChatGraphServer:
                 failure_threshold=self.config.breaker_failure_threshold,
                 failure_rate_threshold=self.config.breaker_failure_rate,
                 window_size=self.config.breaker_window,
-                cooldown_seconds=self.config.breaker_cooldown_seconds)
+                cooldown_seconds=self.config.breaker_cooldown_seconds,
+                clock=self.clock)
         self.policy = ExecutionPolicy(
             default=StepPolicy(
                 timeout_seconds=(self.config.step_timeout_seconds

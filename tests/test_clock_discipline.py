@@ -42,6 +42,33 @@ class TestStaticAudit:
         assert "time.perf_counter" in text
         assert "time.monotonic" in text
 
+    def test_loadgen_generators_never_touch_the_clock(self):
+        """Schedule generation is pure virtual time — no ``time`` at all.
+
+        Arrival processes, personas, schedules, and SLO evaluation
+        define *when* things happen in virtual seconds; if any of them
+        read a real clock, fixed-seed schedules could not be
+        byte-identical.  The runner/chaos/scenario modules may use
+        monotonic clocks (they execute schedules in real time too),
+        which the time.time() audit above already polices.
+        """
+        pure = ("loadgen/arrivals.py", "loadgen/personas.py",
+                "loadgen/schedule.py", "loadgen/slo.py")
+        pattern = re.compile(r"^\s*import time\b|^\s*from time\b|"
+                             r"\btime\.\w+", re.MULTILINE)
+        offenders = []
+        for relative in pure:
+            text = (SRC / relative).read_text(encoding="utf-8")
+            for match in pattern.finditer(text):
+                lineno = text.count("\n", 0, match.start()) + 1
+                line = text.splitlines()[lineno - 1].strip()
+                if line.startswith("#") or ":mod:" in line:
+                    continue  # docs may name the banned module
+                offenders.append(f"{relative}:{lineno}: {line}")
+        assert not offenders, (
+            "loadgen generator modules must stay free of the time "
+            "module (virtual time only):\n" + "\n".join(offenders))
+
 
 class HostileClock:
     """A wall clock that jumps backwards and forwards on every read."""
