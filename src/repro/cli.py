@@ -560,6 +560,45 @@ def bench_slo_main(argv: list[str]) -> int:
     return 0 if passed else 1
 
 
+def bench_shard_main(argv: list[str]) -> int:
+    """``python -m repro.cli bench-shard``: sharded serving gates.
+
+    Runs the three gate families of :mod:`repro.shard.bench` — the
+    scaling curve (throughput vs shard count), the parity gate
+    (byte-identical responses between the sharded and single-process
+    servers), and the kill-a-shard spike soak — writes the combined
+    report to ``--out`` (default ``BENCH_PR9.json``), and exits
+    non-zero when any gate fails.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli bench-shard",
+        description="Sharded multi-process serving benchmark: scaling "
+                    "curve, byte-parity gate, kill-a-shard spike soak")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (2-shard curve, shorter "
+                             "soak)")
+    parser.add_argument("--corpus", type=int, default=200,
+                        help="finetuning corpus size (default 200)")
+    parser.add_argument("--skip-soak", action="store_true",
+                        help="skip the kill-a-shard spike soak")
+    parser.add_argument("--out", default="BENCH_PR9.json",
+                        help="report path (default BENCH_PR9.json)")
+    args = parser.parse_args(argv)
+
+    from .shard.bench import run_shard_benchmark
+
+    report = run_shard_benchmark(seed=args.seed, quick=args.quick,
+                                 corpus_size=args.corpus,
+                                 skip_soak=args.skip_soak)
+    Path(args.out).write_text(
+        json.dumps(report, indent=1, sort_keys=True) + "\n",
+        encoding="utf-8")
+    print(f"report -> {args.out}", file=sys.stderr)
+    print("bench-shard: " + ("OK" if report["passed"] else "FAILED"))
+    return 0 if report["passed"] else 1
+
+
 def trace_main(argv: list[str]) -> int:
     """``python -m repro.cli trace``: record or replay pipeline traces.
 
@@ -580,7 +619,9 @@ def trace_main(argv: list[str]) -> int:
         prog="repro.cli trace",
         description="Record a seeded end-to-end trace, or replay a "
                     "span log as a flame-style summary")
-    parser.add_argument("--input", help="replay this JSON-lines span log")
+    parser.add_argument("--input", action="append",
+                        help="replay this JSON-lines span log; repeat to "
+                             "merge per-shard logs into one view")
     parser.add_argument("--demo", action="store_true",
                         help="run the canonical seeded workload with "
                              "tracing enabled")
@@ -602,6 +643,7 @@ def trace_main(argv: list[str]) -> int:
 
     from .obs import (
         check_trace,
+        merge_traces,
         read_trace,
         render_flame,
         render_metrics_markdown,
@@ -609,8 +651,17 @@ def trace_main(argv: list[str]) -> int:
     )
 
     if args.input:
-        spans = read_trace(args.input)
+        if len(args.input) == 1:
+            spans = read_trace(args.input[0])
+        else:
+            spans = merge_traces(*(read_trace(path)
+                                   for path in args.input))
+            print(f"merged {len(args.input)} span logs "
+                  f"({len(spans)} spans)", file=sys.stderr)
         print(render_flame(spans))
+        if args.out:
+            write_trace(args.out, spans, canonical=args.canonical)
+            print(f"span log -> {args.out}", file=sys.stderr)
         if args.check:
             problems = check_trace(spans)
             for problem in problems:
@@ -683,6 +734,8 @@ def main(argv: list[str] | None = None) -> int:
     fault-injection check of the serve engine;
     ``python -m repro.cli bench-slo [...]`` runs soak scenarios with
     SLO gates (see :mod:`repro.loadgen`);
+    ``python -m repro.cli bench-shard [...]`` runs the sharded-serving
+    scaling/parity/chaos gates (see :mod:`repro.shard.bench`);
     ``python -m repro.cli trace [...]`` records a seeded traced run or
     replays a span log (see :mod:`repro.obs`);
     ``python -m repro.cli store [...]`` manages a durable graph
@@ -697,6 +750,8 @@ def main(argv: list[str] | None = None) -> int:
         return chaos_main(argv[1:])
     if argv and argv[0] == "bench-slo":
         return bench_slo_main(argv[1:])
+    if argv and argv[0] == "bench-shard":
+        return bench_shard_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
     if argv and argv[0] == "store":

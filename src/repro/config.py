@@ -228,6 +228,40 @@ class ServeConfig:
     #: once an edit log holds this many records (``0`` = only explicit
     #: snapshots/compactions).
     store_snapshot_every: int = 0
+    #: Pre-populate the pipeline caches at :meth:`start` from the
+    #: catalog's named graphs (each graph's suggested questions run
+    #: through ``propose`` once, off the serving path).  The number of
+    #: cache entries created lands in the ``cache_warmed_entries``
+    #: counter.
+    warm_caches: bool = False
+    #: Shard worker *processes* behind a
+    #: :class:`repro.shard.ShardedChatGraphServer`; ``0`` means the
+    #: config describes a plain in-process server.  In sharded mode
+    #: ``workers`` is the thread count *per shard*.
+    shards: int = 0
+    #: Catalog graph names replicated read-only across
+    #: ``shard_replicas`` shards with least-loaded routing (hot-graph
+    #: replicas); other keys route to their single ring owner.
+    shard_hot_graphs: tuple[str, ...] = ()
+    #: Number of replica shards serving each hot graph.
+    shard_replicas: int = 2
+    #: Interval between shard-worker heartbeat frames.
+    shard_heartbeat_seconds: float = 0.5
+    #: Silence longer than this marks a shard dead (its breaker trips,
+    #: in-flight work fails over, and the shard is restarted).
+    shard_heartbeat_timeout_seconds: float = 10.0
+    #: Restart dead shard processes in the background (the breaker
+    #: resets once the replacement says hello).
+    shard_restart: bool = True
+    #: Scatter batches a coordinator may keep in flight per shard.
+    shard_inflight: int = 2
+    #: Requests coalesced into one scatter frame (transport batching;
+    #: the shard's own ``microbatch_size`` governs *execution*
+    #: batching).  ``0`` sends one request per frame.
+    shard_scatter_batch: int = 8
+    #: How long a per-shard dispatcher holds a partial scatter batch
+    #: waiting for company before flushing it.
+    shard_scatter_deadline_seconds: float = 0.002
     #: Base seed folded into every request's deterministic per-request
     #: seed (content-keyed, so results are order-independent).
     seed: int = 0
@@ -274,6 +308,19 @@ class ServeConfig:
                  "microbatch_deadline_seconds must be >= 0")
         _require(self.store_snapshot_every >= 0,
                  "store_snapshot_every must be >= 0")
+        _require(self.shards >= 0, "shards must be >= 0")
+        _require(self.shard_replicas >= 1, "shard_replicas must be >= 1")
+        _require(self.shard_heartbeat_seconds > 0.0,
+                 "shard_heartbeat_seconds must be > 0")
+        _require(self.shard_heartbeat_timeout_seconds
+                 > self.shard_heartbeat_seconds,
+                 "shard_heartbeat_timeout_seconds must exceed "
+                 "shard_heartbeat_seconds")
+        _require(self.shard_inflight >= 1, "shard_inflight must be >= 1")
+        _require(self.shard_scatter_batch >= 0,
+                 "shard_scatter_batch must be >= 0")
+        _require(self.shard_scatter_deadline_seconds >= 0.0,
+                 "shard_scatter_deadline_seconds must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ enable_tracing=True))``, or directly::
 from .export import (
     check_trace,
     load_trace,
+    merge_traces,
     read_trace,
     render_flame,
     render_metrics_markdown,
@@ -36,7 +37,13 @@ from .export import (
     structural_order,
     write_trace,
 )
-from .metrics import CounterMetric, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    CounterMetric,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_metrics_dumps,
+)
 from .profile import StageProfile, StageProfiler
 from .trace import NULL_SPAN, TIMING_FIELDS, NullSpan, Span, Tracer
 
@@ -54,6 +61,8 @@ __all__ = [
     "Tracer",
     "check_trace",
     "load_trace",
+    "merge_metrics_dumps",
+    "merge_traces",
     "read_trace",
     "render_flame",
     "render_metrics_markdown",

@@ -115,6 +115,26 @@ def read_trace(path: str | Path) -> list[dict[str, Any]]:
     return load_trace(Path(path).read_text(encoding="utf-8"))
 
 
+def merge_traces(*span_lists: Iterable[Span | dict[str, Any]]
+                 ) -> list[dict[str, Any]]:
+    """Merge span logs from many processes into one structural view.
+
+    Cross-process spans share one id space (span ids are content-keyed,
+    and the coordinator's span id travels to the shard as the parent of
+    the shard-side request span), so merging is a union: duplicates by
+    ``span_id`` collapse (first occurrence wins — canonical exports of
+    the same span are identical anyway) and the union is re-ordered
+    structurally, exactly as if one tracer had recorded every span.
+    Feed the result to :func:`spans_to_jsonl`, :func:`render_flame`, or
+    :func:`check_trace`.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for spans in span_lists:
+        for d in _as_dicts(spans):
+            merged.setdefault(d["span_id"], d)
+    return structural_order(merged.values())
+
+
 def check_trace(spans: Sequence[dict[str, Any]]) -> list[str]:
     """Structural integrity problems of a span log (empty = sound)."""
     problems: list[str] = []

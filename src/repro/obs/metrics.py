@@ -104,6 +104,52 @@ class Histogram:
         }
 
 
+    def dump(self) -> dict[str, Any]:
+        """Raw, lossless state for cross-process merging.
+
+        Unlike :meth:`summary` (which collapses buckets into quantile
+        estimates), a dump carries the bucket counts themselves, so
+        dumps from many processes can be summed and the merged quantile
+        estimate equals what one histogram observing everything would
+        have reported.  JSON-safe: ``min`` is ``None`` when empty.
+        """
+        with self._lock:
+            return {
+                "counts": list(self._counts),
+                "count": self.count,
+                "total": self.total,
+                "min": None if self.count == 0 else self.min,
+                "max": self.max,
+            }
+
+    @staticmethod
+    def merged_summary(dumps: list[dict[str, Any]]) -> dict[str, float]:
+        """The :meth:`summary` of the union of the dumped histograms."""
+        counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        count = 0
+        total = 0.0
+        minimum = float("inf")
+        maximum = 0.0
+        for dump in dumps:
+            for index, bucket in enumerate(dump["counts"]):
+                counts[index] += bucket
+            count += dump["count"]
+            total += dump["total"]
+            if dump["min"] is not None and dump["min"] < minimum:
+                minimum = dump["min"]
+            if dump["max"] > maximum:
+                maximum = dump["max"]
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "p50": Histogram._quantile_from(counts, count, maximum, 0.50),
+            "p95": Histogram._quantile_from(counts, count, maximum, 0.95),
+            "p99": Histogram._quantile_from(counts, count, maximum, 0.99),
+            "min": 0.0 if count == 0 else minimum,
+            "max": maximum,
+        }
+
+
 class CounterMetric:
     """A monotonically increasing counter."""
 
@@ -220,3 +266,51 @@ class MetricsRegistry:
             "histograms": {name: metric.summary()
                            for name, metric in sorted(histograms.items())},
         }
+
+    def dump(self) -> dict[str, Any]:
+        """Raw (lossless, JSON-safe) state for cross-process merging.
+
+        Counters and gauges dump their values; histograms dump bucket
+        counts (see :meth:`Histogram.dump`).  Feed a list of dumps —
+        e.g. one per shard worker — to :func:`merge_metrics_dumps` for
+        one fleet-wide snapshot.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: metric.value
+                         for name, metric in sorted(counters.items())},
+            "gauges": {name: metric.value
+                       for name, metric in sorted(gauges.items())},
+            "histograms": {name: metric.dump()
+                           for name, metric in sorted(histograms.items())},
+        }
+
+
+def merge_metrics_dumps(dumps: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge :meth:`MetricsRegistry.dump` outputs into one snapshot.
+
+    Counters and gauges sum (every gauge in use — queue sizes, live
+    sessions, open breakers — is a quantity that adds across shards);
+    histograms merge at the bucket level, so the returned quantile
+    estimates match a single registry that observed every event.  The
+    output has :meth:`MetricsRegistry.snapshot` shape.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histogram_dumps: dict[str, list[dict[str, Any]]] = {}
+    for dump in dumps:
+        for name, value in dump.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in dump.get("gauges", {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, hist in dump.get("histograms", {}).items():
+            histogram_dumps.setdefault(name, []).append(hist)
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {name: Histogram.merged_summary(hists)
+                       for name, hists in sorted(histogram_dumps.items())},
+    }

@@ -146,6 +146,20 @@ class CircuitBreaker:
                 return True
             return False
 
+    def trip(self) -> bool:
+        """Force the circuit open now; True when this call opened it.
+
+        The window-based path infers failure from call outcomes; this
+        is the externally-observed path — the shard coordinator trips a
+        dead shard's breaker directly on heartbeat timeout or pipe EOF,
+        where no "call" ever failed.
+        """
+        with self._lock:
+            if self._state is BreakerState.OPEN:
+                return False
+            self._trip()
+            return True
+
     def reset(self) -> None:
         with self._lock:
             self._state = BreakerState.CLOSED
@@ -209,6 +223,14 @@ class BreakerRegistry:
 
     def record_failure(self, api_name: str) -> bool:
         return self.breaker(api_name).record_failure()
+
+    def trip(self, api_name: str) -> bool:
+        """Force ``api_name``'s circuit open; True when it just opened."""
+        return self.breaker(api_name).trip()
+
+    def reset_one(self, api_name: str) -> None:
+        """Close ``api_name``'s circuit (a replaced shard starts clean)."""
+        self.breaker(api_name).reset()
 
     def reset(self) -> None:
         with self._lock:

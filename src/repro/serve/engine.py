@@ -310,6 +310,9 @@ class ChatGraphServer:
         if self.catalog is not None:
             self.catalog.add_compact_listener(
                 self.sessions.evict_compacted)
+        if self.config.warm_caches:
+            self._stats.incr("cache_warmed_entries",
+                             self.warm_caches())
         self.queue.reopen()
         self._workers = []
         for index in range(self.config.workers):
@@ -325,6 +328,38 @@ class ChatGraphServer:
             self._finish_thread.start()
         self._running = True
         return self
+
+    def warm_caches(self) -> int:
+        """Pre-populate pipeline caches from the catalog's named graphs.
+
+        For every graph in the catalog, sequentializes it (sequence
+        cache, keyed by graph fingerprint) and embeds its suggested
+        questions through the retriever's query path (embedding cache),
+        so the first real request against a named graph starts warm.
+        Returns the number of cache entries added; ``start()`` runs
+        this when ``ServeConfig.warm_caches`` is set and surfaces the
+        count as the ``cache_warmed_entries`` counter.  Warming only
+        ever *inserts* deterministic content-keyed values, so served
+        results are byte-identical with or without it.
+        """
+        if self.caches is None or self.catalog is None:
+            return 0
+        from ..core.suggestions import suggested_questions
+
+        pipeline = self.chatgraph.pipeline
+        before = (len(self.caches.sequences)
+                  + len(self.caches.embeddings))
+        for name in self.catalog.names():
+            try:
+                view = self.catalog.view(name)
+            except ChatGraphError:
+                continue
+            pipeline.sequentializer.sequentialize(view.graph)
+            texts = suggested_questions(view.graph)
+            if texts:
+                pipeline.retriever._embed_queries(list(texts))
+        return (len(self.caches.sequences)
+                + len(self.caches.embeddings) - before)
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Graceful shutdown: stop admitting, then drain or cancel.
@@ -384,12 +419,18 @@ class ChatGraphServer:
     # ------------------------------------------------------------------
     # submission
     # ------------------------------------------------------------------
-    def submit(self, request: ServeRequest) -> PendingRequest:
+    def submit(self, request: ServeRequest,
+               parent_span_id: str | None = None) -> PendingRequest:
         """Admit ``request`` and return a handle to its future response.
 
         Raises :class:`~repro.errors.RateLimitError` or
         :class:`~repro.errors.BackpressureError` (both carry
         ``retry_after``) when admission control rejects it.
+
+        ``parent_span_id`` overrides the submitting thread's active
+        span as the parent of the request span — the cross-process
+        trace handoff: a shard worker passes the coordinator-side span
+        id carried in the request wire, so merged traces keep one tree.
         """
         if not self._running:
             raise ServeError("server is not running; call start()")
@@ -404,7 +445,9 @@ class ChatGraphServer:
             self._next_id += 1
             request_id = self._next_id
         pending = PendingRequest(request, request_id, time.perf_counter())
-        if self.tracer is not None:
+        if parent_span_id is not None:
+            pending.parent_span_id = parent_span_id
+        elif self.tracer is not None:
             pending.parent_span_id = self.tracer.current_id()
         try:
             self.queue.put(pending)
@@ -792,6 +835,9 @@ class ChatGraphServer:
         snapshot["pipeline_stages"] = list(self.pipeline_stages)
         snapshot["store"] = (self.catalog.stats()
                              if self.catalog is not None else {})
+        #: Uniform surface with ShardedChatGraphServer.stats(): a
+        #: single-process server simply has no shards.
+        snapshot["shards"] = {"count": 0, "alive": 0, "per_shard": {}}
         return snapshot
 
     def metrics_snapshot(self) -> dict[str, Any]:

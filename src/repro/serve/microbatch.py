@@ -33,7 +33,9 @@ class MicroBatcher:
     """Gathers compatible queued requests into bounded batches."""
 
     def __init__(self, max_batch: int, deadline_seconds: float,
-                 clock: Clock = time.monotonic) -> None:
+                 clock: Clock = time.monotonic,
+                 batchable_fn: "Callable[[Any], bool] | None" = None
+                 ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if deadline_seconds < 0:
@@ -41,6 +43,13 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.deadline_seconds = deadline_seconds
         self._clock = clock
+        if batchable_fn is not None:
+            # instance attribute shadows the class-level rule: the
+            # shard coordinator passes ``lambda item: True`` — on its
+            # side a "batch" is a scatter frame, and *any* routed
+            # request may share one because the receiving shard
+            # re-applies the pipeline rule below
+            self.batchable = batchable_fn
 
     @staticmethod
     def batchable(item: Any) -> bool:

@@ -1,0 +1,417 @@
+"""``bench-shard``: the sharded serving tier's three gate families.
+
+* **scaling** — the same distinct-key propose workload served at
+  increasing shard counts in the I/O-bound regime
+  (``backend_latency_seconds`` models the remote-LLM round trip, one
+  worker thread per shard, micro-batching off).  The gate is the
+  ISSUE's contract: >= 3x throughput at 4 shards over 1 shard
+  (>= 5x at 8 shards, only attempted on a machine with >= 8 cores —
+  a single-core runner cannot demonstrate CPU-bound scaling, so the
+  regime makes shards overlap *waiting*, which is exactly what the
+  process boundary buys when decode is remote).
+* **parity** — the same content-seeded requests served by a sharded
+  fleet and by a single-process :class:`ChatGraphServer` must produce
+  byte-identical canonical wire forms (:func:`value_to_wire` flattens
+  both sides), because every shard rebuilds identical weights from the
+  value-only :class:`ShardModelSpec`.
+* **spike soak** — a :class:`StepSpike` schedule under the fake-clock
+  discipline with one shard SIGKILLed mid-spike
+  (:class:`TriggerClock` fires the kill when virtual time crosses the
+  trigger).  Gates: the death was detected and the ``shard:<i>``
+  breaker tripped, orphans failed over (zero lost requests — the
+  runner's books reconcile exactly against coordinator counters), the
+  background restart brought the fleet back to full strength, and the
+  standard SLO gates (shed load bounded, p95 bounded) held.
+
+``python -m repro.cli bench-shard`` writes the combined report to
+``BENCH_PR9.json``; any failed gate exits non-zero.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Sequence
+
+from ..config import ServeConfig
+from ..loadgen.arrivals import StepSpike
+from ..loadgen.personas import default_pool
+from ..loadgen.runner import SoakRunner, VirtualClock
+from ..loadgen.schedule import build_schedule
+from ..loadgen.slo import SLOGate, SLOSpec, evaluate_slo
+from ..serve.engine import ChatGraphServer, ServeRequest
+from ..testing.workloads import PROMPTS, bench_graphs
+from .coordinator import ShardModelSpec, ShardedChatGraphServer
+from .protocol import dumps_canonical, value_to_wire
+
+__all__ = ["TriggerClock", "run_shard_benchmark"]
+
+RESULT_TIMEOUT_SECONDS = 300.0
+#: Real-time ceiling on post-soak fleet recovery (restart is a real
+#: process spawn + model rebuild; the virtual clock cannot compress it).
+RECOVERY_TIMEOUT_SECONDS = 60.0
+
+
+class TriggerClock(VirtualClock):
+    """A :class:`VirtualClock` that fires a callback crossing ``at``.
+
+    The chaos hook for fake-clock sharded soaks: the kill must land at
+    a *virtual* instant (mid-spike), so the clock itself watches for
+    the crossing.  The callback runs outside the clock lock, exactly
+    once.
+    """
+
+    def __init__(self, at: float, callback: Callable[[], None],
+                 start: float = 0.0) -> None:
+        super().__init__(start)
+        self.at = float(at)
+        self._callback = callback
+        self._fired = False
+
+    def _maybe_fire(self, now: float) -> float:
+        if not self._fired and now >= self.at:
+            self._fired = True
+            self._callback()
+        return now
+
+    def advance(self, seconds: float) -> float:
+        return self._maybe_fire(super().advance(seconds))
+
+    def advance_to(self, target: float) -> float:
+        return self._maybe_fire(super().advance_to(target))
+
+
+def _gate(name: str, passed: bool, **detail: Any) -> dict[str, Any]:
+    return {"gate": name, "passed": bool(passed), **detail}
+
+
+def _say(message: str) -> None:
+    print(message, file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# scaling
+# ----------------------------------------------------------------------
+def _scaling_requests(n: int) -> list[ServeRequest]:
+    """``n`` propose requests with ``n`` distinct routing keys.
+
+    Every request carries a unique text, so the consistent-hash ring
+    spreads the workload near-uniformly — the scaling curve measures
+    the tier, not one hot key.
+    """
+    graphs = bench_graphs(4)
+    return [
+        ServeRequest(op="propose",
+                     text=f"{PROMPTS[i % len(PROMPTS)]} [variant {i}]",
+                     graph=graphs[i % len(graphs)],
+                     client_id=f"client-{i % 8}")
+        for i in range(n)
+    ]
+
+
+def _drive(server: Any, requests: Sequence[ServeRequest]
+           ) -> tuple[float, list[Any]]:
+    start = time.perf_counter()
+    pending = [server.submit(request) for request in requests]
+    responses = [item.result(timeout=RESULT_TIMEOUT_SECONDS)
+                 for item in pending]
+    return time.perf_counter() - start, responses
+
+
+def _scaling_section(seed: int, quick: bool, corpus_size: int
+                     ) -> dict[str, Any]:
+    latency = 0.06
+    n = 32 if quick else 64
+    counts = [1, 2] if quick else [1, 2, 4]
+    many_cores = (os.cpu_count() or 1) >= 8
+    if not quick and many_cores:
+        counts.append(8)
+    requests = _scaling_requests(n)
+    spec = ShardModelSpec(corpus_size=corpus_size, seed=seed)
+
+    from ..core.chatgraph import ChatGraph
+    _say(f"scaling: single-process reference ({n} requests, "
+         f"{latency * 1000:.0f}ms emulated backend)...")
+    chatgraph = ChatGraph.pretrained(corpus_size=corpus_size, seed=seed)
+    single_config = ServeConfig(workers=1, queue_depth=2 * n,
+                                backend_latency_seconds=latency)
+    with ChatGraphServer(chatgraph, single_config) as server:
+        single_seconds, responses = _drive(server, requests)
+    failed = sum(1 for r in responses if not r.ok)
+
+    rows: list[dict[str, Any]] = []
+    for shards in counts:
+        _say(f"scaling: {shards} shard(s)...")
+        config = ServeConfig(shards=shards, workers=1,
+                             queue_depth=2 * n,
+                             backend_latency_seconds=latency)
+        server = ShardedChatGraphServer(spec, config)
+        with server:
+            seconds, responses = _drive(server, requests)
+            stats = server.stats()
+        shard_failed = sum(1 for r in responses if not r.ok)
+        failed += shard_failed
+        per_shard = stats["shards"]["per_shard"]
+        rows.append({
+            "shards": shards,
+            "seconds": round(seconds, 4),
+            "throughput": round(n / seconds, 2),
+            "failed": shard_failed,
+            "routed": {index: entry["routed"]
+                       for index, entry in sorted(per_shard.items())},
+        })
+    base = rows[0]["throughput"]
+    for row in rows:
+        row["speedup"] = round(row["throughput"] / base, 2)
+        _say(f"scaling: {row['shards']} shard(s): "
+             f"{row['throughput']:.1f} req/s ({row['speedup']}x)")
+
+    by_count = {row["shards"]: row for row in rows}
+    gates = [_gate("no failed requests", failed == 0, failed=failed)]
+    if quick:
+        gates.append(_gate(
+            "throughput at 2 shards >= 1.5x over 1 shard",
+            by_count[2]["speedup"] >= 1.5, speedup=by_count[2]["speedup"]))
+    else:
+        gates.append(_gate(
+            "throughput at 4 shards >= 3x over 1 shard",
+            by_count[4]["speedup"] >= 3.0, speedup=by_count[4]["speedup"]))
+        if 8 in by_count:
+            gates.append(_gate(
+                "throughput at 8 shards >= 5x over 1 shard",
+                by_count[8]["speedup"] >= 5.0,
+                speedup=by_count[8]["speedup"]))
+        else:
+            _say(f"scaling: 8-shard gate skipped "
+                 f"({os.cpu_count() or 1} core(s) < 8)")
+    return {
+        "n_requests": n,
+        "backend_latency_seconds": latency,
+        "single_process": {
+            "seconds": round(single_seconds, 4),
+            "throughput": round(n / single_seconds, 2),
+        },
+        "rows": rows,
+        "eight_shard_gate": "run" if 8 in by_count else
+                            "skipped: fewer than 8 cores",
+        "gates": gates,
+        "passed": all(gate["passed"] for gate in gates),
+    }
+
+
+# ----------------------------------------------------------------------
+# parity
+# ----------------------------------------------------------------------
+def _parity_section(seed: int, quick: bool, corpus_size: int
+                    ) -> dict[str, Any]:
+    n_texts = 2 if quick else 4
+    texts = list(PROMPTS[:n_texts])
+    graphs = bench_graphs(2)
+    cases = [(op, text, graph)
+             for op in ("ask", "propose")
+             for text in texts
+             for graph in graphs]
+    spec = ShardModelSpec(corpus_size=corpus_size, seed=seed)
+
+    from ..core.chatgraph import ChatGraph
+    _say(f"parity: {len(cases)} cases, 3-shard fleet vs "
+         f"single process...")
+    chatgraph = ChatGraph.pretrained(corpus_size=corpus_size, seed=seed)
+    single = ChatGraphServer(chatgraph, ServeConfig(workers=1,
+                                                    queue_depth=64))
+    sharded = ShardedChatGraphServer(
+        spec, ServeConfig(shards=3, workers=1, queue_depth=64))
+    mismatches: list[dict[str, Any]] = []
+    compared = 0
+    with single, sharded:
+        for op, text, graph in cases:
+            request = ServeRequest(op=op, text=text, graph=graph)
+            local = single.request(request)
+            remote = sharded.request(
+                ServeRequest(op=op, text=text, graph=graph))
+            if not (local.ok and remote.ok):
+                mismatches.append({"op": op, "text": text,
+                                   "graph": graph.name,
+                                   "local_ok": local.ok,
+                                   "remote_ok": remote.ok})
+                continue
+            local_bytes = dumps_canonical(value_to_wire(op, local.value))
+            remote_bytes = dumps_canonical(
+                value_to_wire(op, remote.value))
+            compared += 1
+            if local_bytes != remote_bytes:
+                mismatches.append({
+                    "op": op, "text": text, "graph": graph.name,
+                    "local": local_bytes.decode("ascii"),
+                    "remote": remote_bytes.decode("ascii"),
+                })
+    gates = [
+        _gate("every case compared", compared == len(cases),
+              compared=compared, expected=len(cases)),
+        _gate("responses byte-identical to single-process",
+              not mismatches, mismatches=len(mismatches)),
+    ]
+    _say(f"parity: {compared}/{len(cases)} byte-identical"
+         + (f", {len(mismatches)} MISMATCHES" if mismatches else ""))
+    return {
+        "cases": len(cases),
+        "compared": compared,
+        "mismatches": mismatches[:5],
+        "gates": gates,
+        "passed": all(gate["passed"] for gate in gates),
+    }
+
+
+# ----------------------------------------------------------------------
+# kill-a-shard spike soak
+# ----------------------------------------------------------------------
+def _soak_section(seed: int, quick: bool, corpus_size: int
+                  ) -> dict[str, Any]:
+    duration = 75.0 if quick else 120.0
+    spike_start = 25.0 if quick else 30.0
+    spike_end = spike_start + 15.0
+    kill_at = (spike_start + spike_end) / 2.0
+    arrival = StepSpike(base_rate=0.25, spike_rate=8.0,
+                        spike_start=spike_start, spike_end=spike_end)
+    pool = default_pool()
+    spec = ShardModelSpec(corpus_size=corpus_size, seed=seed)
+
+    tmpdir = tempfile.TemporaryDirectory(prefix="bench-shard-store-")
+    try:
+        from ..store.catalog import GraphCatalog
+        catalog = GraphCatalog(tmpdir.name)
+        catalog_names = []
+        for key in ("social-m", "kg-m"):
+            name = f"demo-{key}"
+            handle = catalog.create(name, directed=pool[key].directed)
+            handle.ingest(pool[key])
+            catalog_names.append(name)
+        catalog.close()
+        schedule = build_schedule(arrival, duration, seed=seed,
+                                  pool=pool,
+                                  catalog_names=tuple(catalog_names))
+        config = ServeConfig(
+            shards=3, workers=1, queue_depth=8,
+            shard_inflight=1, shard_scatter_batch=4,
+            store_root=tmpdir.name,
+            shard_hot_graphs=tuple(catalog_names),
+            shard_replicas=2)
+        clock = TriggerClock(kill_at, lambda: None)
+        server = ShardedChatGraphServer(spec, config, clock=clock)
+        clock._callback = lambda: server.kill_shard(0)
+        _say(f"soak: spike {spike_start:.0f}-{spike_end:.0f}s of "
+             f"{duration:.0f}s, shard 0 SIGKILLed at t={kill_at:.0f}s "
+             f"(virtual)...")
+        runner = SoakRunner(server, schedule, window_seconds=15.0,
+                            clock=clock)
+        recovery: dict[str, Any] = {}
+        with server:
+            report = runner.run()
+            # the restart is a real process spawn: give the fleet
+            # bounded real time to return to full strength before
+            # reading the recovery gates
+            deadline = time.monotonic() + RECOVERY_TIMEOUT_SECONDS
+            while time.monotonic() < deadline:
+                alive = sum(1 for h in server.handles if h.alive)
+                open_names = sorted(server.breakers.open_names())
+                if alive == config.shards and not open_names:
+                    break
+                time.sleep(0.1)
+            recovery = {
+                "alive": sum(1 for h in server.handles if h.alive),
+                "shards": config.shards,
+                "open_breakers": sorted(server.breakers.open_names()),
+                "waited_seconds": round(
+                    RECOVERY_TIMEOUT_SECONDS
+                    - max(0.0, deadline - time.monotonic()), 2),
+            }
+            final_stats = server.stats()
+    finally:
+        tmpdir.cleanup()
+
+    counters = report["counters"]
+    slo = evaluate_slo(report, SLOSpec(name="shard-spike", gates=(
+        SLOGate(metric="error_rate", max_value=0.02),
+        SLOGate(metric="rejection_rate", min_value=0.001,
+                max_value=0.9),
+        SLOGate(metric="p95_latency", max_value=1.0),
+    )))
+    shard_gates = [
+        _gate("exactly one shard death", counters.get(
+            "shard_deaths", 0) == 1,
+            deaths=counters.get("shard_deaths", 0)),
+        _gate("breaker tripped on the death",
+              counters.get("breaker_opened", 0) >= 1,
+              opened=counters.get("breaker_opened", 0)),
+        _gate("orphans failed over",
+              counters.get("shard_failovers", 0) >= 1,
+              failovers=counters.get("shard_failovers", 0)),
+        _gate("shard restarted",
+              counters.get("shard_restarts", 0) >= 1,
+              restarts=counters.get("shard_restarts", 0)),
+        _gate("fleet back to full strength",
+              recovery["alive"] == recovery["shards"], **recovery),
+        _gate("no breaker open after recovery",
+              not recovery["open_breakers"]),
+        _gate("runner books reconcile exactly",
+              report["reconciliation"]["exact"],
+              reconciliation=report["reconciliation"]),
+    ]
+    passed = slo["passed"] and all(g["passed"] for g in shard_gates)
+    overall = report["overall"]
+    _say(f"soak: {overall['submitted']} submitted, {overall['ok']} ok, "
+         f"{overall['rejected']} rejected, {overall['errors']} errors; "
+         f"deaths={counters.get('shard_deaths', 0)} "
+         f"failovers={counters.get('shard_failovers', 0)} "
+         f"restarts={counters.get('shard_restarts', 0)}")
+    return {
+        "duration": duration,
+        "spike": [spike_start, spike_end],
+        "kill_at": kill_at,
+        "schedule_sha256": report["schedule_sha256"],
+        "overall": overall,
+        "counters": counters,
+        "reconciliation": report["reconciliation"],
+        "recovery": recovery,
+        "final_shards": {
+            "alive": final_stats["shards"]["alive"],
+            "count": final_stats["shards"]["count"],
+        },
+        "slo": slo,
+        "gates": shard_gates,
+        "passed": passed,
+    }
+
+
+# ----------------------------------------------------------------------
+# the whole benchmark
+# ----------------------------------------------------------------------
+def run_shard_benchmark(seed: int = 0, quick: bool = False,
+                        corpus_size: int = 200,
+                        skip_soak: bool = False) -> dict[str, Any]:
+    """All three gate families; the ``bench-shard`` CLI body."""
+    report: dict[str, Any] = {
+        "bench": "bench-shard",
+        "seed": seed,
+        "quick": quick,
+        "corpus_size": corpus_size,
+        "cpu_count": os.cpu_count() or 1,
+        "scaling": _scaling_section(seed, quick, corpus_size),
+        "parity": _parity_section(seed, quick, corpus_size),
+    }
+    if skip_soak:
+        report["soak"] = {"skipped": True, "passed": True}
+    else:
+        report["soak"] = _soak_section(seed, quick, corpus_size)
+    report["passed"] = all(report[section]["passed"]
+                           for section in ("scaling", "parity", "soak"))
+    for section in ("scaling", "parity", "soak"):
+        for gate in report[section].get("gates", ()):
+            status = "PASS" if gate["passed"] else "FAIL"
+            _say(f"  {status}  [{section}] {gate['gate']}")
+        for gate in report[section].get("slo", {}).get("gates", ()):
+            status = "PASS" if gate["passed"] else "FAIL"
+            _say(f"  {status}  [{section}] {gate['gate']}")
+    return report

@@ -1,0 +1,119 @@
+"""Consistent-hash routing for the sharded serving tier.
+
+A :class:`HashRing` places ``vnodes`` virtual points per shard on a
+2^64 ring (sha256 of ``"<shard>:<replica>"``) and routes each key to
+the first point clockwise of the key's own hash.  The properties the
+coordinator relies on:
+
+* **determinism** — the same key always lands on the same shard for a
+  fixed shard set (routing never depends on arrival order);
+* **stability** — removing one shard only remaps keys that shard
+  owned; every other key keeps its owner, so session and cache
+  locality survive membership churn (``tests/test_shard_ring.py``
+  drives this under hypothesis);
+* **preference walks** — :meth:`preference` yields all shards in ring
+  order from the key's position, which gives both the replica set of a
+  hot graph (its first N entries) and the failover order when the
+  owner is dead (the next live entry).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+from ..errors import ConfigError
+
+__all__ = ["HashRing"]
+
+
+def _hash64(material: str) -> int:
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards: Iterable[int] = (),
+                 vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ConfigError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._shards: set[int] = set()
+        #: Sorted (point, shard) pairs; rebuilt-free add/remove via
+        #: bisect keeps membership churn O(vnodes log n).
+        self._points: list[tuple[int, int]] = []
+        for shard in shards:
+            self.add(shard)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _shard_points(self, shard: int) -> list[tuple[int, int]]:
+        return [(_hash64(f"shard:{shard}:{replica}"), shard)
+                for replica in range(self.vnodes)]
+
+    def add(self, shard: int) -> None:
+        if shard in self._shards:
+            raise ConfigError(f"shard {shard} already on the ring")
+        self._shards.add(shard)
+        for point in self._shard_points(shard):
+            bisect.insort(self._points, point)
+
+    def remove(self, shard: int) -> None:
+        if shard not in self._shards:
+            raise ConfigError(f"shard {shard} not on the ring")
+        self._shards.remove(shard)
+        self._points = [point for point in self._points
+                        if point[1] != shard]
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._shards
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key`` (first point clockwise)."""
+        for shard in self.preference(key):
+            return shard
+        raise ConfigError("lookup on an empty ring")
+
+    def preference(self, key: str) -> Iterator[int]:
+        """Every shard in ring order from ``key``'s position.
+
+        Distinct shards only, in the order their first virtual point
+        appears walking clockwise — the canonical replica/failover
+        order for ``key``.
+        """
+        if not self._points:
+            return
+        start = bisect.bisect_right(self._points,
+                                    (_hash64(key), 1 << 65))
+        seen: set[int] = set()
+        n = len(self._points)
+        for offset in range(n):
+            shard = self._points[(start + offset) % n][1]
+            if shard not in seen:
+                seen.add(shard)
+                yield shard
+                if len(seen) == len(self._shards):
+                    return
+
+    def preferred(self, key: str, count: int) -> list[int]:
+        """The first ``count`` distinct shards of the preference walk."""
+        out: list[int] = []
+        for shard in self.preference(key):
+            out.append(shard)
+            if len(out) >= count:
+                break
+        return out

@@ -1,0 +1,258 @@
+"""The shard worker process: ``python -m repro.shard.worker``.
+
+One worker is one OS process hosting a private
+:class:`~repro.serve.engine.ChatGraphServer` — its own finetuned model
+(rebuilt deterministically from the init spec, so every shard computes
+byte-identical results for the same content-seeded request), its own
+session store, pipeline caches, per-API breakers, and catalog handle
+over the shared ``store_root``.  The process boundary is the point:
+each shard owns a whole CPU core's worth of decode/ANN work instead of
+sharing one GIL.
+
+Protocol (see :mod:`repro.shard.protocol`): stdin carries ``init`` /
+``batch`` / ``stats`` / ``shutdown`` frames, stdout carries ``hello`` /
+``batch_reply`` / ``stats_reply`` / ``heartbeat``.  stdout belongs to
+the protocol exclusively — ``main`` repoints ``sys.stdout`` at stderr
+before any library code runs, so a stray ``print`` can never corrupt a
+frame.  A clean EOF on stdin (coordinator gone) is the shutdown
+signal; the worker drains and exits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import threading
+import time
+from typing import Any, BinaryIO
+
+from ..config import ChatGraphConfig, ObsConfig, ServeConfig
+from ..errors import ChatGraphError
+from .protocol import (
+    ShardProtocolError,
+    read_frame,
+    request_from_wire,
+    response_to_wire,
+    write_frame,
+)
+
+__all__ = ["ShardWorker", "main", "serve_config_from_wire",
+           "serve_config_to_wire"]
+
+#: Upper bound a worker waits on one locally-submitted request before
+#: failing that reply slot (the coordinator's heartbeat timeout governs
+#: hung *processes*; this governs hung *requests*).
+RESULT_TIMEOUT_SECONDS = 120.0
+
+
+def serve_config_to_wire(config: ServeConfig) -> dict[str, Any]:
+    """A JSON-able dict round-tripping through ``serve_config_from_wire``."""
+    wire = dataclasses.asdict(config)
+    wire["shard_hot_graphs"] = list(config.shard_hot_graphs)
+    return wire
+
+
+def serve_config_from_wire(wire: dict[str, Any]) -> ServeConfig:
+    data = dict(wire)
+    obs = ObsConfig(**data.pop("obs"))
+    data["shard_hot_graphs"] = tuple(data.get("shard_hot_graphs") or ())
+    return ServeConfig(**data, obs=obs)
+
+
+def build_shard_chatgraph(model: dict[str, Any]) -> Any:
+    """Deterministically rebuild the model a shard serves.
+
+    The spec carries only values (corpus size, seed, objective, config
+    dict) — never objects — so any process that applies it produces the
+    same finetuned weights, which is what makes sharded responses
+    byte-identical to the single-process server's.
+    """
+    from ..core.chatgraph import ChatGraph
+
+    config = None
+    if model.get("config") is not None:
+        config = ChatGraphConfig.from_dict(model["config"])
+    return ChatGraph.pretrained(
+        config=config,
+        corpus_size=int(model.get("corpus_size", 600)),
+        objective=str(model.get("objective", "token")),
+        seed=int(model.get("seed", 0)))
+
+
+class ShardWorker:
+    """Protocol loop around one local :class:`ChatGraphServer`."""
+
+    def __init__(self, init: dict[str, Any], stdin: BinaryIO,
+                 stdout: BinaryIO) -> None:
+        self.shard = int(init["shard"])
+        self.name = f"shard-{self.shard}"
+        self._stdin = stdin
+        self._stdout = stdout
+        self._write_lock = threading.Lock()
+        self._stop = threading.Event()
+        config = serve_config_from_wire(init["serve"])
+        #: Admission control lives in the coordinator: the shard must
+        #: never second-guess it, so per-client limiting is off and the
+        #: local queue is deep enough for every in-flight scatter batch.
+        scatter = max(1, config.shard_scatter_batch)
+        self.config = dataclasses.replace(
+            config,
+            rate_limit_capacity=0,
+            rate_limit_refill_per_second=0.0,
+            queue_depth=max(config.queue_depth,
+                            2 * config.shard_inflight * scatter + 8))
+        started = time.perf_counter()
+        from ..serve.engine import ChatGraphServer
+
+        chatgraph = build_shard_chatgraph(init["model"])
+        self.server = ChatGraphServer(chatgraph, self.config)
+        self.server.start()
+        self.startup_seconds = time.perf_counter() - started
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name=f"{self.name}-heartbeat",
+            daemon=True)
+
+    # ------------------------------------------------------------------
+    # frame plumbing
+    # ------------------------------------------------------------------
+    def _write(self, frame: dict[str, Any]) -> None:
+        try:
+            with self._write_lock:
+                write_frame(self._stdout, frame)
+        except (OSError, ValueError):
+            # coordinator is gone; stop pumping and let the main loop
+            # wind down on stdin EOF
+            self._stop.set()
+
+    def _heartbeat_loop(self) -> None:
+        seq = 0
+        while not self._stop.wait(self.config.shard_heartbeat_seconds):
+            seq += 1
+            self._write({"type": "heartbeat", "shard": self.shard,
+                         "seq": seq})
+
+    # ------------------------------------------------------------------
+    # frame handlers
+    # ------------------------------------------------------------------
+    def _handle_batch(self, frame: dict[str, Any]) -> None:
+        items = frame.get("items") or []
+        submitted: list[tuple[dict[str, Any], Any, Exception | None]] = []
+        for wire in items:
+            try:
+                request = request_from_wire(wire)
+                pending = self.server.submit(
+                    request, parent_span_id=wire.get("parent_span"))
+                submitted.append((wire, pending, None))
+            except Exception as exc:  # noqa: BLE001 - fail one slot only
+                submitted.append((wire, None, exc))
+        replies: list[dict[str, Any]] = []
+        for wire, pending, error in submitted:
+            if pending is None:
+                replies.append({
+                    "request_id": wire.get("request_id", 0),
+                    "op": wire.get("op", ""), "ok": False,
+                    "error": str(error),
+                    "error_type": type(error).__name__,
+                    "worker": self.name, "seed": 0,
+                    "service_seconds": 0.0, "value": None,
+                })
+                continue
+            try:
+                response = pending.result(timeout=RESULT_TIMEOUT_SECONDS)
+                reply = response_to_wire(response)
+            except Exception as exc:  # noqa: BLE001 - fail one slot only
+                reply = {
+                    "request_id": 0, "op": wire.get("op", ""),
+                    "ok": False, "error": str(exc),
+                    "error_type": type(exc).__name__,
+                    "worker": self.name, "seed": 0,
+                    "service_seconds": 0.0, "value": None,
+                }
+            #: The coordinator matches replies to items by position but
+            #: reconciles ids; the worker's lane name is prefixed so
+            #: merged stats can attribute work to a shard.
+            reply["request_id"] = wire.get("request_id", 0)
+            reply["worker"] = f"{self.name}/{reply.get('worker', '')}"
+            replies.append(reply)
+        self._write({"type": "batch_reply", "shard": self.shard,
+                     "batch_id": frame.get("batch_id", 0),
+                     "replies": replies})
+
+    def _handle_stats(self, frame: dict[str, Any]) -> None:
+        payload: dict[str, Any] = {
+            "type": "stats_reply", "shard": self.shard,
+            "stats_id": frame.get("stats_id", 0),
+            "stats": self.server.stats(),
+            "metrics": self.server.metrics.dump(),
+        }
+        tracer = self.server.tracer
+        if frame.get("include_spans") and tracer is not None:
+            payload["spans"] = [span.to_dict(canonical=True)
+                                for span in tracer.finished_spans()]
+        self._write(payload)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        self._write({"type": "hello", "shard": self.shard,
+                     "pid": os.getpid(),
+                     "startup_seconds": self.startup_seconds})
+        self._heartbeat.start()
+        batch_threads: list[threading.Thread] = []
+        try:
+            while not self._stop.is_set():
+                frame = read_frame(self._stdin)
+                if frame is None or frame["type"] == "shutdown":
+                    break
+                if frame["type"] == "batch":
+                    # serve off-thread so the loop keeps reading: the
+                    # coordinator pipelines shard_inflight batches and
+                    # expects them to overlap, and a long batch must
+                    # not starve heartbeats or stats polls
+                    thread = threading.Thread(
+                        target=self._handle_batch, args=(frame,),
+                        name=f"{self.name}-batch", daemon=True)
+                    thread.start()
+                    batch_threads.append(thread)
+                    batch_threads = [t for t in batch_threads
+                                     if t.is_alive()]
+                elif frame["type"] == "stats":
+                    self._handle_stats(frame)
+                elif frame["type"] != "heartbeat":
+                    raise ShardProtocolError(
+                        f"unexpected frame type {frame['type']!r}")
+        except (ShardProtocolError, OSError) as exc:
+            print(f"{self.name}: protocol error: {exc}",
+                  file=sys.stderr)
+            return 1
+        finally:
+            self._stop.set()
+            for thread in batch_threads:
+                thread.join(timeout=RESULT_TIMEOUT_SECONDS)
+            try:
+                self.server.stop(drain=True, timeout=10.0)
+            except ChatGraphError:
+                pass
+        return 0
+
+
+def main() -> int:
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    # the protocol owns the real stdout; anything library code prints
+    # from here on lands on stderr instead of inside a frame
+    sys.stdout = sys.stderr
+    init = read_frame(stdin)
+    if init is None:
+        return 0
+    if init.get("type") != "init":
+        raise ShardProtocolError(
+            f"expected an init frame, got {init.get('type')!r}")
+    worker = ShardWorker(init, stdin, stdout)
+    return worker.run()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

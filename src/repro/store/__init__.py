@@ -16,7 +16,7 @@ Quick start::
     catalog.open("social").compact()     # roll epoch, prune history
 """
 
-from .catalog import GraphCatalog, GraphHandle, GraphView
+from .catalog import CompactTicket, GraphCatalog, GraphHandle, GraphView
 from .index import NodeVectorIndex
 from .log import EditLog
 from .records import OPS, apply_record, make_record
@@ -24,6 +24,7 @@ from .snapshot import graph_bytes, graph_from_bytes, graph_to_document
 
 __all__ = [
     "EditLog",
+    "CompactTicket",
     "GraphCatalog",
     "GraphHandle",
     "GraphView",

@@ -18,6 +18,7 @@ epochs that no longer exist on disk.
 
 from __future__ import annotations
 
+import queue
 import shutil
 import threading
 from pathlib import Path
@@ -34,6 +35,39 @@ from .snapshot import graph_bytes, graph_from_bytes
 MANIFEST_FORMAT = 1
 
 CompactListener = Callable[[str, list[int]], None]
+
+
+class CompactTicket:
+    """Future for one queued :meth:`GraphCatalog.compact_async` job."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._done = threading.Event()
+        self._epoch: int | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> int:
+        """Block until the compaction ran; returns the new epoch.
+
+        Re-raises the compaction's exception if it failed; raises
+        :class:`~repro.errors.StoreError` on timeout.
+        """
+        if not self._done.wait(timeout):
+            raise StoreError(
+                f"compaction of {self.name!r} not done after {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._epoch is not None
+        return self._epoch
+
+    def _finish(self, epoch: int | None = None,
+                error: BaseException | None = None) -> None:
+        self._epoch = epoch
+        self._error = error
+        self._done.set()
 
 
 class GraphView:
@@ -310,6 +344,9 @@ class GraphCatalog:
         self._handles: dict[str, GraphHandle] = {}
         self._lock = threading.Lock()
         self._compact_listeners: list[CompactListener] = []
+        #: Lazily-started daemon running queued compact_async jobs.
+        self._maintenance: threading.Thread | None = None
+        self._jobs: "queue.Queue[CompactTicket | None]" = queue.Queue()
 
     # ------------------------------------------------------------------
     # catalog operations
@@ -364,7 +401,56 @@ class GraphCatalog:
                                  f"{self.root}")
             shutil.rmtree(directory)
 
+    # ------------------------------------------------------------------
+    # background maintenance
+    # ------------------------------------------------------------------
+    def compact_async(self, name: str) -> "CompactTicket":
+        """Queue a compaction of ``name`` on the maintenance thread.
+
+        Returns immediately with a :class:`CompactTicket`; serving
+        threads never block on snapshot IO or epoch pruning.  Jobs run
+        one at a time in submission order on a single lazily-started
+        daemon thread, and compact listeners fire on that thread,
+        outside every catalog and handle lock — a listener may call
+        back into the catalog freely.  Unknown names fail fast here
+        (not on the ticket).
+        """
+        if not self.exists(name):
+            raise StoreError(f"no graph named {name!r} under "
+                             f"{self.root}")
+        ticket = CompactTicket(name)
+        with self._lock:
+            if self._maintenance is None:
+                self._jobs = queue.Queue()
+                self._maintenance = threading.Thread(
+                    target=self._maintenance_loop,
+                    name="catalog-maintenance", daemon=True)
+                self._maintenance.start()
+            self._jobs.put(ticket)
+        return ticket
+
+    def _maintenance_loop(self) -> None:
+        while True:
+            ticket = self._jobs.get()
+            if ticket is None:
+                return
+            try:
+                epoch = self.open(ticket.name).compact()
+            except BaseException as exc:  # noqa: BLE001 - fail the ticket
+                ticket._finish(error=exc)
+            else:
+                self._count("store_compactions_async")
+                ticket._finish(epoch=epoch)
+
     def close(self) -> None:
+        # stop the maintenance thread before closing handles: a
+        # compaction running after its handle's log closed would corrupt
+        # nothing but would fail confusingly
+        with self._lock:
+            maintenance, self._maintenance = self._maintenance, None
+        if maintenance is not None:
+            self._jobs.put(None)
+            maintenance.join(timeout=30.0)
         with self._lock:
             for handle in self._handles.values():
                 handle.close()

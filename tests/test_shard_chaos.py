@@ -1,0 +1,97 @@
+"""Kill-a-shard chaos: failover, breaker flow, restart, exact books.
+
+A shard worker is SIGKILLed while a stream of requests is in flight.
+The contract: every admitted request still resolves (orphans fail over
+along the ring preference), the ``shard:<i>`` breaker trips and
+surfaces through ``breaker_opened``, a background restart returns the
+fleet to full strength with the breaker reset, and the coordinator's
+counters reconcile exactly against the caller's own ledger — a lost or
+double-counted request is a bug, not noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import ServeConfig, ServeRequest
+from repro.shard import ShardModelSpec, ShardedChatGraphServer
+from repro.testing.workloads import PROMPTS, bench_graphs
+
+CORPUS = 150
+RECOVERY_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One kill-a-shard run; the tests below assert on its ledger."""
+    server = ShardedChatGraphServer(
+        ShardModelSpec(corpus_size=CORPUS, seed=0),
+        ServeConfig(shards=2, workers=1, queue_depth=256,
+                    shard_scatter_batch=4))
+    graphs = bench_graphs(4)
+    n = 30
+    requests = [
+        ServeRequest(op="ask",
+                     text=f"{PROMPTS[i % len(PROMPTS)]} [chaos {i}]",
+                     graph=graphs[i % len(graphs)])
+        for i in range(n)
+    ]
+    with server:
+        # route to discover which shard owns the first request, then
+        # kill that one specifically so in-flight work is orphaned
+        victim = server.ring.lookup(
+            ShardedChatGraphServer.routing_key(requests[0]))
+        pending = []
+        for index, request in enumerate(requests):
+            if index == 5:
+                server.kill_shard(victim)
+            pending.append(server.submit(request))
+        responses = [item.result(timeout=120.0) for item in pending]
+        deadline = time.monotonic() + RECOVERY_TIMEOUT
+        while time.monotonic() < deadline:
+            if (all(handle.alive for handle in server.handles)
+                    and not server.breakers.open_names()):
+                break
+            time.sleep(0.1)
+        stats = server.stats()
+        open_after = sorted(server.breakers.open_names())
+        handles = [(handle.deaths, handle.restarts)
+                   for handle in server.handles]
+    return {"n": n, "victim": victim, "responses": responses,
+            "stats": stats, "open_after": open_after,
+            "handles": handles}
+
+
+def test_no_request_is_lost(report):
+    failed = [r for r in report["responses"] if not r.ok]
+    assert not failed, failed[:3]
+    assert len(report["responses"]) == report["n"]
+
+
+def test_death_was_detected_and_breaker_tripped(report):
+    counters = report["stats"]["counters"]
+    assert counters["shard_deaths"] == 1
+    assert counters["breaker_opened"] >= 1
+    assert counters["shard_failovers"] >= 1
+
+
+def test_fleet_recovered(report):
+    assert report["open_after"] == []
+    assert counters_alive(report) == 2
+    victim_deaths, victim_restarts = report["handles"][report["victim"]]
+    assert victim_deaths == 1 and victim_restarts >= 1
+
+
+def counters_alive(report):
+    return report["stats"]["shards"]["alive"]
+
+
+def test_books_reconcile_exactly(report):
+    counters = report["stats"]["counters"]
+    ops = sum(value for name, value in counters.items()
+              if name.startswith("op_"))
+    assert counters["admitted"] == report["n"]
+    assert ops == report["n"]  # each request resolved exactly once
+    assert counters.get("failed", 0) == 0

@@ -1,0 +1,95 @@
+"""Consistent-hash ring properties (hypothesis-driven).
+
+The coordinator's routing correctness rests on three ring properties:
+determinism (same key, same owner), stability (removing a shard only
+remaps the keys it owned), and well-formed preference walks (distinct
+shards, owner first, full coverage).  Hypothesis drives them across
+arbitrary shard sets and key populations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.shard import HashRing
+
+shard_sets = st.sets(st.integers(min_value=0, max_value=31),
+                     min_size=1, max_size=8)
+keys = st.lists(st.text(min_size=1, max_size=16), min_size=1,
+                max_size=40, unique=True)
+
+
+@given(shards=shard_sets, key=st.text(min_size=1, max_size=16))
+def test_lookup_deterministic(shards, key):
+    a = HashRing(shards)
+    b = HashRing(sorted(shards, reverse=True))
+    assert a.lookup(key) == b.lookup(key)
+    assert a.lookup(key) in shards
+
+
+@settings(max_examples=50)
+@given(shards=st.sets(st.integers(min_value=0, max_value=31),
+                      min_size=2, max_size=8),
+       key_list=keys)
+def test_remove_only_remaps_owned_keys(shards, key_list):
+    ring = HashRing(shards)
+    before = {key: ring.lookup(key) for key in key_list}
+    victim = sorted(shards)[0]
+    ring.remove(victim)
+    for key, owner in before.items():
+        after = ring.lookup(key)
+        if owner != victim:
+            # stability: keys the victim never owned keep their shard
+            assert after == owner
+        else:
+            assert after != victim
+            # the orphaned key moves to its next preference, which the
+            # pre-removal walk already predicted
+            full = HashRing(shards)
+            walk = list(full.preference(key))
+            assert after == walk[1]
+
+
+@settings(max_examples=50)
+@given(shards=shard_sets, key_list=keys)
+def test_add_back_restores_ownership(shards, key_list):
+    ring = HashRing(shards)
+    before = {key: ring.lookup(key) for key in key_list}
+    extra = max(shards) + 1
+    ring.add(extra)
+    ring.remove(extra)
+    assert {key: ring.lookup(key) for key in key_list} == before
+
+
+@given(shards=shard_sets, key=st.text(min_size=1, max_size=16))
+def test_preference_walk_is_well_formed(shards, key):
+    ring = HashRing(shards)
+    walk = list(ring.preference(key))
+    assert walk[0] == ring.lookup(key)
+    assert sorted(walk) == sorted(shards)  # distinct, full coverage
+    assert ring.preferred(key, 2) == walk[:2]
+
+
+def test_membership_errors():
+    ring = HashRing([0, 1])
+    with pytest.raises(ConfigError):
+        ring.add(0)
+    with pytest.raises(ConfigError):
+        ring.remove(7)
+    with pytest.raises(ConfigError):
+        HashRing([]).lookup("anything")
+    with pytest.raises(ConfigError):
+        HashRing(vnodes=0)
+    assert list(HashRing([]).preference("k")) == []
+
+
+def test_vnodes_spread_load():
+    ring = HashRing(range(4))
+    owners = {ring.lookup(f"key-{i}") for i in range(200)}
+    assert owners == {0, 1, 2, 3}
+    assert len(ring) == 4
+    assert 2 in ring and 9 not in ring
+    assert ring.shards == (0, 1, 2, 3)
