@@ -328,8 +328,8 @@ def bench_perf_main(argv: list[str]) -> int:
         serve_min_speedup=args.serve_min_speedup,
         include_serve=not args.no_serve)
 
-    Path(args.out).write_text(json.dumps(report, indent=1) + "\n",
-                              encoding="utf-8")
+    from .benchlib import write_report
+    write_report(args.out, report)
     print(f"report -> {args.out}", file=sys.stderr)
 
     decode, ann = report["decode"], report["ann"]
@@ -552,9 +552,8 @@ def bench_slo_main(argv: list[str]) -> int:
             print(f"  FAIL  counter reconciliation: "
                   f"{result['reconciliation']}")
     report["passed"] = passed
-    Path(args.out).write_text(
-        json.dumps(report, indent=1, sort_keys=True) + "\n",
-        encoding="utf-8")
+    from .benchlib import write_report
+    write_report(args.out, report, sort_keys=True)
     print(f"report -> {args.out}", file=sys.stderr)
     print("bench-slo: " + ("OK" if passed else "FAILED"))
     return 0 if passed else 1
@@ -563,12 +562,14 @@ def bench_slo_main(argv: list[str]) -> int:
 def bench_shard_main(argv: list[str]) -> int:
     """``python -m repro.cli bench-shard``: sharded serving gates.
 
-    Runs the three gate families of :mod:`repro.shard.bench` — the
-    scaling curve (throughput vs shard count), the parity gate
+    Runs the four gate families of :mod:`repro.shard.bench` — the
+    scaling curve (throughput vs shard count, with the 8-shard gate
+    armed automatically on a >= 8-core host), the parity gate
     (byte-identical responses between the sharded and single-process
-    servers), and the kill-a-shard spike soak — writes the combined
-    report to ``--out`` (default ``BENCH_PR9.json``), and exits
-    non-zero when any gate fails.
+    servers), the kill-a-shard spike soak, and the live add/remove
+    shard migration soak — writes the combined report to ``--out``
+    (default ``BENCH_PR9.json``), and exits non-zero when any gate
+    fails.
     """
     parser = argparse.ArgumentParser(
         prog="repro.cli bench-shard",
@@ -591,9 +592,8 @@ def bench_shard_main(argv: list[str]) -> int:
     report = run_shard_benchmark(seed=args.seed, quick=args.quick,
                                  corpus_size=args.corpus,
                                  skip_soak=args.skip_soak)
-    Path(args.out).write_text(
-        json.dumps(report, indent=1, sort_keys=True) + "\n",
-        encoding="utf-8")
+    from .benchlib import write_report
+    write_report(args.out, report, sort_keys=True)
     print(f"report -> {args.out}", file=sys.stderr)
     print("bench-shard: " + ("OK" if report["passed"] else "FAILED"))
     return 0 if report["passed"] else 1

@@ -262,6 +262,11 @@ class ServeConfig:
     #: How long a per-shard dispatcher holds a partial scatter batch
     #: waiting for company before flushing it.
     shard_scatter_deadline_seconds: float = 0.002
+    #: Ceiling on one live ring change (add/remove shard): the quiesce
+    #: of outstanding work plus the session adopt/evict/warm round
+    #: trips must finish within this budget or the migration aborts
+    #: with the old ring intact.
+    shard_migration_timeout_seconds: float = 30.0
     #: Base seed folded into every request's deterministic per-request
     #: seed (content-keyed, so results are order-independent).
     seed: int = 0
@@ -321,6 +326,8 @@ class ServeConfig:
                  "shard_scatter_batch must be >= 0")
         _require(self.shard_scatter_deadline_seconds >= 0.0,
                  "shard_scatter_deadline_seconds must be >= 0")
+        _require(self.shard_migration_timeout_seconds > 0.0,
+                 "shard_migration_timeout_seconds must be > 0")
 
 
 @dataclass(frozen=True)

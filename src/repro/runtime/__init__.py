@@ -1,0 +1,51 @@
+"""The unified request-plane runtime shared by every serving facade.
+
+One :class:`RequestLifecycle` owns the request plane — admit → route →
+coalesce → dispatch → gather → reply — with stats/tracing hooks as
+middleware (mirroring the StageGraph middleware onion on the execution
+plane), over a pluggable :class:`ExecutionBackend`:
+
+* :class:`~repro.runtime.local.LocalBackend` — a worker-thread pool and
+  micro-batcher over one in-process :class:`~repro.core.chatgraph.ChatGraph`;
+* :class:`~repro.runtime.shard.ShardBackend` — consistent-hash routing,
+  scatter/gather and failover over shard worker processes.
+
+:class:`~repro.serve.engine.ChatGraphServer` and
+:class:`~repro.shard.coordinator.ShardedChatGraphServer` are thin
+facades over this runtime: single-process serving is just the 1-shard
+degenerate case, and both report shapes come from one snapshot builder
+(:mod:`repro.runtime.snapshot`), so they cannot drift.
+
+Construction of the admission-control primitives (``AdmissionQueue``,
+``RateLimiter``, ``BreakerRegistry``, ``MicroBatcher``) is confined to
+this package — enforced by ``tests/test_runtime_wiring_lint.py``.
+"""
+
+from .lifecycle import (
+    ExecutionBackend,
+    LifecycleMiddleware,
+    ReplyTiming,
+    RequestLifecycle,
+    StatsMiddleware,
+    TracingContextMiddleware,
+)
+from .local import LocalBackend
+from .migration import MigrationPlan, SessionMove, plan_migration
+from .shard import ShardBackend
+from .snapshot import build_metrics_snapshot, build_stats_snapshot
+
+__all__ = [
+    "ExecutionBackend",
+    "LifecycleMiddleware",
+    "LocalBackend",
+    "MigrationPlan",
+    "ReplyTiming",
+    "RequestLifecycle",
+    "SessionMove",
+    "ShardBackend",
+    "StatsMiddleware",
+    "TracingContextMiddleware",
+    "build_metrics_snapshot",
+    "build_stats_snapshot",
+    "plan_migration",
+]

@@ -1,0 +1,588 @@
+"""The in-process execution backend: a worker pool over one ChatGraph.
+
+``LocalBackend`` is the request-plane half of what used to be the
+monolithic serve engine: N worker threads consuming the lifecycle's
+admission queue, an optional micro-batcher coalescing stateless
+requests through the batched pipeline stages, the session store, the
+pipeline caches, the durable-catalog binding, and the robustness
+installation (policy + breakers) on the shared
+:class:`~repro.core.chatgraph.ChatGraph`.
+
+Admission and reply bookkeeping live in the
+:class:`~repro.runtime.lifecycle.RequestLifecycle`; this module only
+decides *how* a request is served — scalar or batched, which worker,
+which session — and hands every outcome to ``lifecycle.reply``.
+"""
+
+from __future__ import annotations
+
+import queue as stdlib_queue
+import threading
+import time
+from typing import Any
+
+from ..apis.executor import ExecutionPolicy, StepPolicy
+from ..core.chatgraph import ChatGraph, ChatResponse
+from ..core.pipeline import PipelineResult
+from ..core.reports import render_answer
+from ..errors import ChatGraphError, ServeError
+from ..graphs.graph import Graph
+from ..llm.prompts import Prompt
+from ..serve.cache import PipelineCaches
+from ..serve.engine import PendingRequest, ServeRequest, ServeResponse
+from ..serve.sessions import SessionStore
+from .lifecycle import ExecutionBackend, ReplyTiming, RequestLifecycle
+
+__all__ = ["LocalBackend"]
+
+
+class LocalBackend(ExecutionBackend):
+    """Worker threads + micro-batching over one shared ChatGraph.
+
+    The underlying pipeline is read-only at inference time, so one
+    model serves every worker; per-request state (contexts, monitors,
+    executors) is never shared.
+    """
+
+    def __init__(self, chatgraph: ChatGraph,
+                 catalog: Any = None) -> None:
+        self.chatgraph = chatgraph
+        self.catalog = catalog
+        self._workers: list[threading.Thread] = []
+        # optional micro-batch finisher lane: workers hand the per-item
+        # tail of a served batch here and return to collecting/decoding
+        # the next one (ServeConfig.microbatch_overlap_execute)
+        self._finish_queue: Any = None
+        self._finish_thread: threading.Thread | None = None
+        self._saved_tracer: Any = None
+        self._saved_robustness: tuple[Any, Any] | None = None
+
+    def bind(self, lifecycle: RequestLifecycle) -> None:
+        super().bind(lifecycle)
+        config = lifecycle.config
+        self.caches: PipelineCaches | None = None
+        if config.enable_caches:
+            self.caches = PipelineCaches.with_sizes(
+                embedding=config.embedding_cache_size,
+                retrieval=config.retrieval_cache_size,
+                sequence=config.sequence_cache_size)
+        self.chatgraph.enable_caches(self.caches)
+        #: Per-stage histogram names, derived from the pipeline's stage
+        #: graph (the single stage definition) rather than a mirror.
+        self.pipeline_stages = tuple(
+            self.chatgraph.pipeline.graph.observed_stage_names)
+        self.sessions = SessionStore(
+            self.chatgraph, ttl_seconds=config.session_ttl_seconds,
+            max_sessions=config.max_sessions, clock=lifecycle.clock)
+        #: Optional request coalescer; enabled by
+        #: ``ServeConfig.microbatch_size > 0``.  The batcher stays on
+        #: real time even under an injected clock: its deadline is
+        #: awaited by polling workers, and a virtual clock only
+        #: advances between submissions, so a partial batch's
+        #: coalescing window could never expire.
+        self.batcher = None
+        if config.microbatch_size > 0:
+            self.batcher = lifecycle.make_batcher(
+                config.microbatch_size,
+                config.microbatch_deadline_seconds)
+        # durable graph catalog: passed in, or built from the config's
+        # store_root; sessions pin (name, epoch) refs into it and its
+        # compactions evict sessions left on pruned epochs
+        if self.catalog is None and config.store_root:
+            from ..store.catalog import GraphCatalog
+            self.catalog = GraphCatalog(
+                config.store_root,
+                snapshot_every=config.store_snapshot_every,
+                metrics=lifecycle.metrics, tracer=lifecycle.tracer)
+        if self.catalog is not None:
+            self.chatgraph.use_catalog(self.catalog)
+        # robustness defaults the executor applies to each chain step
+        self.policy = ExecutionPolicy(
+            default=StepPolicy(
+                timeout_seconds=(config.step_timeout_seconds or None),
+                max_retries=config.step_max_retries,
+                backoff_base_seconds=config.retry_backoff_seconds,
+                critical=False),
+            seed=config.seed)
+        if (self.batcher is not None
+                and config.microbatch_overlap_execute):
+            self._finish_queue = stdlib_queue.SimpleQueue()
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def boot(self) -> None:
+        lifecycle = self.lifecycle
+        # recovery events (step_retried / step_timed_out /
+        # breaker_opened) flow through the executor's listener pipeline
+        # into the server counters while this server runs
+        if lifecycle.stats.on_execution_event not in \
+                self.chatgraph.executor.listeners():
+            self.chatgraph.executor.add_listener(
+                lifecycle.stats.on_execution_event)
+        if lifecycle.metrics.on_execution_event not in \
+                self.chatgraph.executor.listeners():
+            self.chatgraph.executor.add_listener(
+                lifecycle.metrics.on_execution_event)
+        # install this server's tracer for the duration of the run
+        if lifecycle.tracer is not None:
+            self._saved_tracer = self.chatgraph.tracer
+            self.chatgraph.set_tracer(lifecycle.tracer)
+        # install this server's robustness settings for the duration of
+        # the run; stop() restores whatever the caller had configured
+        self._saved_robustness = (self.chatgraph.robustness_policy,
+                                  self.chatgraph.breakers)
+        self.chatgraph.set_robustness(policy=self.policy,
+                                      breakers=lifecycle.breakers)
+        # compactions of the durable store evict sessions whose pinned
+        # epoch was pruned, for as long as this server runs
+        if self.catalog is not None:
+            self.catalog.add_compact_listener(
+                self.sessions.evict_compacted)
+        if lifecycle.config.warm_caches:
+            lifecycle.stats.incr("cache_warmed_entries",
+                                 self.warm_caches())
+
+    def launch(self) -> None:
+        self._workers = []
+        for index in range(self.lifecycle.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(f"worker-{index}",),
+                name=f"chatgraph-serve-{index}", daemon=True)
+            thread.start()
+            self._workers.append(thread)
+        if self._finish_queue is not None:
+            self._finish_thread = threading.Thread(
+                target=self._finish_lane_loop,
+                name="chatgraph-serve-finish", daemon=True)
+            self._finish_thread.start()
+
+    def shutdown(self, drain: bool, deadline: float) -> None:
+        for thread in self._workers:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        self._workers = []
+        if self._finish_thread is not None:
+            # workers are gone, so no new jobs can arrive: the sentinel
+            # lands behind every queued tail and the lane drains fully
+            self._finish_queue.put(None)
+            self._finish_thread.join(
+                max(0.0, deadline - time.monotonic()))
+            self._finish_thread = None
+
+    def finalize(self, deadline: float) -> None:
+        lifecycle = self.lifecycle
+        for listener in (lifecycle.stats.on_execution_event,
+                         lifecycle.metrics.on_execution_event):
+            try:
+                self.chatgraph.executor.remove_listener(listener)
+            except ValueError:
+                pass
+        if lifecycle.tracer is not None:
+            self.chatgraph.set_tracer(self._saved_tracer)
+            self._saved_tracer = None
+        if self._saved_robustness is not None:
+            self.chatgraph.set_robustness(*self._saved_robustness)
+            self._saved_robustness = None
+        if self.catalog is not None:
+            self.catalog.remove_compact_listener(
+                self.sessions.evict_compacted)
+
+    def warm_caches(self) -> int:
+        """Pre-populate pipeline caches from the catalog's named graphs.
+
+        For every graph in the catalog, sequentializes it (sequence
+        cache, keyed by graph fingerprint) and embeds its suggested
+        questions through the retriever's query path (embedding cache),
+        so the first real request against a named graph starts warm.
+        Returns the number of cache entries added.  Warming only ever
+        *inserts* deterministic content-keyed values, so served results
+        are byte-identical with or without it.
+
+        ``names`` restricts warming to specific graphs — the shard
+        tier's migration path warms just the graphs whose ring
+        ownership moved to this process.
+        """
+        return self.warm_named_caches(None)
+
+    def warm_named_caches(self, names: Any = None) -> int:
+        if self.caches is None or self.catalog is None:
+            return 0
+        from ..core.suggestions import suggested_questions
+
+        pipeline = self.chatgraph.pipeline
+        before = (len(self.caches.sequences)
+                  + len(self.caches.embeddings))
+        wanted = self.catalog.names() if names is None else names
+        for name in wanted:
+            try:
+                view = self.catalog.view(name)
+            except ChatGraphError:
+                continue
+            pipeline.sequentializer.sequentialize(view.graph)
+            texts = suggested_questions(view.graph)
+            if texts:
+                pipeline.retriever._embed_queries(list(texts))
+        return (len(self.caches.sequences)
+                + len(self.caches.embeddings) - before)
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def stats_sections(self) -> dict[str, Any]:
+        return {
+            "sessions": self.sessions.stats(),
+            "caches": (self.caches.stats()
+                       if self.caches is not None else {}),
+            "pipeline_stages": list(self.pipeline_stages),
+            "store": (self.catalog.stats()
+                      if self.catalog is not None else {}),
+            # uniform surface with the shard backend: a single-process
+            # server simply has no shards
+            "shards": {"count": 0, "alive": 0, "per_shard": {}},
+        }
+
+    def merged_metrics(self, base: dict[str, Any]) -> dict[str, Any]:
+        lifecycle = self.lifecycle
+        metrics = lifecycle.metrics
+        metrics.set_gauge("queue_size", len(lifecycle.queue))
+        metrics.set_gauge("sessions_live", base["sessions"]["active"])
+        metrics.set_gauge("workers", lifecycle.config.workers)
+        if self.caches is not None:
+            for name, stats in base["caches"].items():
+                metrics.set_gauge(f"cache_{name}_hit_rate",
+                                  stats.get("hit_rate", 0.0))
+        if lifecycle.breakers is not None:
+            metrics.set_gauge("breakers_open",
+                              len(lifecycle.breakers.open_names()))
+        return metrics.snapshot()
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self, worker: str) -> None:
+        queue = self.lifecycle.queue
+        while True:
+            item = queue.get(timeout=0.05)
+            if item is None:
+                if queue.closed and len(queue) == 0:
+                    return
+                continue
+            if self.batcher is None:
+                self._serve_item(item, worker)
+                continue
+            batch, passthrough = self.batcher.collect(queue, item)
+            if len(batch) == 1:
+                self._serve_item(batch[0], worker)
+            elif batch:
+                self._serve_batch(batch, worker)
+            for single in passthrough:
+                self._serve_item(single, worker)
+
+    def _serve_item(self, item: PendingRequest, worker: str) -> None:
+        """Serve one request on the scalar path and resolve its handle."""
+        lifecycle = self.lifecycle
+        queued = time.perf_counter() - item.enqueued_at
+        start = time.perf_counter()
+        try:
+            response = self._handle(item, worker)
+            response.ok = not response.error
+        except Exception as exc:  # noqa: BLE001 - keep workers alive
+            response = ServeResponse(
+                request_id=item.request_id, op=item.request.op,
+                ok=False, error=str(exc),
+                error_type=type(exc).__name__, worker=worker)
+        service = time.perf_counter() - start
+        lifecycle.record_service_time(service)
+        lifecycle.reply(item, response,
+                        ReplyTiming(queued=queued, service=service))
+
+    def _serve_batch(self, batch: list[PendingRequest],
+                     worker: str) -> None:
+        """Serve a coalesced batch through the shared pipeline stages."""
+        metrics = self.lifecycle.metrics
+        now = time.perf_counter()
+        queued_per = [now - item.enqueued_at for item in batch]
+        for item in batch:
+            # the coalescing wait the batcher added on top of admission
+            # queueing (stamped per item at flush time) — not the full
+            # queue delay, which the ``queued`` histogram already holds
+            metrics.observe("microbatch_queue_delay",
+                            item.batch_wait_seconds)
+        metrics.observe("microbatch_size", float(len(batch)))
+        start = time.perf_counter()
+        try:
+            seeds, outcomes = self._propose_batch(batch)
+        except Exception as exc:  # noqa: BLE001 - keep workers alive
+            seeds = [item.request.content_seed(self.lifecycle.config.seed)
+                     for item in batch]
+            outcomes = [exc] * len(batch)
+        if self._finish_queue is not None:
+            # overlap: hand the per-item tail (chain execution for ask,
+            # stats, resolution) to the finisher lane so this worker
+            # immediately returns to collecting and decoding the next
+            # micro-batch
+            self._finish_queue.put(
+                (batch, worker, seeds, outcomes, queued_per, start))
+        else:
+            self._finish_batch(batch, worker, seeds, outcomes,
+                               queued_per, start)
+
+    def _handle(self, item: PendingRequest, worker: str) -> ServeResponse:
+        request = item.request
+        tracer = self.lifecycle.tracer
+        seed = request.content_seed(self.lifecycle.config.seed)
+        response = ServeResponse(request_id=item.request_id, op=request.op,
+                                 ok=True, worker=worker, seed=seed)
+        if tracer is None:
+            self._dispatch(request, seed, response)
+            return response
+        # the request's root span is keyed by the content seed (not the
+        # arrival-order request id), so seeded workloads produce the
+        # same span identity no matter which worker serves them; the
+        # submitting thread's span (if any) becomes the parent
+        with tracer.span(f"request:{request.op}", kind="request",
+                         key=f"{seed:016x}",
+                         parent=item.parent_span_id,
+                         op=request.op,
+                         client=request.client_id) as span:
+            self._dispatch(request, seed, response)
+            span.set(ok=not response.error)
+        return response
+
+    def _dispatch(self, request: ServeRequest, seed: int,
+                  response: ServeResponse) -> None:
+        if request.op == "propose":
+            response.value = self._serve_propose(request, seed)
+        elif request.op == "execute":
+            response.value = self._serve_execute(request, seed)
+        else:
+            response.value = self._serve_ask(request, seed)
+
+    def _backend_pause(self) -> None:
+        """Emulate the remote-LLM round trip (see ServeConfig)."""
+        if self.lifecycle.config.backend_latency_seconds > 0:
+            time.sleep(self.lifecycle.config.backend_latency_seconds)
+
+    def _record_pipeline(self, result: PipelineResult) -> None:
+        # per-stage latency histogram names come from the stage graph
+        # (via the result's timings) — never from a hand-written list
+        stats = self.lifecycle.stats
+        for stage, seconds in result.timings.items():
+            stats.observe(stage, seconds)
+        if result.used_fallback:
+            stats.incr("fallback_chains")
+
+    def _resolve_view(self, request: ServeRequest) -> Any:
+        """The catalog view for ``request.graph_name`` (or None)."""
+        if request.graph_name is None:
+            return None
+        if self.catalog is None:
+            raise ServeError(
+                f"request names graph {request.graph_name!r} but the "
+                "server has no graph catalog (set ServeConfig."
+                "store_root or pass catalog=)")
+        return self.catalog.view(request.graph_name)
+
+    def _resolve_graph(self, request: ServeRequest) -> Graph | None:
+        view = self._resolve_view(request)
+        return request.graph if view is None else view.graph
+
+    def _serve_propose(self, request: ServeRequest,
+                       seed: int) -> PipelineResult:
+        self._backend_pause()
+        attachments = dict(request.attachments)
+        attachments.setdefault("request_seed", seed)
+        result = self.chatgraph.propose(request.text,
+                                        self._resolve_graph(request),
+                                        **attachments)
+        self._record_pipeline(result)
+        return result
+
+    def _serve_execute(self, request: ServeRequest,
+                       seed: int) -> ChatResponse:
+        assert request.pipeline_result is not None
+        stats = self.lifecycle.stats
+        start = time.perf_counter()
+        record, monitor = self.chatgraph.execute(
+            request.pipeline_result, chain=request.chain)
+        stats.observe("execute", time.perf_counter() - start)
+        if record.is_degraded:
+            stats.incr("degraded_responses")
+        return ChatResponse(
+            prompt=request.pipeline_result.prompt,
+            pipeline=request.pipeline_result,
+            record=record,
+            answer=render_answer(record),
+            monitor=monitor,
+            seconds=record.total_seconds,
+        )
+
+    def _serve_ask(self, request: ServeRequest, seed: int) -> ChatResponse:
+        self._backend_pause()
+        stats = self.lifecycle.stats
+        if request.session_id is not None:
+            view = self._resolve_view(request)
+            entry = self.sessions.get_or_create(request.session_id)
+            with entry.lock:
+                if view is not None:
+                    entry.session.upload_graph(view.graph,
+                                               **request.attachments)
+                    entry.graph_ref = (view.name, view.epoch)
+                elif request.graph is not None:
+                    entry.session.upload_graph(request.graph,
+                                               **request.attachments)
+                chat_response = entry.session.send(request.text)
+        else:
+            attachments = dict(request.attachments)
+            attachments.setdefault("request_seed", seed)
+            chat_response = self.chatgraph.ask(request.text,
+                                               self._resolve_graph(request),
+                                               **attachments)
+        self._record_pipeline(chat_response.pipeline)
+        if chat_response.record is not None:
+            stats.observe("execute", chat_response.record.total_seconds)
+            if chat_response.record.is_degraded:
+                stats.incr("degraded_responses")
+        return chat_response
+
+    # ------------------------------------------------------------------
+    # micro-batched serving
+    # ------------------------------------------------------------------
+    def _propose_batch(self, batch: list[PendingRequest]
+                       ) -> tuple[list[int], list[Any]]:
+        """Phase 1 of a micro-batch: one shared batched pipeline pass.
+
+        The emulated backend round trip is paid once for the whole
+        batch — that amortization is the point of micro-batching a
+        remote-LLM-shaped workload.  Returns ``(seeds, outcomes)``
+        where each outcome is the item's :class:`PipelineResult` or the
+        exception that failed it: a bad graph name or a mid-batch stage
+        failure degrades that one response, never its batchmates
+        (matching what the scalar path would do to each request alone).
+        """
+        tracer = self.lifecycle.tracer
+        seeds = [item.request.content_seed(self.lifecycle.config.seed)
+                 for item in batch]
+        outcomes: list[Any] = [None] * len(batch)
+        prompts: list[Prompt] = []
+        live: list[int] = []
+        for index, (item, seed) in enumerate(zip(batch, seeds)):
+            try:
+                graph = self._resolve_graph(item.request)
+            except Exception as exc:  # noqa: BLE001 - this item only
+                outcomes[index] = exc
+                continue
+            attachments = dict(item.request.attachments)
+            attachments.setdefault("request_seed", seed)
+            prompts.append(Prompt(text=item.request.text, graph=graph,
+                                  attachments=attachments))
+            live.append(index)
+        self._backend_pause()
+        if prompts:
+            if tracer is None:
+                results = self.chatgraph.propose_batch(
+                    prompts, return_exceptions=True)
+            else:
+                with tracer.span("microbatch", kind="batch",
+                                 key=f"{seeds[live[0]]:016x}",
+                                 batch_size=len(batch)):
+                    results = self.chatgraph.propose_batch(
+                        prompts, return_exceptions=True)
+            for index, result in zip(live, results):
+                outcomes[index] = result
+        return seeds, outcomes
+
+    def _finish_batch(self, batch: list[PendingRequest], worker: str,
+                      seeds: list[int], outcomes: list[Any],
+                      queued_per: list[float], start: float) -> None:
+        """Phase 2 of a micro-batch: per-item tails and resolution.
+
+        ``ask`` requests execute their chains one by one here
+        (execution carries per-request state and does not batch);
+        failed outcomes from phase 1 become per-item error responses.
+        Runs on the worker, or on the finisher lane when execution
+        overlap is enabled.
+        """
+        lifecycle = self.lifecycle
+        tracer = lifecycle.tracer
+        responses: list[ServeResponse] = []
+        for item, seed, outcome in zip(batch, seeds, outcomes):
+            response = ServeResponse(request_id=item.request_id,
+                                     op=item.request.op, ok=True,
+                                     worker=worker, seed=seed)
+            responses.append(response)
+            if isinstance(outcome, BaseException):
+                response.error = str(outcome)
+                response.error_type = type(outcome).__name__
+            elif tracer is None:
+                self._finish_batch_item(item, outcome, response)
+            else:
+                with tracer.span(f"request:{item.request.op}",
+                                 kind="request", key=f"{seed:016x}",
+                                 parent=item.parent_span_id,
+                                 op=item.request.op,
+                                 client=item.request.client_id,
+                                 batch_size=len(batch)) as span:
+                    self._finish_batch_item(item, outcome, response)
+                    span.set(ok=not response.error)
+        service = time.perf_counter() - start
+        # the whole batch shares one service interval; the EMA feeding
+        # backpressure retry hints gets the per-request amortized cost
+        lifecycle.record_service_time(service / len(batch))
+        for item, queued, response in zip(batch, queued_per, responses):
+            response.ok = not response.error
+            lifecycle.reply(item, response,
+                            ReplyTiming(queued=queued, service=service,
+                                        batched=True))
+
+    def _finish_lane_loop(self) -> None:
+        """Drain queued batch tails; ``None`` is the shutdown sentinel.
+
+        Whatever happens, every item of a popped job resolves — a
+        caller blocked in ``PendingRequest.result`` must never be
+        stranded by a finisher bug.
+        """
+        while True:
+            job = self._finish_queue.get()
+            if job is None:
+                return
+            batch = job[0]
+            try:
+                self._finish_batch(*job)
+            except Exception as exc:  # noqa: BLE001 - resolve anyway
+                for item in batch:
+                    if not item.done():
+                        self.lifecycle.reply(item, ServeResponse(
+                            request_id=item.request_id,
+                            op=item.request.op, ok=False,
+                            error=str(exc),
+                            error_type=type(exc).__name__),
+                            ReplyTiming())
+            del batch, job
+
+    def _finish_batch_item(self, item: PendingRequest,
+                           result: PipelineResult,
+                           response: ServeResponse) -> None:
+        """Per-request tail of a batch: record stats, execute for ask."""
+        stats = self.lifecycle.stats
+        self._record_pipeline(result)
+        if item.request.op == "propose":
+            response.value = result
+            return
+        try:
+            record, monitor = self.chatgraph.execute(result)
+        except Exception as exc:  # noqa: BLE001 - fail only this item
+            response.error = str(exc)
+            response.error_type = type(exc).__name__
+            return
+        stats.observe("execute", record.total_seconds)
+        if record.is_degraded:
+            stats.incr("degraded_responses")
+        response.value = ChatResponse(
+            prompt=result.prompt,
+            pipeline=result,
+            record=record,
+            answer=render_answer(record),
+            monitor=monitor,
+            seconds=record.total_seconds,
+        )

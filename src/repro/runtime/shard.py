@@ -1,0 +1,1111 @@
+"""The sharded execution backend: routing, scatter/gather, migration.
+
+:class:`ShardBackend` runs the request plane's middle — route →
+coalesce → dispatch → gather — over N shard worker *processes* (see
+:mod:`repro.shard.worker`), behind the same
+:class:`~repro.runtime.lifecycle.RequestLifecycle` the in-process
+backend uses.  The pieces:
+
+* **routing** — a consistent-hash :class:`~repro.shard.ring.HashRing`
+  on the session / graph-name / query key keeps each session and each
+  graph's cache locality on one shard.  Graphs named in
+  ``ServeConfig.shard_hot_graphs`` are *hot*: any of their first
+  ``shard_replicas`` ring shards may serve a stateless read, picked by
+  least outstanding work.
+* **scatter/gather** — a per-shard dispatcher coalesces routed
+  requests into scatter frames (a lifecycle-built coalescer with an
+  accept-all predicate) and pipelines up to ``shard_inflight`` frames
+  per shard; a per-shard reader gathers replies and resolves each
+  caller's :class:`~repro.serve.engine.PendingRequest` individually
+  through ``lifecycle.reply``.
+* **failure** — missed heartbeats or a dropped pipe mark the shard
+  dead: its ``shard:<i>`` circuit trips, every orphaned in-flight and
+  queued request fails over along its ring preference, and (by
+  default) a background restart replaces the process.
+* **migration** — :meth:`add_shard` / :meth:`remove_shard` reshape the
+  fleet live: the router pauses, outstanding work quiesces to zero,
+  pinned sessions move to their new ring-preferred shards via
+  adopt/evict RPCs (planned by
+  :func:`~repro.runtime.migration.plan_migration`), named-graph
+  affinity pre-warms the caches of new owners, and the ring swaps
+  atomically before routing resumes — zero requests lost, none served
+  twice.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from typing import Any
+
+from ..errors import BackpressureError, ChatGraphError, ServeError
+from ..obs.export import merge_traces
+from ..obs.metrics import merge_metrics_dumps
+from ..serve.engine import PendingRequest, ServeRequest, ServeResponse
+from ..shard.protocol import (
+    read_frame,
+    request_to_wire,
+    response_from_wire,
+    write_frame,
+)
+from ..shard.ring import HashRing
+from ..shard.worker import serve_config_to_wire
+from .lifecycle import ExecutionBackend, ReplyTiming, RequestLifecycle
+
+__all__ = ["SPAWN_TIMEOUT_SECONDS", "STATS_TIMEOUT_SECONDS",
+           "ShardBackend", "_ShardHandle"]
+
+#: Ceiling on one worker-process model build + server start.
+SPAWN_TIMEOUT_SECONDS = 180.0
+#: Ceiling on one stats round trip to a live shard.
+STATS_TIMEOUT_SECONDS = 15.0
+
+
+class _ShardHandle:
+    """Coordinator-side state of one shard worker process."""
+
+    def __init__(self, index: int, dispatch_depth: int,
+                 inflight_limit: int,
+                 lifecycle: RequestLifecycle) -> None:
+        self.index = index
+        self.name = f"shard:{index}"
+        self.lock = threading.Lock()
+        self.proc: subprocess.Popen | None = None
+        self.pid = 0
+        self.alive = False
+        #: A retired handle left the fleet through a migration: its
+        #: exit is coordinated (like shutdown), so the death path skips
+        #: counters, breaker trips, failover and restart for it.
+        self.retired = False
+        #: Bumped on every death; readers/writers born under an older
+        #: generation see the mismatch and stand down, which makes the
+        #: death path idempotent against racing EOF + heartbeat timeout.
+        self.generation = 0
+        self.write_lock = threading.Lock()
+        #: Requests routed here, waiting for a scatter slot.  A bounded
+        #: staging queue (sized past the router's outstanding limit at
+        #: build time) so the dispatcher's coalescer can assemble
+        #: scatter frames straight from it.  A later ``add_shard`` can
+        #: grow the outstanding limit past this fixed depth; the router
+        #: treats the resulting overflow as a spill and re-routes.
+        self.dispatch = lifecycle.make_queue(dispatch_depth)
+        self.inflight_limit = inflight_limit
+        #: Pipelining throttle: one permit per un-replied scatter frame.
+        self.sem = threading.BoundedSemaphore(inflight_limit)
+        #: batch_id -> (generation, items, dispatched_at)
+        self.inflight: dict[int, tuple[int, list[PendingRequest],
+                                       float]] = {}
+        #: Real-time stamp of the last frame seen from the process
+        #: (heartbeats included).  Liveness is a property of the real
+        #: process, so this stays on time.monotonic even when the
+        #: serving clock is virtual.
+        self.last_beat = 0.0
+        #: Requests routed here and not yet resolved (replica routing
+        #: picks the least-loaded by this number).
+        self.pending_count = 0
+        self.routed = 0
+        self.deaths = 0
+        self.restarts = 0
+        self.startup_seconds = 0.0
+        #: rpc_id -> [threading.Event, reply-frame-or-None]; one waiter
+        #: map for every request/reply RPC on the control channel
+        #: (stats polls, session collection, adopt/evict/warm).
+        self.rpc_waiters: dict[int, list[Any]] = {}
+        #: Last stats_reply payload (rendered for dead shards).
+        self.last_stats: dict[str, Any] | None = None
+
+
+class ShardBackend(ExecutionBackend):
+    """Scatter/gather over worker processes, plus live fleet reshaping.
+
+    ``model_wire`` is the value-only model recipe every worker applies
+    (:meth:`repro.shard.coordinator.ShardModelSpec.to_wire`), which is
+    what makes any shard's answer to a content-seeded request
+    byte-identical to any other's.
+    """
+
+    #: Per-shard circuits must exist even when the config leaves the
+    #: request-level breakers off.
+    requires_breakers = True
+
+    def __init__(self, model_wire: dict[str, Any]) -> None:
+        self.model_wire = model_wire
+
+    def bind(self, lifecycle: RequestLifecycle) -> None:
+        super().bind(lifecycle)
+        config = lifecycle.config
+        self.config = config
+        self.ring = HashRing(range(config.shards))
+        scatter = max(1, config.shard_scatter_batch)
+        #: Work admitted past the router but not yet resolved, fleet
+        #: wide.  Capping it at full pipeline occupancy (every shard's
+        #: every inflight slot holding a full scatter frame, plus one
+        #: frame assembling per dispatcher) is what lets the admission
+        #: queue fill and shed during spikes.  Recomputed on every ring
+        #: change.
+        self._outstanding_limit = (config.shards
+                                   * (config.shard_inflight + 1)
+                                   * scatter)
+        self._outstanding = 0
+        self._outstanding_cond = threading.Condition()
+        dispatch_depth = self._outstanding_limit + scatter
+        self.handles = [
+            _ShardHandle(index, dispatch_depth, config.shard_inflight,
+                         lifecycle)
+            for index in range(config.shards)]
+        self._hot = set(config.shard_hot_graphs)
+        #: Cleared while a migration holds the fleet quiesced; the
+        #: router parks (admission keeps queueing, bounded) until the
+        #: ring swap completes.
+        self._route_gate = threading.Event()
+        self._route_gate.set()
+        self._migration_lock = threading.Lock()
+        self._router_thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
+        self._stopping = False
+        self._id_lock = threading.Lock()
+        self._next_batch = 0
+        self._next_rpc = 0
+
+    def _active_handles(self) -> list[_ShardHandle]:
+        return [handle for handle in self.handles if not handle.retired]
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks
+    # ------------------------------------------------------------------
+    def check(self, request: ServeRequest) -> None:
+        if request.op == "execute":
+            raise ServeError(
+                "op 'execute' is not shardable (PipelineResult holds "
+                "live pipeline objects); use the in-process server for "
+                "the propose/confirm/execute loop")
+
+    def prepare(self, pending: PendingRequest) -> None:
+        pending._tried = set()
+
+    def boot(self) -> None:
+        self._stopping = False
+        errors: list[tuple[int, BaseException]] = []
+
+        def spawn(handle: _ShardHandle) -> None:
+            try:
+                self._spawn_shard(handle)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append((handle.index, exc))
+
+        # model builds dominate startup, so boot every shard in
+        # parallel: the fleet comes up in one model-build time, not N
+        boots = [threading.Thread(target=spawn, args=(handle,),
+                                  name=f"shard-boot-{handle.index}")
+                 for handle in self.handles]
+        for thread in boots:
+            thread.start()
+        for thread in boots:
+            thread.join(SPAWN_TIMEOUT_SECONDS)
+        if errors:
+            self._kill_all()
+            index, exc = errors[0]
+            raise ServeError(
+                f"shard {index} failed to start: {exc}") from exc
+
+    def launch(self) -> None:
+        self._router_thread = threading.Thread(
+            target=self._router_loop, name="shard-router", daemon=True)
+        self._threads = [self._router_thread]
+        for handle in self.handles:
+            self._threads.append(threading.Thread(
+                target=self._dispatcher_loop, args=(handle,),
+                name=f"shard-dispatch-{handle.index}", daemon=True))
+        self._threads.append(threading.Thread(
+            target=self._heartbeat_monitor, name="shard-heartbeats",
+            daemon=True))
+        for thread in self._threads:
+            thread.start()
+
+    def shutdown(self, drain: bool, deadline: float) -> None:
+        # the router exits once the closed queue is empty *and* its last
+        # pop finished routing, so joining it (rather than sampling the
+        # queue length) closes the popped-but-not-yet-counted window
+        if self._router_thread is not None:
+            self._router_thread.join(
+                max(0.1, deadline - time.monotonic()))
+        if drain:
+            while time.monotonic() < deadline:
+                with self._outstanding_cond:
+                    if self._outstanding == 0:
+                        break
+                time.sleep(0.01)
+        self._stopping = True
+        for handle in self.handles:
+            handle.dispatch.close()
+            with handle.lock:
+                proc = handle.proc if handle.alive else None
+            if proc is not None:
+                try:
+                    with handle.write_lock:
+                        write_frame(proc.stdin, {"type": "shutdown"})
+                except (OSError, ValueError, ChatGraphError):
+                    pass
+        for handle in self.handles:
+            with handle.lock:
+                proc = handle.proc
+            if proc is None:
+                continue
+            try:
+                proc.wait(max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    def finalize(self, deadline: float) -> None:
+        with self._outstanding_cond:
+            self._outstanding_cond.notify_all()
+        for thread in self._threads:
+            thread.join(max(0.1, deadline - time.monotonic()))
+        self._threads = []
+        self._router_thread = None
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def _spawn_shard(self, handle: _ShardHandle) -> None:
+        """Start one worker process and wait for its hello."""
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.shard.worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=dict(os.environ))
+        try:
+            write_frame(proc.stdin, {
+                "type": "init", "shard": handle.index,
+                "model": self.model_wire,
+                "serve": serve_config_to_wire(self.config)})
+            hello = read_frame(proc.stdout)
+        except (OSError, ValueError, ChatGraphError) as exc:
+            proc.kill()
+            raise ServeError(
+                f"shard {handle.index} died during startup: {exc}"
+            ) from exc
+        if hello is None or hello.get("type") != "hello":
+            proc.kill()
+            raise ServeError(
+                f"shard {handle.index} sent {hello!r} instead of hello")
+        with handle.lock:
+            handle.proc = proc
+            handle.pid = int(hello.get("pid", proc.pid))
+            handle.startup_seconds = float(
+                hello.get("startup_seconds", 0.0))
+            handle.alive = True
+            handle.generation += 1
+            handle.sem = threading.BoundedSemaphore(handle.inflight_limit)
+            handle.last_beat = time.monotonic()
+            generation = handle.generation
+        reader = threading.Thread(
+            target=self._reader_loop, args=(handle, generation, proc),
+            name=f"shard-reader-{handle.index}-g{generation}",
+            daemon=True)
+        reader.start()
+
+    def _kill_all(self) -> None:
+        for handle in self.handles:
+            with handle.lock:
+                proc, handle.proc, handle.alive = handle.proc, None, False
+            if proc is not None:
+                proc.kill()
+
+    def kill_shard(self, index: int) -> None:
+        """Hard-kill one worker (chaos hook; SIGKILL, no goodbye).
+
+        Recovery is the normal death path: the reader sees EOF, the
+        breaker trips, orphans fail over, and (unless ``shard_restart``
+        is off) a replacement process comes up in the background.
+        """
+        handle = self.handles[index]
+        with handle.lock:
+            proc = handle.proc
+        if proc is not None:
+            proc.kill()
+
+    def _restart_shard(self, handle: _ShardHandle) -> None:
+        try:
+            self._spawn_shard(handle)
+        except ChatGraphError:
+            self.lifecycle.metrics.incr("shard_restart_failed")
+            return
+        handle.restarts += 1
+        self.lifecycle.stats.incr("shard_restarts")
+        self.lifecycle.metrics.incr("shard_restarts")
+        # the replacement is a fresh process: its circuit starts closed
+        self.lifecycle.breakers.reset_one(handle.name)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def routing_key(request: ServeRequest) -> str:
+        """The consistent-hash key of one request.
+
+        Sessions pin to their shard (dialog state lives there); named
+        graphs pin to theirs (epoch-pinned views and warm caches);
+        inline-graph one-shots key on graph name + text so repeats of
+        the same question reuse the same shard's caches.
+        """
+        if request.session_id is not None:
+            return f"s:{request.session_id}"
+        if request.graph_name is not None:
+            return f"g:{request.graph_name}"
+        graph_name = request.graph.name if request.graph is not None \
+            else ""
+        return f"q:{graph_name}|{request.text}"
+
+    def _live(self, index: int, tried: set[int]) -> bool:
+        if index in tried:
+            return False
+        handle = self.handles[index]
+        return handle.alive and handle.name not in \
+            self.lifecycle.breakers.open_names()
+
+    def _pick_shard(self, item: PendingRequest) -> _ShardHandle | None:
+        request = item.request
+        key = self.routing_key(request)
+        tried: set[int] = item._tried
+        if (request.graph_name in self._hot
+                and request.session_id is None):
+            # hot named graph: stateless reads spread over the replica
+            # set (the first shard_replicas shards of the preference
+            # walk), least loaded first
+            replicas = [i for i in self.ring.preferred(
+                key, self.config.shard_replicas)
+                if self._live(i, tried)]
+            if replicas:
+                return self.handles[min(
+                    replicas,
+                    key=lambda i: self.handles[i].pending_count)]
+        for index in self.ring.preference(key):
+            if self._live(index, tried):
+                return self.handles[index]
+        # last resort: every preferred shard is dead or already tried —
+        # any live shard beats failing the request (all state needed to
+        # serve is rebuilt from the shared store / request content)
+        for index in self.ring.shards:
+            if self._live(index, tried):
+                return self.handles[index]
+        return None
+
+    def _route(self, item: PendingRequest, failover: bool = False) -> None:
+        if not failover:
+            # count the item outstanding *before* picking a shard: every
+            # path below either parks it on a dispatch queue or resolves
+            # it (which decrements), so the counter can never leak
+            with self._outstanding_cond:
+                self._outstanding += 1
+        handle = self._pick_shard(item)
+        if handle is None:
+            self._resolve_failure(
+                item, ServeError("no live shard available"))
+            return
+        handle.routed += 1
+        with self._outstanding_cond:
+            handle.pending_count += 1
+        try:
+            handle.dispatch.put(item)
+        except BackpressureError:
+            # this handle's dispatch queue was sized under a smaller
+            # fleet and a later add_shard grew the outstanding limit
+            # past it: spill sideways along the ring instead of failing
+            with self._outstanding_cond:
+                handle.pending_count -= 1
+            self.lifecycle.metrics.incr("shard_spills")
+            item._tried.add(handle.index)
+            self._route(item, failover=True)
+        except ChatGraphError as exc:
+            # a closed queue (shutdown, retirement): fail the item
+            # cleanly rather than strand it
+            with self._outstanding_cond:
+                handle.pending_count -= 1
+            self._resolve_failure(item, exc)
+
+    def _router_loop(self) -> None:
+        lifecycle = self.lifecycle
+        while True:
+            if not self._route_gate.is_set():
+                # a migration holds the fleet quiesced; admitted work
+                # waits (bounded) on the admission queue
+                self._route_gate.wait(0.1)
+                continue
+            with self._outstanding_cond:
+                while (lifecycle.running
+                       and self._outstanding >= self._outstanding_limit):
+                    self._outstanding_cond.wait(0.1)
+            item = lifecycle.queue.get(timeout=0.05)
+            if item is None:
+                if lifecycle.queue.closed and len(lifecycle.queue) == 0:
+                    return
+                if not lifecycle.running:
+                    return
+                continue
+            self._route(item)
+
+    # ------------------------------------------------------------------
+    # scatter
+    # ------------------------------------------------------------------
+    def _dispatcher_loop(self, handle: _ShardHandle) -> None:
+        batcher = self.lifecycle.make_batcher(
+            max(1, self.config.shard_scatter_batch),
+            self.config.shard_scatter_deadline_seconds,
+            batchable_fn=lambda item: True)
+        while True:
+            item = handle.dispatch.get(timeout=0.05)
+            if item is None:
+                if handle.dispatch.closed and len(handle.dispatch) == 0:
+                    return
+                continue
+            batch, passthrough = batcher.collect(handle.dispatch, item)
+            # accept-all predicate -> everything lands in the batch
+            self._send_batch(handle, batch + passthrough)
+
+    def _send_batch(self, handle: _ShardHandle,
+                    items: list[PendingRequest]) -> None:
+        if not items:
+            return
+        # bounded pipelining: block this shard's dispatcher (not the
+        # router, not callers) until a frame slot frees; re-check
+        # liveness each second so a death releases us via failover
+        sem = handle.sem
+        while not sem.acquire(timeout=1.0):
+            if not handle.alive or handle.sem is not sem:
+                # the shard died while we waited (its sem was replaced):
+                # this batch was never inflight, so re-route it whole
+                for item in items:
+                    self._failover_item(item, handle.index)
+                return
+        with self._id_lock:
+            self._next_batch += 1
+            batch_id = self._next_batch
+        wires = []
+        for item in items:
+            wires.append(request_to_wire(item.request, item.request_id,
+                                         parent_span=item.parent_span_id))
+        dispatched_at = time.perf_counter()
+        for item in items:
+            item.dispatched_at = dispatched_at
+        # registration happens under the handle lock with a liveness
+        # re-check: once the entry is in ``inflight``, a concurrent
+        # death is guaranteed to see and fail it over
+        with handle.lock:
+            if not handle.alive or handle.sem is not sem:
+                dead = True
+            else:
+                dead = False
+                generation = handle.generation
+                proc = handle.proc
+                handle.inflight[batch_id] = (generation, items,
+                                             dispatched_at)
+        if dead:
+            for item in items:
+                self._failover_item(item, handle.index)
+            return
+        try:
+            with handle.write_lock:
+                write_frame(proc.stdin, {
+                    "type": "batch", "batch_id": batch_id,
+                    "items": wires})
+        except (OSError, ValueError, ChatGraphError):
+            self._on_shard_down(handle, generation)
+            # the death path usually fails the batch over; if it raced
+            # us and already ran, the entry is ours to clean up
+            with handle.lock:
+                entry = handle.inflight.pop(batch_id, None)
+            if entry is not None:
+                for item in entry[1]:
+                    self._failover_item(item, handle.index)
+            return
+        self.lifecycle.metrics.observe("scatter_batch_size",
+                                       float(len(items)))
+
+    # ------------------------------------------------------------------
+    # gather
+    # ------------------------------------------------------------------
+    def _reader_loop(self, handle: _ShardHandle, generation: int,
+                     proc: subprocess.Popen) -> None:
+        try:
+            while True:
+                with handle.lock:
+                    if handle.generation != generation:
+                        return  # superseded; the new reader owns the pipe
+                try:
+                    frame = read_frame(proc.stdout)
+                except ChatGraphError:
+                    return
+                if frame is None:
+                    return
+                handle.last_beat = time.monotonic()
+                kind = frame.get("type")
+                if kind == "batch_reply":
+                    self._gather(handle, generation, frame)
+                elif kind in ("stats_reply", "sessions_reply",
+                              "adopt_reply", "evict_reply",
+                              "warm_reply"):
+                    self._accept_rpc(handle, frame)
+                # heartbeats only refresh last_beat
+        finally:
+            self._on_shard_down(handle, generation)
+
+    def _gather(self, handle: _ShardHandle, generation: int,
+                frame: dict[str, Any]) -> None:
+        with handle.lock:
+            entry = handle.inflight.pop(frame.get("batch_id"), None)
+        if entry is None or entry[0] != generation:
+            return
+        __, items, dispatched_at = entry
+        service = time.perf_counter() - dispatched_at
+        replies = frame.get("replies") or []
+        by_id = {wire.get("request_id"): wire for wire in replies}
+        try:
+            handle.sem.release()
+        except ValueError:
+            pass
+        with self._outstanding_cond:
+            handle.pending_count -= len(items)
+        for item in items:
+            wire = by_id.get(item.request_id)
+            if wire is None:
+                self._resolve_failure(item, ServeError(
+                    f"shard {handle.index} dropped request "
+                    f"{item.request_id} from its reply"))
+                continue
+            response = response_from_wire(wire)
+            self._resolve_item(item, response, service)
+
+    def _resolve_item(self, item: PendingRequest,
+                      response: ServeResponse, service: float) -> None:
+        """The gathered-reply resolution path."""
+        lifecycle = self.lifecycle
+        queued = item.dispatched_at - item.enqueued_at
+        lifecycle.record_service_time(service)
+        lifecycle.reply(item, response,
+                        ReplyTiming(queued=queued, service=service))
+        self._settle_outstanding()
+
+    def _resolve_failure(self, item: PendingRequest,
+                         exc: Exception) -> None:
+        """Fail one *routed* request: it counts and settles outstanding.
+
+        Never-routed requests (the shutdown drain of the admission
+        queue) are the lifecycle's to resolve — silently, as neither
+        failures nor latency samples.
+        """
+        self.lifecycle.reply(item, ServeResponse(
+            request_id=item.request_id, op=item.request.op, ok=False,
+            error=str(exc), error_type=type(exc).__name__),
+            ReplyTiming())
+        self._settle_outstanding()
+
+    def _settle_outstanding(self) -> None:
+        with self._outstanding_cond:
+            self._outstanding -= 1
+            self._outstanding_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _failover_item(self, item: PendingRequest, from_shard: int) -> None:
+        """Re-route one orphaned request after its shard died."""
+        item._tried.add(from_shard)
+        with self._outstanding_cond:
+            self.handles[from_shard].pending_count -= 1
+        self.lifecycle.stats.incr("shard_failovers")
+        self.lifecycle.metrics.incr("shard_failovers")
+        self._route(item, failover=True)
+
+    def _on_shard_down(self, handle: _ShardHandle,
+                       generation: int) -> None:
+        stopping = self._stopping or handle.retired
+        with handle.lock:
+            if handle.generation != generation or not handle.alive:
+                return
+            handle.alive = False
+            proc, handle.proc = handle.proc, None
+            # replace the semaphore so blocked dispatchers notice and
+            # new sends against the next generation start with a full
+            # pipeline budget
+            handle.sem = threading.BoundedSemaphore(handle.inflight_limit)
+            orphans: list[PendingRequest] = []
+            for batch_id in [b for b, entry in handle.inflight.items()
+                             if entry[0] == generation]:
+                entry = handle.inflight.pop(batch_id, None)
+                if entry is not None:
+                    orphans.extend(entry[1])
+            if not stopping:
+                handle.deaths += 1
+        if proc is not None:
+            proc.kill()
+        if not stopping:
+            # a worker EOF-ing during coordinated shutdown (or a
+            # migration retirement) is a clean exit, not a death: no
+            # counters, no breaker, no restart
+            self.lifecycle.stats.incr("shard_deaths")
+            self.lifecycle.metrics.incr("shard_deaths")
+            if self.lifecycle.breakers.trip(handle.name):
+                # surface through the same counter the robustness
+                # layer uses, so existing SLO gates see the trip
+                self.lifecycle.stats.incr("breaker_opened")
+        # queued-but-unsent work follows the inflight orphans
+        orphans.extend(handle.dispatch.drain())
+        for item in orphans:
+            self._failover_item(item, handle.index)
+        # fail any control-channel RPC blocked on this shard
+        with handle.lock:
+            waiters = list(handle.rpc_waiters.values())
+            handle.rpc_waiters.clear()
+        for waiter in waiters:
+            waiter[0].set()
+        if (self.config.shard_restart and not stopping
+                and not self._stopping):
+            threading.Thread(
+                target=self._restart_shard, args=(handle,),
+                name=f"shard-restart-{handle.index}",
+                daemon=True).start()
+
+    def _heartbeat_monitor(self) -> None:
+        interval = self.config.shard_heartbeat_seconds
+        timeout = self.config.shard_heartbeat_timeout_seconds
+        while self.lifecycle.running:
+            time.sleep(interval)
+            now = time.monotonic()
+            for handle in list(self.handles):
+                with handle.lock:
+                    alive = handle.alive
+                    stale = now - handle.last_beat
+                    generation = handle.generation
+                    proc = handle.proc
+                if alive and stale > timeout:
+                    # the process is wedged (a clean exit would have
+                    # EOF'd the reader first): kill it so the reader
+                    # unblocks and runs the death path
+                    self.lifecycle.metrics.incr("shard_heartbeat_timeouts")
+                    if proc is not None:
+                        proc.kill()
+                    self._on_shard_down(handle, generation)
+
+    # ------------------------------------------------------------------
+    # control-channel RPCs
+    # ------------------------------------------------------------------
+    def _shard_rpc(self, handle: _ShardHandle, kind: str,
+                   payload: dict[str, Any],
+                   deadline: float) -> dict[str, Any] | None:
+        """One request/reply round trip; None on a dead or late shard."""
+        with self._id_lock:
+            self._next_rpc += 1
+            rpc_id = self._next_rpc
+        waiter = [threading.Event(), None]
+        with handle.lock:
+            if not handle.alive:
+                return None
+            proc = handle.proc
+            handle.rpc_waiters[rpc_id] = waiter
+        frame = {"type": kind, "rpc_id": rpc_id, **payload}
+        try:
+            with handle.write_lock:
+                write_frame(proc.stdin, frame)
+        except (OSError, ValueError, ChatGraphError):
+            with handle.lock:
+                handle.rpc_waiters.pop(rpc_id, None)
+            return None
+        waiter[0].wait(max(0.0, deadline - time.monotonic()))
+        with handle.lock:
+            handle.rpc_waiters.pop(rpc_id, None)
+        return waiter[1]
+
+    def _accept_rpc(self, handle: _ShardHandle,
+                    frame: dict[str, Any]) -> None:
+        rpc_id = frame.get("rpc_id", frame.get("stats_id"))
+        with handle.lock:
+            waiter = handle.rpc_waiters.get(rpc_id)
+        if waiter is not None:
+            waiter[1] = frame
+            waiter[0].set()
+
+    def _poll_shards(self, include_spans: bool = False,
+                     timeout: float = STATS_TIMEOUT_SECONDS
+                     ) -> dict[int, dict[str, Any]]:
+        """One stats round trip to every live shard (dead ones skip)."""
+        waiting: list[tuple[_ShardHandle, int, list[Any]]] = []
+        for handle in self.handles:
+            with handle.lock:
+                if not handle.alive:
+                    continue
+                proc = handle.proc
+                with self._id_lock:
+                    self._next_rpc += 1
+                    rpc_id = self._next_rpc
+                waiter = [threading.Event(), None]
+                handle.rpc_waiters[rpc_id] = waiter
+            try:
+                with handle.write_lock:
+                    write_frame(proc.stdin, {
+                        "type": "stats", "stats_id": rpc_id,
+                        "include_spans": bool(include_spans)})
+            except (OSError, ValueError, ChatGraphError):
+                with handle.lock:
+                    handle.rpc_waiters.pop(rpc_id, None)
+                continue
+            waiting.append((handle, rpc_id, waiter))
+        deadline = time.monotonic() + timeout
+        replies: dict[int, dict[str, Any]] = {}
+        for handle, rpc_id, waiter in waiting:
+            waiter[0].wait(max(0.0, deadline - time.monotonic()))
+            with handle.lock:
+                handle.rpc_waiters.pop(rpc_id, None)
+            if waiter[1] is not None:
+                replies[handle.index] = waiter[1]
+                handle.last_stats = waiter[1]
+        return replies
+
+    # ------------------------------------------------------------------
+    # migration (live ring changes)
+    # ------------------------------------------------------------------
+    def add_shard(self) -> dict[str, Any]:
+        """Grow the fleet by one shard, live, migrating pinned state.
+
+        Spawns the worker *before* pausing the router (a model build
+        takes seconds; the routing pause lasts only the quiesce), then
+        runs the migration: sessions whose new ring preference is the
+        joining shard are adopted by it, named-graph affinity pre-warms
+        its caches, and the outstanding-work limit grows with the
+        fleet.  Returns the migration report.
+        """
+        if not self.lifecycle.running:
+            raise ServeError(
+                "cannot reshape the fleet while the server is stopped")
+        with self._migration_lock:
+            config = self.config
+            scatter = max(1, config.shard_scatter_batch)
+            limit_after = ((len(self._active_handles()) + 1)
+                           * (config.shard_inflight + 1) * scatter)
+            handle = _ShardHandle(len(self.handles),
+                                  limit_after + scatter,
+                                  config.shard_inflight, self.lifecycle)
+            self._spawn_shard(handle)
+            self.handles.append(handle)
+            thread = threading.Thread(
+                target=self._dispatcher_loop, args=(handle,),
+                name=f"shard-dispatch-{handle.index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+            new_ring = HashRing(
+                h.index for h in self._active_handles())
+            try:
+                return self._migrate(new_ring, joining=handle,
+                                     leaving=None)
+            except BaseException:
+                # the migration never swapped the ring: retire the
+                # spawned worker so the fleet is exactly as before
+                self._retire(handle,
+                             time.monotonic() + 5.0)
+                raise
+
+    def remove_shard(self, index: int) -> dict[str, Any]:
+        """Shrink the fleet by one shard, live, migrating pinned state.
+
+        The leaving shard's sessions are adopted by their new ring-
+        preferred survivors before it is retired (coordinated shutdown:
+        no death counters, no breaker trip, no restart).  Returns the
+        migration report.
+        """
+        if not self.lifecycle.running:
+            raise ServeError(
+                "cannot reshape the fleet while the server is stopped")
+        with self._migration_lock:
+            handle = self.handles[index]
+            if handle.retired:
+                raise ServeError(f"shard {index} is already retired")
+            survivors = [h.index for h in self._active_handles()
+                         if h.index != index]
+            if not survivors:
+                raise ServeError("cannot remove the last shard")
+            new_ring = HashRing(survivors)
+            return self._migrate(new_ring, joining=None, leaving=handle)
+
+    def _migrate(self, new_ring: HashRing,
+                 joining: _ShardHandle | None,
+                 leaving: _ShardHandle | None) -> dict[str, Any]:
+        old_ring = self.ring
+        config = self.config
+        deadline = (time.monotonic()
+                    + config.shard_migration_timeout_seconds)
+        self._route_gate.clear()
+        try:
+            self._quiesce(deadline)
+            placements, graph_names, session_graphs = \
+                self._collect_pins(old_ring, deadline)
+            members = set(new_ring.shards)
+            live = [h.index for h in self.handles
+                    if h.alive and not h.retired and h.index in members]
+            from .migration import plan_migration
+
+            plan = plan_migration(old_ring, new_ring, placements,
+                                  live=live)
+            moved = self._apply_plan(plan, session_graphs, leaving,
+                                     deadline)
+            # the swap is atomic under the paused router: nothing is in
+            # flight (quiesced) and nothing routes until the gate lifts
+            self.ring = new_ring
+            with self._outstanding_cond:
+                self._outstanding_limit = (
+                    len(new_ring.shards)
+                    * (config.shard_inflight + 1)
+                    * max(1, config.shard_scatter_batch))
+                self._outstanding_cond.notify_all()
+            warmed = self._warm_affinity(old_ring, new_ring,
+                                         graph_names, deadline)
+            if leaving is not None:
+                self._retire(leaving, deadline)
+            stats = self.lifecycle.stats
+            stats.incr("shard_migrations")
+            self.lifecycle.metrics.incr("shard_migrations")
+            if moved:
+                stats.incr("sessions_migrated", moved)
+                self.lifecycle.metrics.incr("sessions_migrated", moved)
+            return {
+                "joining": None if joining is None else joining.index,
+                "leaving": None if leaving is None else leaving.index,
+                "ring": list(new_ring.shards),
+                "planned_moves": len(plan.moves),
+                "sessions_migrated": moved,
+                "unchanged": len(plan.unchanged),
+                "stranded": len(plan.stranded),
+                "cache_entries_warmed": warmed,
+            }
+        finally:
+            self._route_gate.set()
+
+    def _quiesce(self, deadline: float) -> None:
+        """Wait for every routed request to resolve (router is paused)."""
+        with self._outstanding_cond:
+            while self._outstanding > 0:
+                if time.monotonic() >= deadline:
+                    raise ServeError(
+                        f"migration could not quiesce: "
+                        f"{self._outstanding} requests still "
+                        f"outstanding at the deadline")
+                self._outstanding_cond.wait(0.05)
+
+    def _collect_pins(self, old_ring: HashRing, deadline: float
+                      ) -> tuple[dict[str, int], set[str],
+                                 dict[str, tuple[str, str | None]]]:
+        """Ask every live shard which sessions it holds.
+
+        The coordinator never tracks session placement itself —
+        failovers can strand a session off its ring home — so the
+        fleet is the source of truth.  If a session somehow exists on
+        two shards (failover residue), the copy on the old ring's
+        preferred shard wins.
+        """
+        placements: dict[str, int] = {}
+        session_graphs: dict[str, tuple[str, str | None]] = {}
+        graph_names = set(self.config.shard_hot_graphs)
+        for handle in self._active_handles():
+            if not handle.alive:
+                continue
+            reply = self._shard_rpc(handle, "sessions", {}, deadline)
+            if reply is None:
+                continue
+            for entry in reply.get("sessions") or []:
+                session_id = entry.get("session_id")
+                if session_id is None:
+                    continue
+                key = f"s:{session_id}"
+                name = entry.get("graph_name")
+                if name:
+                    graph_names.add(name)
+                if key in placements:
+                    walk = {shard: rank for rank, shard in
+                            enumerate(old_ring.preference(key))}
+                    if walk.get(handle.index, len(walk)) >= \
+                            walk.get(placements[key], len(walk)):
+                        continue
+                placements[key] = handle.index
+                session_graphs[key] = (session_id, name)
+        return placements, graph_names, session_graphs
+
+    def _apply_plan(self, plan: Any,
+                    session_graphs: dict[str, tuple[str, str | None]],
+                    leaving: _ShardHandle | None,
+                    deadline: float) -> int:
+        """Adopt sessions at their new homes, then evict the old copies.
+
+        Adopt-before-evict means a crash mid-migration leaves a session
+        present on *both* shards (harmless duplicate, resolved by the
+        next ring-change's preference rule) rather than on neither.  A
+        leaving shard skips eviction — retirement drops everything.
+        """
+        by_target: dict[int, list[Any]] = {}
+        for move in plan.moves:
+            by_target.setdefault(move.to_shard, []).append(move)
+        moved = 0
+        adopted: set[str] = set()
+        for target, moves in sorted(by_target.items()):
+            payload = {"sessions": [
+                {"session_id": session_graphs[move.key][0],
+                 "graph_name": session_graphs[move.key][1]}
+                for move in moves]}
+            reply = self._shard_rpc(self.handles[target], "adopt",
+                                    payload, deadline)
+            if reply is None:
+                # target died mid-migration: leave those sessions where
+                # they are; the death path's failover keeps serving them
+                continue
+            moved += int(reply.get("adopted", 0))
+            adopted.update(move.key for move in moves)
+        by_source: dict[int, list[Any]] = {}
+        for move in plan.moves:
+            if move.key not in adopted:
+                continue
+            if leaving is not None and move.from_shard == leaving.index:
+                continue
+            by_source.setdefault(move.from_shard, []).append(move)
+        for source, moves in sorted(by_source.items()):
+            self._shard_rpc(self.handles[source], "evict", {
+                "session_ids": [session_graphs[move.key][0]
+                                for move in moves]}, deadline)
+        return moved
+
+    def _warm_affinity(self, old_ring: HashRing, new_ring: HashRing,
+                       graph_names: set[str], deadline: float) -> int:
+        """Pre-warm caches on each graph's *new* owners.
+
+        A graph's owners are its first ring shard (hot graphs: the
+        first ``shard_replicas``); shards that just gained ownership
+        warm that graph's sequence/embedding caches from the shared
+        store before routing resumes, so moved traffic does not pay a
+        cold-cache penalty.
+        """
+        replicas = max(1, self.config.shard_replicas)
+        by_shard: dict[int, list[str]] = {}
+        for name in sorted(graph_names):
+            key = f"g:{name}"
+            count = replicas if name in self._hot else 1
+            old_owners = set(old_ring.preferred(key, count))
+            for index in new_ring.preferred(key, count):
+                if index not in old_owners:
+                    by_shard.setdefault(index, []).append(name)
+        warmed = 0
+        for index, names in sorted(by_shard.items()):
+            reply = self._shard_rpc(self.handles[index], "warm",
+                                    {"names": names}, deadline)
+            if reply is not None:
+                warmed += int(reply.get("warmed", 0))
+        return warmed
+
+    def _retire(self, handle: _ShardHandle, deadline: float) -> None:
+        """Coordinated exit of one shard: like shutdown, scoped to it."""
+        handle.retired = True
+        handle.dispatch.close()
+        with handle.lock:
+            proc = handle.proc if handle.alive else None
+        if proc is not None:
+            try:
+                with handle.write_lock:
+                    write_frame(proc.stdin, {"type": "shutdown"})
+            except (OSError, ValueError, ChatGraphError):
+                pass
+            try:
+                proc.wait(max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    # ------------------------------------------------------------------
+    # snapshots
+    # ------------------------------------------------------------------
+    def stats_sections(self) -> dict[str, Any]:
+        replies = self._poll_shards()
+        active = 0
+        cache_totals: dict[str, dict[str, Any]] = {}
+        per_shard: dict[str, dict[str, Any]] = {}
+        epochs: dict[str, dict[str, int]] = {}
+        for handle in self.handles:
+            reply = replies.get(handle.index)
+            stats = (reply or handle.last_stats or {}).get("stats", {})
+            entry: dict[str, Any] = {
+                "alive": handle.alive,
+                "retired": handle.retired,
+                "pid": handle.pid,
+                "generation": handle.generation,
+                "routed": handle.routed,
+                "pending": handle.pending_count,
+                "inflight_batches": len(handle.inflight),
+                "dispatch_queue": len(handle.dispatch),
+                "deaths": handle.deaths,
+                "restarts": handle.restarts,
+                "startup_seconds": round(handle.startup_seconds, 3),
+                "breaker": self.lifecycle.breakers.breaker(
+                    handle.name).snapshot(),
+            }
+            if stats:
+                entry["counters"] = stats.get("counters", {})
+                entry["sessions"] = stats.get("sessions", {})
+                entry["caches"] = stats.get("caches", {})
+                entry["store"] = stats.get("store", {})
+                active += stats.get("sessions", {}).get("active", 0)
+                for cache, values in stats.get("caches", {}).items():
+                    totals = cache_totals.setdefault(
+                        cache, {"hits": 0, "misses": 0, "evictions": 0,
+                                "size": 0})
+                    for field in totals:
+                        totals[field] += values.get(field, 0)
+                for name, graph_stats in stats.get("store", {}).items():
+                    epochs.setdefault(name, {})[str(handle.index)] = \
+                        graph_stats.get("epoch", 0)
+            per_shard[str(handle.index)] = entry
+        for totals in cache_totals.values():
+            seen = totals["hits"] + totals["misses"]
+            totals["hit_rate"] = round(
+                totals["hits"] / seen, 4) if seen else 0.0
+        return {
+            "sessions": {"active": active},
+            "caches": cache_totals,
+            "pipeline_stages": [],
+            #: Epoch pinning across processes: every shard reports each
+            #: named graph's epoch; skew means a shard has not yet
+            #: observed a compaction/ingest another shard has.
+            "store": {
+                "epochs": epochs,
+                "epoch_skew": sorted(
+                    name for name, by_shard in epochs.items()
+                    if len(set(by_shard.values())) > 1),
+            },
+            "shards": {
+                #: Live fleet size (the ring) — retired handles linger
+                #: in ``per_shard`` for post-mortem but don't count.
+                "count": len(self.ring.shards),
+                "alive": sum(1 for h in self.handles if h.alive),
+                "retired": sum(1 for h in self.handles if h.retired),
+                "per_shard": per_shard,
+            },
+        }
+
+    def merged_metrics(self, base: dict[str, Any]) -> dict[str, Any]:
+        replies = self._poll_shards()
+        dumps = [self.lifecycle.metrics.dump()]
+        dumps.extend(reply["metrics"] for reply in replies.values()
+                     if reply.get("metrics"))
+        return merge_metrics_dumps(dumps)
+
+    def collect_spans(self) -> list[dict[str, Any]]:
+        """One merged structural trace across the process boundary.
+
+        Shard-side request spans parent under the coordinator-side
+        caller spans (the handoff travels in each request wire), so the
+        merged view reads as one tree.
+        """
+        replies = self._poll_shards(include_spans=True)
+        own: list[Any] = []
+        tracer = self.lifecycle.tracer
+        if tracer is not None:
+            own = [span.to_dict(canonical=True)
+                   for span in tracer.finished_spans()]
+        shard_spans = [reply.get("spans") or []
+                       for reply in replies.values()]
+        return merge_traces(own, *shard_spans)

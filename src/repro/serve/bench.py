@@ -14,10 +14,10 @@ concurrency, not raw single-thread speed, sets throughput.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from ..benchlib import drive
 from ..config import ServeConfig
 from ..core.chatgraph import ChatGraph
 # the prompt mix and the request builder live with the traffic
@@ -84,10 +84,7 @@ def run_one(chatgraph: ChatGraph, workload: Sequence[ServeRequest],
             # run measures warm-cache latency
             for request in workload:
                 server.request(request)
-        start = time.perf_counter()
-        pending = [server.submit(request) for request in workload]
-        responses = [item.result(timeout=300.0) for item in pending]
-        seconds = time.perf_counter() - start
+        seconds, responses = drive(server, workload, timeout=300.0)
         snapshot = server.stats()
     failed = [r for r in responses if not r.ok]
     if failed:

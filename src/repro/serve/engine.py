@@ -1,4 +1,4 @@
-"""The service runtime: a worker pool around :class:`ChatGraph`.
+"""The serving facade and request types for in-process serving.
 
 ``ChatGraphServer`` turns the synchronous, single-caller facade into a
 multi-session service: callers submit :class:`ServeRequest` objects
@@ -7,6 +7,14 @@ limit, bounded queue with backpressure) and are dispatched to N worker
 threads.  Each request gets a deterministic content-keyed seed, so a
 fixed workload produces bit-identical results whether it is served by
 one worker or eight, in any arrival order.
+
+Since the request-plane unification, the server is a thin facade over
+the shared :class:`~repro.runtime.lifecycle.RequestLifecycle` with a
+:class:`~repro.runtime.local.LocalBackend` — the same runtime the
+sharded tier runs on, which is what keeps the two servers' admission
+semantics, counters, and report shapes identical.  This module keeps
+the *request types* (:class:`ServeRequest`, :class:`ServeResponse`,
+:class:`PendingRequest`) every layer shares.
 
 Example::
 
@@ -23,29 +31,16 @@ Example::
 from __future__ import annotations
 
 import hashlib
-import queue as stdlib_queue
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from ..apis.chain import APIChain
-from ..apis.executor import ExecutionPolicy, StepPolicy
 from ..config import ServeConfig
-from ..core.chatgraph import ChatGraph, ChatResponse
+from ..core.chatgraph import ChatGraph
 from ..core.pipeline import PipelineResult
-from ..core.reports import render_answer
-from ..errors import ChatGraphError, ServeError
+from ..errors import ServeError
 from ..graphs.graph import Graph
-from ..llm.prompts import Prompt
-from ..obs.metrics import MetricsRegistry
-from ..obs.trace import Tracer
-from .admission import AdmissionQueue, RateLimiter
-from .breaker import BreakerRegistry
-from .cache import PipelineCaches
-from .microbatch import MicroBatcher
-from .sessions import SessionStore
-from .stats import ServerStats
 
 #: Operations a :class:`ServeRequest` may name.
 OPS = ("propose", "execute", "ask")
@@ -166,10 +161,13 @@ class PendingRequest:
 class ChatGraphServer:
     """Concurrent front-end over one shared :class:`ChatGraph`.
 
-    The underlying pipeline is read-only at inference time, so one
-    model serves every worker; per-request state (contexts, monitors,
-    executors) is never shared.  Lifecycle: :meth:`start` -> submit /
-    request -> :meth:`stop` (or use the instance as a context manager).
+    A facade over the unified request-plane runtime: admission, id
+    allocation, stats and the reply edge live in the shared
+    :class:`~repro.runtime.lifecycle.RequestLifecycle`; worker threads,
+    micro-batching, sessions, caches and the catalog binding live in
+    the :class:`~repro.runtime.local.LocalBackend`.  Lifecycle:
+    :meth:`start` -> submit / request -> :meth:`stop` (or use the
+    instance as a context manager).
     """
 
     def __init__(self, chatgraph: ChatGraph,
@@ -178,188 +176,83 @@ class ChatGraphServer:
                  clock: Any = None) -> None:
         self.chatgraph = chatgraph
         self.config = config or ServeConfig()
-        #: Monotonic clock governing session TTLs, rate-limit refills,
-        #: admission retry hints, and breaker cooldowns.  ``None`` means
-        #: real time; soak tests inject a
-        #: :class:`repro.loadgen.VirtualClock` so hours of simulated
-        #: traffic elapse deterministically in seconds.  Latency
-        #: *measurement* stays on ``time.perf_counter`` either way —
-        #: observed service times are real even under a virtual clock.
-        self.clock = time.monotonic if clock is None else clock
-        self.caches: PipelineCaches | None = None
-        if self.config.enable_caches:
-            self.caches = PipelineCaches.with_sizes(
-                embedding=self.config.embedding_cache_size,
-                retrieval=self.config.retrieval_cache_size,
-                sequence=self.config.sequence_cache_size)
-        chatgraph.enable_caches(self.caches)
-        #: Per-stage histogram names, derived from the pipeline's stage
-        #: graph (the single stage definition) rather than a mirror.
-        self.pipeline_stages = tuple(
-            chatgraph.pipeline.graph.observed_stage_names)
-        self.sessions = SessionStore(
-            chatgraph, ttl_seconds=self.config.session_ttl_seconds,
-            max_sessions=self.config.max_sessions, clock=self.clock)
-        self.queue = AdmissionQueue(self.config.queue_depth,
-                                    clock=self.clock)
-        self.limiter: RateLimiter | None = None
-        if self.config.rate_limit_capacity > 0:
-            self.limiter = RateLimiter(
-                self.config.rate_limit_capacity,
-                self.config.rate_limit_refill_per_second,
-                clock=self.clock,
-                idle_seconds=self.config.rate_limit_idle_seconds)
-        self._stats = ServerStats()
-        #: Optional request coalescer (see :mod:`repro.serve.microbatch`);
-        #: enabled by ``ServeConfig.microbatch_size > 0``.
-        self.batcher: MicroBatcher | None = None
-        if self.config.microbatch_size > 0:
-            # the batcher stays on real time even under an injected
-            # clock: its deadline is awaited by polling workers, and a
-            # virtual clock only advances between submissions, so a
-            # partial batch's coalescing window could never expire
-            self.batcher = MicroBatcher(
-                self.config.microbatch_size,
-                self.config.microbatch_deadline_seconds)
-        # observability layer: a metrics registry fed by executor
-        # events (always on; counters are nearly free) and an optional
-        # tracer producing per-request span trees
-        self.metrics = MetricsRegistry()
-        self.tracer: Tracer | None = None
-        if self.config.obs.enable_tracing:
-            self.tracer = Tracer(
-                seed=self.config.seed,
-                max_spans=self.config.obs.max_spans,
-                profile_cpu=self.config.obs.profile_cpu,
-                profile_alloc=self.config.obs.profile_alloc)
-        self._saved_tracer: Any = None
-        # durable graph catalog: passed in, or built from the config's
-        # store_root; sessions pin (name, epoch) refs into it and its
-        # compactions evict sessions left on pruned epochs
-        self.catalog: Any = catalog
-        if self.catalog is None and self.config.store_root:
-            from ..store.catalog import GraphCatalog
-            self.catalog = GraphCatalog(
-                self.config.store_root,
-                snapshot_every=self.config.store_snapshot_every,
-                metrics=self.metrics, tracer=self.tracer)
-        if self.catalog is not None:
-            self.chatgraph.use_catalog(self.catalog)
-        # robustness layer: per-API circuit breakers shared by every
-        # worker, plus default step policies (timeout + retries) the
-        # executor applies to each chain step
-        self.breakers: BreakerRegistry | None = None
-        if self.config.enable_breakers:
-            self.breakers = BreakerRegistry(
-                failure_threshold=self.config.breaker_failure_threshold,
-                failure_rate_threshold=self.config.breaker_failure_rate,
-                window_size=self.config.breaker_window,
-                cooldown_seconds=self.config.breaker_cooldown_seconds,
-                clock=self.clock)
-        self.policy = ExecutionPolicy(
-            default=StepPolicy(
-                timeout_seconds=(self.config.step_timeout_seconds
-                                 or None),
-                max_retries=self.config.step_max_retries,
-                backoff_base_seconds=self.config.retry_backoff_seconds,
-                critical=False),
-            seed=self.config.seed)
-        self._saved_robustness: tuple[Any, Any] | None = None
-        self._workers: list[threading.Thread] = []
-        # optional micro-batch finisher lane: workers hand the per-item
-        # tail of a served batch here and return to collecting/decoding
-        # the next one (ServeConfig.microbatch_overlap_execute)
-        self._finish_queue: Any = None
-        self._finish_thread: threading.Thread | None = None
-        if (self.batcher is not None
-                and self.config.microbatch_overlap_execute):
-            self._finish_queue = stdlib_queue.SimpleQueue()
-        self._running = False
-        self._id_lock = threading.Lock()
-        self._next_id = 0
+        # imported lazily: repro.runtime imports this module for the
+        # request types, so it must finish loading first
+        from ..runtime import LocalBackend, RequestLifecycle
+
+        self.backend = LocalBackend(chatgraph, catalog=catalog)
+        self.lifecycle = RequestLifecycle(self.config, self.backend,
+                                          clock=clock)
+
+    # ------------------------------------------------------------------
+    # the runtime's shared surfaces, re-exposed for callers and tests
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Any:
+        return self.lifecycle.clock
+
+    @property
+    def queue(self) -> Any:
+        return self.lifecycle.queue
+
+    @property
+    def limiter(self) -> Any:
+        return self.lifecycle.limiter
+
+    @property
+    def _stats(self) -> Any:
+        return self.lifecycle.stats
+
+    @property
+    def metrics(self) -> Any:
+        return self.lifecycle.metrics
+
+    @property
+    def tracer(self) -> Any:
+        return self.lifecycle.tracer
+
+    @property
+    def breakers(self) -> Any:
+        return self.lifecycle.breakers
+
+    @property
+    def caches(self) -> Any:
+        return self.backend.caches
+
+    @property
+    def pipeline_stages(self) -> tuple[str, ...]:
+        return self.backend.pipeline_stages
+
+    @property
+    def sessions(self) -> Any:
+        return self.backend.sessions
+
+    @property
+    def batcher(self) -> Any:
+        return self.backend.batcher
+
+    @property
+    def catalog(self) -> Any:
+        return self.backend.catalog
+
+    @property
+    def policy(self) -> Any:
+        return self.backend.policy
+
+    @property
+    def _finish_queue(self) -> Any:
+        return self.backend._finish_queue
+
+    @property
+    def _finish_thread(self) -> Any:
+        return self.backend._finish_thread
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ChatGraphServer":
-        if self._running:
-            raise ServeError("server already started")
-        # recovery events (step_retried / step_timed_out /
-        # breaker_opened) flow through the executor's listener pipeline
-        # into the server counters while this server runs
-        if self._stats.on_execution_event not in \
-                self.chatgraph.executor.listeners():
-            self.chatgraph.executor.add_listener(
-                self._stats.on_execution_event)
-        if self.metrics.on_execution_event not in \
-                self.chatgraph.executor.listeners():
-            self.chatgraph.executor.add_listener(
-                self.metrics.on_execution_event)
-        # install this server's tracer for the duration of the run
-        if self.tracer is not None:
-            self._saved_tracer = self.chatgraph.tracer
-            self.chatgraph.set_tracer(self.tracer)
-        # install this server's robustness settings for the duration of
-        # the run; stop() restores whatever the caller had configured
-        self._saved_robustness = (self.chatgraph.robustness_policy,
-                                  self.chatgraph.breakers)
-        self.chatgraph.set_robustness(policy=self.policy,
-                                      breakers=self.breakers)
-        # compactions of the durable store evict sessions whose pinned
-        # epoch was pruned, for as long as this server runs
-        if self.catalog is not None:
-            self.catalog.add_compact_listener(
-                self.sessions.evict_compacted)
-        if self.config.warm_caches:
-            self._stats.incr("cache_warmed_entries",
-                             self.warm_caches())
-        self.queue.reopen()
-        self._workers = []
-        for index in range(self.config.workers):
-            thread = threading.Thread(
-                target=self._worker_loop, args=(f"worker-{index}",),
-                name=f"chatgraph-serve-{index}", daemon=True)
-            thread.start()
-            self._workers.append(thread)
-        if self._finish_queue is not None:
-            self._finish_thread = threading.Thread(
-                target=self._finish_lane_loop,
-                name="chatgraph-serve-finish", daemon=True)
-            self._finish_thread.start()
-        self._running = True
+        self.lifecycle.start()
         return self
-
-    def warm_caches(self) -> int:
-        """Pre-populate pipeline caches from the catalog's named graphs.
-
-        For every graph in the catalog, sequentializes it (sequence
-        cache, keyed by graph fingerprint) and embeds its suggested
-        questions through the retriever's query path (embedding cache),
-        so the first real request against a named graph starts warm.
-        Returns the number of cache entries added; ``start()`` runs
-        this when ``ServeConfig.warm_caches`` is set and surfaces the
-        count as the ``cache_warmed_entries`` counter.  Warming only
-        ever *inserts* deterministic content-keyed values, so served
-        results are byte-identical with or without it.
-        """
-        if self.caches is None or self.catalog is None:
-            return 0
-        from ..core.suggestions import suggested_questions
-
-        pipeline = self.chatgraph.pipeline
-        before = (len(self.caches.sequences)
-                  + len(self.caches.embeddings))
-        for name in self.catalog.names():
-            try:
-                view = self.catalog.view(name)
-            except ChatGraphError:
-                continue
-            pipeline.sequentializer.sequentialize(view.graph)
-            texts = suggested_questions(view.graph)
-            if texts:
-                pipeline.retriever._embed_queries(list(texts))
-        return (len(self.caches.sequences)
-                + len(self.caches.embeddings) - before)
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Graceful shutdown: stop admitting, then drain or cancel.
@@ -367,45 +260,10 @@ class ChatGraphServer:
         With ``drain`` (default) queued requests are still served;
         otherwise they resolve immediately with a shutdown error.
         """
-        if not self._running:
-            return
-        self.queue.close()
-        if not drain:
-            for item in self.queue.drain():
-                item._resolve(ServeResponse(
-                    request_id=item.request_id, op=item.request.op,
-                    ok=False, error="server stopped before the request "
-                    "was served", error_type="ServeError"))
-        deadline = time.monotonic() + timeout
-        for thread in self._workers:
-            thread.join(max(0.0, deadline - time.monotonic()))
-        self._workers = []
-        if self._finish_thread is not None:
-            # workers are gone, so no new jobs can arrive: the sentinel
-            # lands behind every queued tail and the lane drains fully
-            self._finish_queue.put(None)
-            self._finish_thread.join(
-                max(0.0, deadline - time.monotonic()))
-            self._finish_thread = None
-        self._running = False
-        for listener in (self._stats.on_execution_event,
-                         self.metrics.on_execution_event):
-            try:
-                self.chatgraph.executor.remove_listener(listener)
-            except ValueError:
-                pass
-        if self.tracer is not None:
-            self.chatgraph.set_tracer(self._saved_tracer)
-            self._saved_tracer = None
-        if self._saved_robustness is not None:
-            self.chatgraph.set_robustness(*self._saved_robustness)
-            self._saved_robustness = None
-        if self.catalog is not None:
-            self.catalog.remove_compact_listener(
-                self.sessions.evict_compacted)
+        self.lifecycle.stop(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "ChatGraphServer":
-        if not self._running:
+        if not self.running:
             self.start()
         return self
 
@@ -414,7 +272,17 @@ class ChatGraphServer:
 
     @property
     def running(self) -> bool:
-        return self._running
+        return self.lifecycle.running
+
+    def warm_caches(self, names: Any = None) -> int:
+        """Pre-populate pipeline caches from the catalog's named graphs.
+
+        ``names`` restricts warming to specific graphs (the shard
+        tier's migration path warms only the graphs whose ring
+        ownership moved); None warms every catalog graph.  Returns the
+        number of cache entries added.
+        """
+        return self.backend.warm_named_caches(names)
 
     # ------------------------------------------------------------------
     # submission
@@ -432,35 +300,13 @@ class ChatGraphServer:
         trace handoff: a shard worker passes the coordinator-side span
         id carried in the request wire, so merged traces keep one tree.
         """
-        if not self._running:
-            raise ServeError("server is not running; call start()")
-        request.validate()
-        if self.limiter is not None:
-            try:
-                self.limiter.admit(request.client_id)
-            except ChatGraphError:
-                self._stats.incr("rejected_rate_limit")
-                raise
-        with self._id_lock:
-            self._next_id += 1
-            request_id = self._next_id
-        pending = PendingRequest(request, request_id, time.perf_counter())
-        if parent_span_id is not None:
-            pending.parent_span_id = parent_span_id
-        elif self.tracer is not None:
-            pending.parent_span_id = self.tracer.current_id()
-        try:
-            self.queue.put(pending)
-        except ChatGraphError:
-            self._stats.incr("rejected_backpressure")
-            raise
-        self._stats.incr("admitted")
-        return pending
+        return self.lifecycle.submit(request,
+                                     parent_span_id=parent_span_id)
 
     def request(self, request: ServeRequest,
                 timeout: float | None = None) -> ServeResponse:
         """Submit and wait: the synchronous convenience path."""
-        return self.submit(request).result(timeout)
+        return self.lifecycle.request(request, timeout)
 
     def propose(self, text: str, graph: Graph | None = None,
                 **kwargs: Any) -> ServeResponse:
@@ -480,365 +326,12 @@ class ChatGraphServer:
                                          chain=chain, **kwargs))
 
     # ------------------------------------------------------------------
-    # workers
-    # ------------------------------------------------------------------
-    def _worker_loop(self, worker: str) -> None:
-        while True:
-            item = self.queue.get(timeout=0.05)
-            if item is None:
-                if self.queue.closed and len(self.queue) == 0:
-                    return
-                continue
-            if self.batcher is None:
-                self._serve_item(item, worker)
-                continue
-            batch, passthrough = self.batcher.collect(self.queue, item)
-            if len(batch) == 1:
-                self._serve_item(batch[0], worker)
-            elif batch:
-                self._serve_batch(batch, worker)
-            for single in passthrough:
-                self._serve_item(single, worker)
-
-    def _serve_item(self, item: PendingRequest, worker: str) -> None:
-        """Serve one request on the scalar path and resolve its handle."""
-        queued = time.perf_counter() - item.enqueued_at
-        self._stats.observe("queued", queued)
-        start = time.perf_counter()
-        try:
-            response = self._handle(item, worker)
-            response.ok = not response.error
-        except Exception as exc:  # noqa: BLE001 - keep workers alive
-            self._stats.incr("failed")
-            response = ServeResponse(
-                request_id=item.request_id, op=item.request.op,
-                ok=False, error=str(exc),
-                error_type=type(exc).__name__, worker=worker)
-        service = time.perf_counter() - start
-        response.queued_seconds = queued
-        response.service_seconds = service
-        self.queue.record_service_time(service)
-        self._stats.observe("service", service)
-        self._stats.observe("total", queued + service)
-        self._stats.incr(f"op_{item.request.op}")
-        item._resolve(response)
-
-    def _serve_batch(self, batch: list[PendingRequest],
-                     worker: str) -> None:
-        """Serve a coalesced batch through the shared pipeline stages."""
-        now = time.perf_counter()
-        queued_per: list[float] = []
-        for item in batch:
-            queued = now - item.enqueued_at
-            queued_per.append(queued)
-            self._stats.observe("queued", queued)
-            # the coalescing wait the batcher added on top of admission
-            # queueing (stamped per item at flush time) — not the full
-            # queue delay, which the ``queued`` histogram already holds
-            self.metrics.observe("microbatch_queue_delay",
-                                 item.batch_wait_seconds)
-        self.metrics.observe("microbatch_size", float(len(batch)))
-        start = time.perf_counter()
-        try:
-            seeds, outcomes = self._propose_batch(batch)
-        except Exception as exc:  # noqa: BLE001 - keep workers alive
-            seeds = [item.request.content_seed(self.config.seed)
-                     for item in batch]
-            outcomes = [exc] * len(batch)
-        if self._finish_queue is not None:
-            # overlap: hand the per-item tail (chain execution for ask,
-            # stats, resolution) to the finisher lane so this worker
-            # immediately returns to collecting and decoding the next
-            # micro-batch
-            self._finish_queue.put(
-                (batch, worker, seeds, outcomes, queued_per, start))
-        else:
-            self._finish_batch(batch, worker, seeds, outcomes,
-                               queued_per, start)
-
-    def _handle(self, item: PendingRequest, worker: str) -> ServeResponse:
-        request = item.request
-        seed = request.content_seed(self.config.seed)
-        response = ServeResponse(request_id=item.request_id, op=request.op,
-                                 ok=True, worker=worker, seed=seed)
-        if self.tracer is None:
-            self._dispatch(request, seed, response)
-            return response
-        # the request's root span is keyed by the content seed (not the
-        # arrival-order request id), so seeded workloads produce the
-        # same span identity no matter which worker serves them; the
-        # submitting thread's span (if any) becomes the parent
-        with self.tracer.span(f"request:{request.op}", kind="request",
-                              key=f"{seed:016x}",
-                              parent=item.parent_span_id,
-                              op=request.op,
-                              client=request.client_id) as span:
-            self._dispatch(request, seed, response)
-            span.set(ok=not response.error)
-        return response
-
-    def _dispatch(self, request: ServeRequest, seed: int,
-                  response: ServeResponse) -> None:
-        if request.op == "propose":
-            response.value = self._serve_propose(request, seed)
-        elif request.op == "execute":
-            response.value = self._serve_execute(request, seed)
-        else:
-            response.value = self._serve_ask(request, seed)
-
-    def _backend_pause(self) -> None:
-        """Emulate the remote-LLM round trip (see ServeConfig)."""
-        if self.config.backend_latency_seconds > 0:
-            time.sleep(self.config.backend_latency_seconds)
-
-    def _record_pipeline(self, result: PipelineResult) -> None:
-        # per-stage latency histogram names come from the stage graph
-        # (via the result's timings) — never from a hand-written list
-        for stage, seconds in result.timings.items():
-            self._stats.observe(stage, seconds)
-        if result.used_fallback:
-            self._stats.incr("fallback_chains")
-
-    def _resolve_view(self, request: ServeRequest) -> Any:
-        """The catalog view for ``request.graph_name`` (or None)."""
-        if request.graph_name is None:
-            return None
-        if self.catalog is None:
-            raise ServeError(
-                f"request names graph {request.graph_name!r} but the "
-                "server has no graph catalog (set ServeConfig."
-                "store_root or pass catalog=)")
-        return self.catalog.view(request.graph_name)
-
-    def _resolve_graph(self, request: ServeRequest) -> Graph | None:
-        view = self._resolve_view(request)
-        return request.graph if view is None else view.graph
-
-    def _serve_propose(self, request: ServeRequest,
-                       seed: int) -> PipelineResult:
-        self._backend_pause()
-        attachments = dict(request.attachments)
-        attachments.setdefault("request_seed", seed)
-        result = self.chatgraph.propose(request.text,
-                                        self._resolve_graph(request),
-                                        **attachments)
-        self._record_pipeline(result)
-        return result
-
-    def _serve_execute(self, request: ServeRequest,
-                       seed: int) -> ChatResponse:
-        assert request.pipeline_result is not None
-        start = time.perf_counter()
-        record, monitor = self.chatgraph.execute(
-            request.pipeline_result, chain=request.chain)
-        self._stats.observe("execute", time.perf_counter() - start)
-        if record.is_degraded:
-            self._stats.incr("degraded_responses")
-        return ChatResponse(
-            prompt=request.pipeline_result.prompt,
-            pipeline=request.pipeline_result,
-            record=record,
-            answer=render_answer(record),
-            monitor=monitor,
-            seconds=record.total_seconds,
-        )
-
-    def _serve_ask(self, request: ServeRequest, seed: int) -> ChatResponse:
-        self._backend_pause()
-        if request.session_id is not None:
-            view = self._resolve_view(request)
-            entry = self.sessions.get_or_create(request.session_id)
-            with entry.lock:
-                if view is not None:
-                    entry.session.upload_graph(view.graph,
-                                               **request.attachments)
-                    entry.graph_ref = (view.name, view.epoch)
-                elif request.graph is not None:
-                    entry.session.upload_graph(request.graph,
-                                               **request.attachments)
-                chat_response = entry.session.send(request.text)
-        else:
-            attachments = dict(request.attachments)
-            attachments.setdefault("request_seed", seed)
-            chat_response = self.chatgraph.ask(request.text,
-                                               self._resolve_graph(request),
-                                               **attachments)
-        self._record_pipeline(chat_response.pipeline)
-        if chat_response.record is not None:
-            self._stats.observe(
-                "execute", chat_response.record.total_seconds)
-            if chat_response.record.is_degraded:
-                self._stats.incr("degraded_responses")
-        return chat_response
-
-    # ------------------------------------------------------------------
-    # micro-batched serving
-    # ------------------------------------------------------------------
-    def _propose_batch(self, batch: list[PendingRequest]
-                       ) -> tuple[list[int], list[Any]]:
-        """Phase 1 of a micro-batch: one shared batched pipeline pass.
-
-        The emulated backend round trip is paid once for the whole
-        batch — that amortization is the point of micro-batching a
-        remote-LLM-shaped workload.  Returns ``(seeds, outcomes)``
-        where each outcome is the item's :class:`PipelineResult` or the
-        exception that failed it: a bad graph name or a mid-batch stage
-        failure degrades that one response, never its batchmates
-        (matching what the scalar path would do to each request alone).
-        """
-        seeds = [item.request.content_seed(self.config.seed)
-                 for item in batch]
-        outcomes: list[Any] = [None] * len(batch)
-        prompts: list[Prompt] = []
-        live: list[int] = []
-        for index, (item, seed) in enumerate(zip(batch, seeds)):
-            try:
-                graph = self._resolve_graph(item.request)
-            except Exception as exc:  # noqa: BLE001 - this item only
-                outcomes[index] = exc
-                continue
-            attachments = dict(item.request.attachments)
-            attachments.setdefault("request_seed", seed)
-            prompts.append(Prompt(text=item.request.text, graph=graph,
-                                  attachments=attachments))
-            live.append(index)
-        self._backend_pause()
-        if prompts:
-            if self.tracer is None:
-                results = self.chatgraph.propose_batch(
-                    prompts, return_exceptions=True)
-            else:
-                with self.tracer.span("microbatch", kind="batch",
-                                      key=f"{seeds[live[0]]:016x}",
-                                      batch_size=len(batch)):
-                    results = self.chatgraph.propose_batch(
-                        prompts, return_exceptions=True)
-            for index, result in zip(live, results):
-                outcomes[index] = result
-        return seeds, outcomes
-
-    def _finish_batch(self, batch: list[PendingRequest], worker: str,
-                      seeds: list[int], outcomes: list[Any],
-                      queued_per: list[float], start: float) -> None:
-        """Phase 2 of a micro-batch: per-item tails and resolution.
-
-        ``ask`` requests execute their chains one by one here
-        (execution carries per-request state and does not batch);
-        failed outcomes from phase 1 become per-item error responses.
-        Runs on the worker, or on the finisher lane when execution
-        overlap is enabled.
-        """
-        responses: list[ServeResponse] = []
-        for item, seed, outcome in zip(batch, seeds, outcomes):
-            response = ServeResponse(request_id=item.request_id,
-                                     op=item.request.op, ok=True,
-                                     worker=worker, seed=seed)
-            responses.append(response)
-            if isinstance(outcome, BaseException):
-                self._stats.incr("failed")
-                response.error = str(outcome)
-                response.error_type = type(outcome).__name__
-            elif self.tracer is None:
-                self._finish_batch_item(item, outcome, response)
-            else:
-                with self.tracer.span(f"request:{item.request.op}",
-                                      kind="request", key=f"{seed:016x}",
-                                      parent=item.parent_span_id,
-                                      op=item.request.op,
-                                      client=item.request.client_id,
-                                      batch_size=len(batch)) as span:
-                    self._finish_batch_item(item, outcome, response)
-                    span.set(ok=not response.error)
-        service = time.perf_counter() - start
-        # the whole batch shares one service interval; the EMA feeding
-        # backpressure retry hints gets the per-request amortized cost
-        self.queue.record_service_time(service / len(batch))
-        for item, queued, response in zip(batch, queued_per, responses):
-            response.ok = not response.error
-            response.queued_seconds = queued
-            response.service_seconds = service
-            self._stats.observe("service", service)
-            self._stats.observe("total", queued + service)
-            self._stats.incr(f"op_{item.request.op}")
-            self._stats.incr("microbatched")
-            item._resolve(response)
-
-    def _finish_lane_loop(self) -> None:
-        """Drain queued batch tails; ``None`` is the shutdown sentinel.
-
-        Whatever happens, every item of a popped job resolves — a
-        caller blocked in :meth:`PendingRequest.result` must never be
-        stranded by a finisher bug.
-        """
-        while True:
-            job = self._finish_queue.get()
-            if job is None:
-                return
-            batch = job[0]
-            try:
-                self._finish_batch(*job)
-            except Exception as exc:  # noqa: BLE001 - resolve anyway
-                for item in batch:
-                    if not item.done():
-                        self._stats.incr("failed")
-                        item._resolve(ServeResponse(
-                            request_id=item.request_id,
-                            op=item.request.op, ok=False,
-                            error=str(exc),
-                            error_type=type(exc).__name__))
-
-    def _finish_batch_item(self, item: PendingRequest,
-                           result: PipelineResult,
-                           response: ServeResponse) -> None:
-        """Per-request tail of a batch: record stats, execute for ask."""
-        self._record_pipeline(result)
-        if item.request.op == "propose":
-            response.value = result
-            return
-        try:
-            record, monitor = self.chatgraph.execute(result)
-        except Exception as exc:  # noqa: BLE001 - fail only this item
-            self._stats.incr("failed")
-            response.error = str(exc)
-            response.error_type = type(exc).__name__
-            return
-        self._stats.observe("execute", record.total_seconds)
-        if record.is_degraded:
-            self._stats.incr("degraded_responses")
-        response.value = ChatResponse(
-            prompt=result.prompt,
-            pipeline=result,
-            record=record,
-            answer=render_answer(record),
-            monitor=monitor,
-            seconds=record.total_seconds,
-        )
-
-    # ------------------------------------------------------------------
-    # introspection
+    # introspection (one snapshot builder; see repro.runtime.snapshot)
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """One merged snapshot: counters, latency, caches, sessions,
         queue."""
-        snapshot = self._stats.snapshot()
-        snapshot["queue"] = {"depth": self.queue.maxsize,
-                             "size": len(self.queue)}
-        snapshot["sessions"] = self.sessions.stats()
-        snapshot["caches"] = (self.caches.stats()
-                              if self.caches is not None else {})
-        snapshot["breakers"] = (self.breakers.snapshot()
-                                if self.breakers is not None else {})
-        snapshot["rate_limiter"] = {
-            "clients": len(self.limiter) if self.limiter is not None
-            else 0}
-        snapshot["workers"] = self.config.workers
-        snapshot["pipeline_stages"] = list(self.pipeline_stages)
-        snapshot["store"] = (self.catalog.stats()
-                             if self.catalog is not None else {})
-        #: Uniform surface with ShardedChatGraphServer.stats(): a
-        #: single-process server simply has no shards.
-        snapshot["shards"] = {"count": 0, "alive": 0, "per_shard": {}}
-        return snapshot
+        return self.lifecycle.stats_snapshot()
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """The observability view: stats + metrics registry + gauges.
@@ -849,26 +342,4 @@ class ChatGraphServer:
         sessions, cache hit rates, open breakers).  Feed the result to
         :func:`repro.obs.render_metrics_markdown` for a report.
         """
-        base = self.stats()
-        self.metrics.set_gauge("queue_size", len(self.queue))
-        self.metrics.set_gauge("sessions_live",
-                               base["sessions"]["active"])
-        self.metrics.set_gauge("workers", self.config.workers)
-        if self.caches is not None:
-            for name, stats in base["caches"].items():
-                self.metrics.set_gauge(f"cache_{name}_hit_rate",
-                                       stats.get("hit_rate", 0.0))
-        if self.breakers is not None:
-            self.metrics.set_gauge("breakers_open",
-                                   len(self.breakers.open_names()))
-        obs = self.metrics.snapshot()
-        return {
-            "counters": {**base["counters"], **obs["counters"]},
-            "gauges": obs["gauges"],
-            "latency": base["latency"],
-            "histograms": obs["histograms"],
-            "caches": base["caches"],
-            "breakers": base["breakers"],
-            "trace": (self.tracer.stats()
-                      if self.tracer is not None else {}),
-        }
+        return self.lifecycle.metrics_snapshot()

@@ -35,11 +35,16 @@ Layers measured:
 
 from __future__ import annotations
 
-import time
-from typing import Any, Sequence
+from typing import Any
 
 import numpy as np
 
+from ..benchlib import (
+    chunked as _chunked,
+    drive as _drive,
+    min_per_unit as _min_per_unit,
+    quantiles_ms as _quantiles_ms,
+)
 from ..config import ServeConfig
 from ..core.chatgraph import ChatGraph
 from ..llm.chain_model import GenerationState
@@ -50,45 +55,6 @@ from ..llm.prompts import Prompt
 from ..apis.registry import Category
 from .bench import build_workload
 from .engine import ChatGraphServer, ServeRequest
-
-
-def _chunked(items: Sequence[Any], size: int) -> list[list[Any]]:
-    return [list(items[start:start + size])
-            for start in range(0, len(items), size)]
-
-
-def _min_per_unit(repeats: int,
-                  fns: Sequence[Any]) -> tuple[list[float], list[Any]]:
-    """Time each unit of work ``repeats`` times; keep per-unit minima.
-
-    Best-of timing (a la ``timeit``) reports the intrinsic cost of a
-    code path: slower passes only ever measure interference from the
-    rest of the machine.  Taking the minimum *per unit* (per request /
-    per chunk) rather than per whole pass makes the statistic robust
-    even on noisy shared hosts, where a several-ms steal event would
-    otherwise poison every full pass.  Returns the per-unit minimum
-    seconds plus the outputs of the first pass.
-    """
-    mins = [float("inf")] * len(fns)
-    first: list[Any] = []
-    for rep in range(repeats):
-        for i, fn in enumerate(fns):
-            t0 = time.perf_counter()
-            out = fn()
-            elapsed = time.perf_counter() - t0
-            if elapsed < mins[i]:
-                mins[i] = elapsed
-            if rep == 0:
-                first.append(out)
-    return mins, first
-
-
-def _quantiles_ms(seconds: list[float]) -> dict[str, float]:
-    values = np.asarray(seconds, dtype=np.float64) * 1000.0
-    return {
-        "p50_ms": float(np.percentile(values, 50)),
-        "p95_ms": float(np.percentile(values, 95)),
-    }
 
 
 def _states_from_results(chatgraph: ChatGraph, results) -> list[
@@ -393,10 +359,7 @@ def _serve_comparison(chatgraph: ChatGraph,
     def run(config: ServeConfig) -> dict[str, float]:
         server = ChatGraphServer(chatgraph, config)
         with server:
-            start = time.perf_counter()
-            pending = [server.submit(request) for request in workload]
-            responses = [item.result(timeout=600.0) for item in pending]
-            seconds = time.perf_counter() - start
+            seconds, responses = _drive(server, workload, timeout=600.0)
         failed = [r for r in responses if not r.ok]
         if failed:
             raise RuntimeError(f"{len(failed)} perf requests failed; "

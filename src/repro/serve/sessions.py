@@ -109,6 +109,18 @@ class SessionStore:
         with self._lock:
             return self._entries.pop(session_id, None) is not None
 
+    def pins(self) -> list[tuple[str, str | None]]:
+        """(session_id, pinned graph name) pairs for every live session.
+
+        A placement inventory for the shard tier's migration planner:
+        deliberately read-only — it must not refresh TTLs or reorder
+        the LRU the way :meth:`get` does.
+        """
+        with self._lock:
+            return [(session_id,
+                     entry.graph_ref[0] if entry.graph_ref else None)
+                    for session_id, entry in self._entries.items()]
+
     def evict_compacted(self, graph_name: str,
                         live_epochs: list[int]) -> int:
         """Evict sessions pinned to pruned epochs of ``graph_name``.

@@ -1,4 +1,4 @@
-"""``bench-shard``: the sharded serving tier's three gate families.
+"""``bench-shard``: the sharded serving tier's four gate families.
 
 * **scaling** — the same distinct-key propose workload served at
   increasing shard counts in the I/O-bound regime
@@ -22,6 +22,13 @@
   runner's books reconcile exactly against coordinator counters), the
   background restart brought the fleet back to full strength, and the
   standard SLO gates (shed load bounded, p95 bounded) held.
+* **live migration** — a steady sessioned soak (fake clock) while the
+  fleet is reshaped under it: ``add_shard`` one third in,
+  ``remove_shard(0)`` two thirds in.  Pinned sessions and named-graph
+  affinity move along ring preference (planner:
+  :func:`repro.runtime.migration.plan_migration`), no session is
+  stranded, zero requests are lost (exact ledger reconciliation, zero
+  errors), and the fleet ends healthy on the final ring.
 
 ``python -m repro.cli bench-shard`` writes the combined report to
 ``BENCH_PR9.json``; any failed gate exits non-zero.
@@ -29,14 +36,19 @@
 
 from __future__ import annotations
 
-import os
-import sys
 import tempfile
 import time
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
+from ..benchlib import (
+    drive,
+    eight_shard_gate_decision,
+    gate as _gate,
+    host_info,
+    say as _say,
+)
 from ..config import ServeConfig
-from ..loadgen.arrivals import StepSpike
+from ..loadgen.arrivals import ConstantRate, StepSpike
 from ..loadgen.personas import default_pool
 from ..loadgen.runner import SoakRunner, VirtualClock
 from ..loadgen.schedule import build_schedule
@@ -83,14 +95,6 @@ class TriggerClock(VirtualClock):
         return self._maybe_fire(super().advance_to(target))
 
 
-def _gate(name: str, passed: bool, **detail: Any) -> dict[str, Any]:
-    return {"gate": name, "passed": bool(passed), **detail}
-
-
-def _say(message: str) -> None:
-    print(message, file=sys.stderr)
-
-
 # ----------------------------------------------------------------------
 # scaling
 # ----------------------------------------------------------------------
@@ -111,13 +115,8 @@ def _scaling_requests(n: int) -> list[ServeRequest]:
     ]
 
 
-def _drive(server: Any, requests: Sequence[ServeRequest]
-           ) -> tuple[float, list[Any]]:
-    start = time.perf_counter()
-    pending = [server.submit(request) for request in requests]
-    responses = [item.result(timeout=RESULT_TIMEOUT_SECONDS)
-                 for item in pending]
-    return time.perf_counter() - start, responses
+def _drive(server: Any, requests: Any) -> tuple[float, list[Any]]:
+    return drive(server, requests, timeout=RESULT_TIMEOUT_SECONDS)
 
 
 def _scaling_section(seed: int, quick: bool, corpus_size: int
@@ -125,9 +124,12 @@ def _scaling_section(seed: int, quick: bool, corpus_size: int
     latency = 0.06
     n = 32 if quick else 64
     counts = [1, 2] if quick else [1, 2, 4]
-    many_cores = (os.cpu_count() or 1) >= 8
-    if not quick and many_cores:
+    eight = eight_shard_gate_decision(quick=quick)
+    if eight["armed"]:
         counts.append(8)
+    _say(f"scaling: 8-shard gate "
+         f"{'ARMED' if eight['armed'] else 'disarmed'} "
+         f"({eight['reason']})")
     requests = _scaling_requests(n)
     spec = ShardModelSpec(corpus_size=corpus_size, seed=seed)
 
@@ -183,9 +185,6 @@ def _scaling_section(seed: int, quick: bool, corpus_size: int
                 "throughput at 8 shards >= 5x over 1 shard",
                 by_count[8]["speedup"] >= 5.0,
                 speedup=by_count[8]["speedup"]))
-        else:
-            _say(f"scaling: 8-shard gate skipped "
-                 f"({os.cpu_count() or 1} core(s) < 8)")
     return {
         "n_requests": n,
         "backend_latency_seconds": latency,
@@ -194,8 +193,9 @@ def _scaling_section(seed: int, quick: bool, corpus_size: int
             "throughput": round(n / single_seconds, 2),
         },
         "rows": rows,
-        "eight_shard_gate": "run" if 8 in by_count else
-                            "skipped: fewer than 8 cores",
+        #: The armed/disarmed decision plus its reason — a report read
+        #: on any machine documents whether the 8-shard gate could run.
+        "eight_shard_gate": eight,
         "gates": gates,
         "passed": all(gate["passed"] for gate in gates),
     }
@@ -386,28 +386,186 @@ def _soak_section(seed: int, quick: bool, corpus_size: int
 
 
 # ----------------------------------------------------------------------
+# live-migration soak: add a shard mid-run, then remove one
+# ----------------------------------------------------------------------
+class _TriggerSequenceClock(VirtualClock):
+    """A :class:`VirtualClock` firing ``(at, callback)`` pairs in order.
+
+    The multi-event sibling of :class:`TriggerClock`: each callback
+    fires exactly once, outside the clock lock, as virtual time crosses
+    its instant — how both fleet reshapes land mid-soak at scripted
+    virtual times.
+    """
+
+    def __init__(self, triggers: list[tuple[float, Callable[[], None]]],
+                 start: float = 0.0) -> None:
+        super().__init__(start)
+        self._triggers = sorted(triggers, key=lambda pair: pair[0])
+        self._fired = 0
+
+    def _maybe_fire(self, now: float) -> float:
+        while (self._fired < len(self._triggers)
+               and now >= self._triggers[self._fired][0]):
+            callback = self._triggers[self._fired][1]
+            self._fired += 1
+            callback()
+        return now
+
+    def advance(self, seconds: float) -> float:
+        return self._maybe_fire(super().advance(seconds))
+
+    def advance_to(self, target: float) -> float:
+        return self._maybe_fire(super().advance_to(target))
+
+
+def _migration_section(seed: int, quick: bool, corpus_size: int
+                       ) -> dict[str, Any]:
+    """The ring-change gate: reshape the fleet live under load.
+
+    A 2-shard fleet serves a steady sessioned soak; one third in, a
+    third shard joins (``add_shard``); two thirds in, shard 0 leaves
+    (``remove_shard``).  Pinned sessions and named-graph affinity must
+    follow ring preference both times with zero lost requests — the
+    runner's ledger reconciles exactly against coordinator counters,
+    and no admitted request errors.
+    """
+    duration = 45.0 if quick else 90.0
+    add_at = duration / 3.0
+    remove_at = 2.0 * duration / 3.0
+    arrival = ConstantRate(rate=1.5 if quick else 2.0)
+    pool = default_pool()
+    spec = ShardModelSpec(corpus_size=corpus_size, seed=seed)
+    reports: dict[str, dict[str, Any]] = {}
+
+    tmpdir = tempfile.TemporaryDirectory(prefix="bench-shard-migrate-")
+    try:
+        from ..store.catalog import GraphCatalog
+        catalog = GraphCatalog(tmpdir.name)
+        catalog_names = []
+        for key in ("social-m", "kg-m"):
+            name = f"demo-{key}"
+            handle = catalog.create(name, directed=pool[key].directed)
+            handle.ingest(pool[key])
+            catalog_names.append(name)
+        catalog.close()
+        schedule = build_schedule(arrival, duration, seed=seed,
+                                  pool=pool,
+                                  catalog_names=tuple(catalog_names))
+        config = ServeConfig(
+            shards=2, workers=1, queue_depth=32,
+            shard_inflight=1, shard_scatter_batch=4,
+            store_root=tmpdir.name,
+            shard_hot_graphs=tuple(catalog_names),
+            shard_replicas=2)
+        server = ShardedChatGraphServer(spec, config)
+        clock = _TriggerSequenceClock([
+            (add_at,
+             lambda: reports.setdefault("add", server.add_shard())),
+            (remove_at,
+             lambda: reports.setdefault("remove",
+                                        server.remove_shard(0))),
+        ])
+        _say(f"migration: {duration:.0f}s soak on 2 shards; "
+             f"add_shard at t={add_at:.0f}s, remove_shard(0) at "
+             f"t={remove_at:.0f}s (virtual)...")
+        runner = SoakRunner(server, schedule, window_seconds=15.0,
+                            clock=clock)
+        with server:
+            report = runner.run()
+            final_stats = server.stats()
+            ring = list(server.ring.shards)
+            alive = sum(1 for h in server.handles
+                        if h.alive and not h.retired)
+            open_breakers = sorted(server.breakers.open_names())
+    finally:
+        tmpdir.cleanup()
+
+    counters = report["counters"]
+    add_report = reports.get("add") or {}
+    remove_report = reports.get("remove") or {}
+    moves = (add_report.get("planned_moves", 0)
+             + remove_report.get("planned_moves", 0))
+    slo = evaluate_slo(report, SLOSpec(name="shard-migration", gates=(
+        SLOGate(metric="error_rate", max_value=0.0),
+        SLOGate(metric="p95_latency", max_value=1.0),
+    )))
+    overall = report["overall"]
+    gates = [
+        _gate("both reshapes ran mid-soak",
+              set(reports) == {"add", "remove"}, ran=sorted(reports)),
+        _gate("sessions moved along ring preference", moves >= 1,
+              planned_moves=moves,
+              sessions_migrated=counters.get("sessions_migrated", 0)),
+        _gate("no session stranded",
+              add_report.get("stranded", 1) == 0
+              and remove_report.get("stranded", 1) == 0,
+              stranded=[add_report.get("stranded"),
+                        remove_report.get("stranded")]),
+        _gate("zero lost requests (books reconcile exactly)",
+              report["reconciliation"]["exact"],
+              reconciliation=report["reconciliation"]),
+        _gate("no admitted request errored",
+              overall["errors"] == 0, errors=overall["errors"]),
+        _gate("fleet healthy on the final ring",
+              ring == sorted(ring) and alive == len(ring)
+              and not open_breakers,
+              ring=ring, alive=alive, open_breakers=open_breakers),
+    ]
+    passed = slo["passed"] and all(g["passed"] for g in gates)
+    _say(f"migration: {overall['submitted']} submitted, "
+         f"{overall['ok']} ok, {overall['rejected']} rejected, "
+         f"{overall['errors']} errors; moves={moves} "
+         f"migrated={counters.get('sessions_migrated', 0)} "
+         f"ring={ring}")
+    return {
+        "duration": duration,
+        "add_at": add_at,
+        "remove_at": remove_at,
+        "schedule_sha256": report["schedule_sha256"],
+        "overall": overall,
+        "counters": counters,
+        "reconciliation": report["reconciliation"],
+        "add": add_report,
+        "remove": remove_report,
+        "final_ring": ring,
+        "final_shards": {
+            "alive": alive,
+            "count": final_stats["shards"]["count"],
+            "retired": final_stats["shards"]["retired"],
+        },
+        "slo": slo,
+        "gates": gates,
+        "passed": passed,
+    }
+
+
+# ----------------------------------------------------------------------
 # the whole benchmark
 # ----------------------------------------------------------------------
 def run_shard_benchmark(seed: int = 0, quick: bool = False,
                         corpus_size: int = 200,
                         skip_soak: bool = False) -> dict[str, Any]:
-    """All three gate families; the ``bench-shard`` CLI body."""
+    """All four gate families; the ``bench-shard`` CLI body."""
     report: dict[str, Any] = {
         "bench": "bench-shard",
         "seed": seed,
         "quick": quick,
         "corpus_size": corpus_size,
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": host_info()["cpu_count"],
         "scaling": _scaling_section(seed, quick, corpus_size),
         "parity": _parity_section(seed, quick, corpus_size),
     }
     if skip_soak:
         report["soak"] = {"skipped": True, "passed": True}
+        report["migration"] = {"skipped": True, "passed": True}
     else:
         report["soak"] = _soak_section(seed, quick, corpus_size)
-    report["passed"] = all(report[section]["passed"]
-                           for section in ("scaling", "parity", "soak"))
-    for section in ("scaling", "parity", "soak"):
+        report["migration"] = _migration_section(seed, quick,
+                                                 corpus_size)
+    report["passed"] = all(
+        report[section]["passed"]
+        for section in ("scaling", "parity", "soak", "migration"))
+    for section in ("scaling", "parity", "soak", "migration"):
         for gate in report[section].get("gates", ()):
             status = "PASS" if gate["passed"] else "FAIL"
             _say(f"  {status}  [{section}] {gate['gate']}")

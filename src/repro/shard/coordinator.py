@@ -1,75 +1,31 @@
-"""The sharded serving tier: routing, scatter/gather, failure handling.
+"""The sharded serving facade over the unified request-plane runtime.
 
 :class:`ShardedChatGraphServer` fronts N shard worker *processes* (see
 :mod:`repro.shard.worker`) behind the exact submit/stats surface of the
 in-process :class:`~repro.serve.engine.ChatGraphServer`, so the soak
-runner and callers drive either one unchanged.  The pieces:
+runner and callers drive either one unchanged.  Both facades run on
+the same :class:`~repro.runtime.lifecycle.RequestLifecycle`; this one
+plugs in the :class:`~repro.runtime.shard.ShardBackend`, which owns
+the consistent-hash routing, scatter/gather dispatch, failure handling
+and live fleet reshaping (see that module for the mechanics).
 
-* **admission** — the coordinator owns the only
-  :class:`~repro.serve.admission.AdmissionQueue` and
-  :class:`~repro.serve.admission.RateLimiter`; shards never
-  second-guess it.  A bounded *outstanding-work* counter back-pressures
-  the router so a traffic spike fills the admission queue and sheds
-  (clients see the same BackpressureError they would single-process)
-  instead of silently piling up inside per-shard queues.
-* **routing** — a consistent-hash :class:`~repro.shard.ring.HashRing`
-  on the session / graph-name / query key keeps each session and each
-  graph's cache locality on one shard.  Graphs named in
-  ``ServeConfig.shard_hot_graphs`` are *hot*: any of their first
-  ``shard_replicas`` ring shards may serve a stateless read, picked by
-  least outstanding work.
-* **scatter/gather** — a per-shard dispatcher coalesces routed
-  requests into scatter frames (reusing
-  :class:`~repro.serve.microbatch.MicroBatcher` with an accept-all
-  predicate) and pipelines up to ``shard_inflight`` frames per shard;
-  a per-shard reader gathers replies and resolves each caller's
-  :class:`~repro.serve.engine.PendingRequest` individually — one slow
-  or failed request never blocks its frame-mates' resolution order
-  guarantees.
-* **failure** — missed heartbeats or a dropped pipe mark the shard
-  dead: its ``shard:<i>`` circuit in the shared
-  :class:`~repro.serve.breaker.BreakerRegistry` is tripped, every
-  orphaned in-flight and queued request fails over along its ring
-  preference to live shards, and (by default) a background restart
-  replaces the process, resets the breaker, and rejoins it to the
-  ring's live set.
+Admission, rate limiting, stats and the reply edge are the lifecycle's
+— a traffic spike fills the one admission queue and sheds with the
+same BackpressureError a single-process caller would see, and every
+admitted request resolves exactly once through the shared reply path,
+which is what makes ledger reconciliation against a workload exact.
 """
 
 from __future__ import annotations
 
-import os
-import subprocess
-import sys
-import threading
-import time
 from dataclasses import dataclass
 from typing import Any
 
 from ..config import ServeConfig
-from ..errors import ChatGraphError, ServeError
-from ..obs.export import merge_traces
-from ..obs.metrics import MetricsRegistry, merge_metrics_dumps
-from ..obs.trace import Tracer
-from ..serve.admission import AdmissionQueue, RateLimiter
-from ..serve.breaker import BreakerRegistry
+from ..errors import ServeError
 from ..serve.engine import PendingRequest, ServeRequest, ServeResponse
-from ..serve.microbatch import MicroBatcher
-from ..serve.stats import ServerStats
-from .protocol import (
-    read_frame,
-    request_to_wire,
-    response_from_wire,
-    write_frame,
-)
-from .ring import HashRing
-from .worker import serve_config_to_wire
 
 __all__ = ["ShardModelSpec", "ShardedChatGraphServer"]
-
-#: Ceiling on one worker-process model build + server start.
-SPAWN_TIMEOUT_SECONDS = 180.0
-#: Ceiling on one stats round trip to a live shard.
-STATS_TIMEOUT_SECONDS = 15.0
 
 
 @dataclass(frozen=True)
@@ -96,51 +52,6 @@ class ShardModelSpec:
                 "config": self.config}
 
 
-class _ShardHandle:
-    """Coordinator-side state of one shard worker process."""
-
-    def __init__(self, index: int, dispatch_depth: int,
-                 inflight_limit: int) -> None:
-        self.index = index
-        self.name = f"shard:{index}"
-        self.lock = threading.Lock()
-        self.proc: subprocess.Popen | None = None
-        self.pid = 0
-        self.alive = False
-        #: Bumped on every death; readers/writers born under an older
-        #: generation see the mismatch and stand down, which makes the
-        #: death path idempotent against racing EOF + heartbeat timeout.
-        self.generation = 0
-        self.write_lock = threading.Lock()
-        #: Requests routed here, waiting for a scatter slot.  An
-        #: AdmissionQueue (never rejected in practice: the router's
-        #: outstanding limit bounds its depth) so MicroBatcher.collect
-        #: can assemble scatter frames straight from it.
-        self.dispatch = AdmissionQueue(dispatch_depth)
-        self.inflight_limit = inflight_limit
-        #: Pipelining throttle: one permit per un-replied scatter frame.
-        self.sem = threading.BoundedSemaphore(inflight_limit)
-        #: batch_id -> (generation, items, dispatched_at)
-        self.inflight: dict[int, tuple[int, list[PendingRequest],
-                                       float]] = {}
-        #: Real-time stamp of the last frame seen from the process
-        #: (heartbeats included).  Liveness is a property of the real
-        #: process, so this stays on time.monotonic even when the
-        #: serving clock is virtual.
-        self.last_beat = 0.0
-        #: Requests routed here and not yet resolved (replica routing
-        #: picks the least-loaded by this number).
-        self.pending_count = 0
-        self.routed = 0
-        self.deaths = 0
-        self.restarts = 0
-        self.startup_seconds = 0.0
-        #: stats_id -> [threading.Event, reply-frame-or-None]
-        self.stats_waiters: dict[int, list[Any]] = {}
-        #: Last stats_reply payload (rendered for dead shards).
-        self.last_stats: dict[str, Any] | None = None
-
-
 class ShardedChatGraphServer:
     """Scatter/gather front end over shard worker processes.
 
@@ -151,6 +62,11 @@ class ShardedChatGraphServer:
     does not shard — a :class:`~repro.core.pipeline.PipelineResult`
     holds live pipeline objects that cannot cross a process boundary —
     and is rejected at submit.
+
+    :meth:`add_shard` / :meth:`remove_shard` reshape the fleet live:
+    pinned sessions and named-graph affinity migrate to their new
+    ring-preferred shards with zero lost requests (see
+    :mod:`repro.runtime.migration`).
     """
 
     def __init__(self, model: ShardModelSpec,
@@ -161,153 +77,63 @@ class ShardedChatGraphServer:
         if self.config.shards < 1:
             raise ServeError(
                 "ShardedChatGraphServer needs ServeConfig.shards >= 1")
-        self.clock = time.monotonic if clock is None else clock
-        self.queue = AdmissionQueue(self.config.queue_depth,
-                                    clock=self.clock)
-        self.limiter: RateLimiter | None = None
-        if self.config.rate_limit_capacity > 0:
-            self.limiter = RateLimiter(
-                self.config.rate_limit_capacity,
-                self.config.rate_limit_refill_per_second,
-                clock=self.clock,
-                idle_seconds=self.config.rate_limit_idle_seconds)
-        self._stats = ServerStats()
-        self.metrics = MetricsRegistry()
-        self.tracer: Tracer | None = None
-        if self.config.obs.enable_tracing:
-            self.tracer = Tracer(seed=self.config.seed,
-                                 max_spans=self.config.obs.max_spans)
-        #: One ``shard:<i>`` circuit per shard in the registry shape the
-        #: soak runner's SLO gates already read (open_names etc.).
-        self.breakers = BreakerRegistry(
-            failure_threshold=self.config.breaker_failure_threshold,
-            failure_rate_threshold=self.config.breaker_failure_rate,
-            window_size=self.config.breaker_window,
-            cooldown_seconds=self.config.breaker_cooldown_seconds,
-            clock=self.clock)
-        self.ring = HashRing(range(self.config.shards))
-        scatter = max(1, self.config.shard_scatter_batch)
-        #: Work admitted past the router but not yet resolved, fleet
-        #: wide.  Capping it at full pipeline occupancy (every shard's
-        #: every inflight slot holding a full scatter frame, plus one
-        #: frame assembling per dispatcher) is what lets the admission
-        #: queue fill and shed during spikes.
-        self._outstanding_limit = (self.config.shards
-                                   * (self.config.shard_inflight + 1)
-                                   * scatter)
-        self._outstanding = 0
-        self._outstanding_cond = threading.Condition()
-        dispatch_depth = self._outstanding_limit + scatter
-        self.handles = [
-            _ShardHandle(index, dispatch_depth,
-                         self.config.shard_inflight)
-            for index in range(self.config.shards)]
-        self._hot = set(self.config.shard_hot_graphs)
-        self._router_thread: threading.Thread | None = None
-        self._threads: list[threading.Thread] = []
-        self._running = False
-        self._stopping = False
-        self._id_lock = threading.Lock()
-        self._next_id = 0
-        self._next_batch = 0
-        self._next_stats = 0
+        from ..runtime import RequestLifecycle, ShardBackend
+
+        self.backend = ShardBackend(model.to_wire())
+        self.lifecycle = RequestLifecycle(self.config, self.backend,
+                                          clock=clock)
+
+    # ------------------------------------------------------------------
+    # the runtime's shared surfaces, re-exposed for callers and tests
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> Any:
+        return self.lifecycle.clock
+
+    @property
+    def queue(self) -> Any:
+        return self.lifecycle.queue
+
+    @property
+    def limiter(self) -> Any:
+        return self.lifecycle.limiter
+
+    @property
+    def _stats(self) -> Any:
+        return self.lifecycle.stats
+
+    @property
+    def metrics(self) -> Any:
+        return self.lifecycle.metrics
+
+    @property
+    def tracer(self) -> Any:
+        return self.lifecycle.tracer
+
+    @property
+    def breakers(self) -> Any:
+        return self.lifecycle.breakers
+
+    @property
+    def ring(self) -> Any:
+        return self.backend.ring
+
+    @property
+    def handles(self) -> list[Any]:
+        return self.backend.handles
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "ShardedChatGraphServer":
-        if self._running:
-            raise ServeError("server already started")
-        self._stopping = False
-        errors: list[tuple[int, BaseException]] = []
-
-        def boot(handle: _ShardHandle) -> None:
-            try:
-                self._spawn_shard(handle)
-            except BaseException as exc:  # noqa: BLE001 - surfaced below
-                errors.append((handle.index, exc))
-
-        # model builds dominate startup, so boot every shard in
-        # parallel: the fleet comes up in one model-build time, not N
-        boots = [threading.Thread(target=boot, args=(handle,),
-                                  name=f"shard-boot-{handle.index}")
-                 for handle in self.handles]
-        for thread in boots:
-            thread.start()
-        for thread in boots:
-            thread.join(SPAWN_TIMEOUT_SECONDS)
-        if errors:
-            self._kill_all()
-            index, exc = errors[0]
-            raise ServeError(
-                f"shard {index} failed to start: {exc}") from exc
-        self.queue.reopen()
-        self._router_thread = threading.Thread(
-            target=self._router_loop, name="shard-router", daemon=True)
-        self._threads = [self._router_thread]
-        for handle in self.handles:
-            self._threads.append(threading.Thread(
-                target=self._dispatcher_loop, args=(handle,),
-                name=f"shard-dispatch-{handle.index}", daemon=True))
-        self._threads.append(threading.Thread(
-            target=self._heartbeat_monitor, name="shard-heartbeats",
-            daemon=True))
-        self._running = True
-        for thread in self._threads:
-            thread.start()
+        self.lifecycle.start()
         return self
 
     def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
-        if not self._running:
-            return
-        self.queue.close()
-        deadline = time.monotonic() + timeout
-        if not drain:
-            for item in self.queue.drain():
-                self._resolve_failure(
-                    item, ServeError("server stopped before the request "
-                                     "was served"), counted=False)
-        # the router exits once the closed queue is empty *and* its last
-        # pop finished routing, so joining it (rather than sampling the
-        # queue length) closes the popped-but-not-yet-counted window
-        if self._router_thread is not None:
-            self._router_thread.join(
-                max(0.1, deadline - time.monotonic()))
-        if drain:
-            while time.monotonic() < deadline:
-                with self._outstanding_cond:
-                    if self._outstanding == 0:
-                        break
-                time.sleep(0.01)
-        self._stopping = True
-        for handle in self.handles:
-            handle.dispatch.close()
-            with handle.lock:
-                proc = handle.proc if handle.alive else None
-            if proc is not None:
-                try:
-                    with handle.write_lock:
-                        write_frame(proc.stdin, {"type": "shutdown"})
-                except (OSError, ValueError, ChatGraphError):
-                    pass
-        for handle in self.handles:
-            with handle.lock:
-                proc = handle.proc
-            if proc is None:
-                continue
-            try:
-                proc.wait(max(0.1, deadline - time.monotonic()))
-            except subprocess.TimeoutExpired:
-                proc.kill()
-        self._running = False
-        with self._outstanding_cond:
-            self._outstanding_cond.notify_all()
-        for thread in self._threads:
-            thread.join(max(0.1, deadline - time.monotonic()))
-        self._threads = []
+        self.lifecycle.stop(drain=drain, timeout=timeout)
 
     def __enter__(self) -> "ShardedChatGraphServer":
-        if not self._running:
+        if not self.running:
             self.start()
         return self
 
@@ -316,79 +142,7 @@ class ShardedChatGraphServer:
 
     @property
     def running(self) -> bool:
-        return self._running
-
-    # ------------------------------------------------------------------
-    # process management
-    # ------------------------------------------------------------------
-    def _spawn_shard(self, handle: _ShardHandle) -> None:
-        """Start one worker process and wait for its hello."""
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.shard.worker"],
-            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
-            stderr=subprocess.DEVNULL, env=dict(os.environ))
-        try:
-            write_frame(proc.stdin, {
-                "type": "init", "shard": handle.index,
-                "model": self.model.to_wire(),
-                "serve": serve_config_to_wire(self.config)})
-            hello = read_frame(proc.stdout)
-        except (OSError, ValueError, ChatGraphError) as exc:
-            proc.kill()
-            raise ServeError(
-                f"shard {handle.index} died during startup: {exc}"
-            ) from exc
-        if hello is None or hello.get("type") != "hello":
-            proc.kill()
-            raise ServeError(
-                f"shard {handle.index} sent {hello!r} instead of hello")
-        with handle.lock:
-            handle.proc = proc
-            handle.pid = int(hello.get("pid", proc.pid))
-            handle.startup_seconds = float(
-                hello.get("startup_seconds", 0.0))
-            handle.alive = True
-            handle.generation += 1
-            handle.sem = threading.BoundedSemaphore(handle.inflight_limit)
-            handle.last_beat = time.monotonic()
-            generation = handle.generation
-        reader = threading.Thread(
-            target=self._reader_loop, args=(handle, generation, proc),
-            name=f"shard-reader-{handle.index}-g{generation}",
-            daemon=True)
-        reader.start()
-
-    def _kill_all(self) -> None:
-        for handle in self.handles:
-            with handle.lock:
-                proc, handle.proc, handle.alive = handle.proc, None, False
-            if proc is not None:
-                proc.kill()
-
-    def kill_shard(self, index: int) -> None:
-        """Hard-kill one worker (chaos hook; SIGKILL, no goodbye).
-
-        Recovery is the normal death path: the reader sees EOF, the
-        breaker trips, orphans fail over, and (unless ``shard_restart``
-        is off) a replacement process comes up in the background.
-        """
-        handle = self.handles[index]
-        with handle.lock:
-            proc = handle.proc
-        if proc is not None:
-            proc.kill()
-
-    def _restart_shard(self, handle: _ShardHandle) -> None:
-        try:
-            self._spawn_shard(handle)
-        except ChatGraphError:
-            self.metrics.incr("shard_restart_failed")
-            return
-        handle.restarts += 1
-        self._stats.incr("shard_restarts")
-        self.metrics.incr("shard_restarts")
-        # the replacement is a fresh process: its circuit starts closed
-        self.breakers.reset_one(handle.name)
+        return self.lifecycle.running
 
     # ------------------------------------------------------------------
     # submission (the ChatGraphServer surface)
@@ -396,41 +150,12 @@ class ShardedChatGraphServer:
     def submit(self, request: ServeRequest,
                parent_span_id: str | None = None) -> PendingRequest:
         """Admit ``request``; same contract as the in-process server."""
-        if not self._running:
-            raise ServeError("server is not running; call start()")
-        request.validate()
-        if request.op == "execute":
-            raise ServeError(
-                "op 'execute' is not shardable (PipelineResult holds "
-                "live pipeline objects); use the in-process server for "
-                "the propose/confirm/execute loop")
-        if self.limiter is not None:
-            try:
-                self.limiter.admit(request.client_id)
-            except ChatGraphError:
-                self._stats.incr("rejected_rate_limit")
-                raise
-        with self._id_lock:
-            self._next_id += 1
-            request_id = self._next_id
-        pending = PendingRequest(request, request_id,
-                                 time.perf_counter())
-        if parent_span_id is not None:
-            pending.parent_span_id = parent_span_id
-        elif self.tracer is not None:
-            pending.parent_span_id = self.tracer.current_id()
-        pending._tried = set()
-        try:
-            self.queue.put(pending)
-        except ChatGraphError:
-            self._stats.incr("rejected_backpressure")
-            raise
-        self._stats.incr("admitted")
-        return pending
+        return self.lifecycle.submit(request,
+                                     parent_span_id=parent_span_id)
 
     def request(self, request: ServeRequest,
                 timeout: float | None = None) -> ServeResponse:
-        return self.submit(request).result(timeout)
+        return self.lifecycle.request(request, timeout)
 
     def propose(self, text: str, graph: Any = None,
                 **kwargs: Any) -> ServeResponse:
@@ -443,394 +168,33 @@ class ShardedChatGraphServer:
                                          graph=graph, **kwargs))
 
     # ------------------------------------------------------------------
-    # routing
+    # routing / fleet management
     # ------------------------------------------------------------------
     @staticmethod
     def routing_key(request: ServeRequest) -> str:
-        """The consistent-hash key of one request.
+        """The consistent-hash key of one request (see the backend)."""
+        from ..runtime import ShardBackend
 
-        Sessions pin to their shard (dialog state lives there); named
-        graphs pin to theirs (epoch-pinned views and warm caches);
-        inline-graph one-shots key on graph name + text so repeats of
-        the same question reuse the same shard's caches.
-        """
-        if request.session_id is not None:
-            return f"s:{request.session_id}"
-        if request.graph_name is not None:
-            return f"g:{request.graph_name}"
-        graph_name = request.graph.name if request.graph is not None \
-            else ""
-        return f"q:{graph_name}|{request.text}"
+        return ShardBackend.routing_key(request)
 
-    def _live(self, index: int, tried: set[int]) -> bool:
-        if index in tried:
-            return False
-        handle = self.handles[index]
-        return handle.alive and handle.name not in \
-            self.breakers.open_names()
+    def kill_shard(self, index: int) -> None:
+        """Hard-kill one worker (chaos hook; SIGKILL, no goodbye)."""
+        self.backend.kill_shard(index)
 
-    def _pick_shard(self, item: PendingRequest) -> _ShardHandle | None:
-        request = item.request
-        key = self.routing_key(request)
-        tried: set[int] = item._tried
-        if (request.graph_name in self._hot
-                and request.session_id is None):
-            # hot named graph: stateless reads spread over the replica
-            # set (the first shard_replicas shards of the preference
-            # walk), least loaded first
-            replicas = [i for i in self.ring.preferred(
-                key, self.config.shard_replicas)
-                if self._live(i, tried)]
-            if replicas:
-                return self.handles[min(
-                    replicas,
-                    key=lambda i: self.handles[i].pending_count)]
-        for index in self.ring.preference(key):
-            if self._live(index, tried):
-                return self.handles[index]
-        # last resort: every preferred shard is dead or already tried —
-        # any live shard beats failing the request (all state needed to
-        # serve is rebuilt from the shared store / request content)
-        for index in self.ring.shards:
-            if self._live(index, tried):
-                return self.handles[index]
-        return None
+    def add_shard(self) -> dict[str, Any]:
+        """Grow the fleet by one shard, live.  Returns the migration
+        report (planned moves, sessions migrated, warmed caches)."""
+        return self.backend.add_shard()
 
-    def _route(self, item: PendingRequest, failover: bool = False) -> None:
-        if not failover:
-            # count the item outstanding *before* picking a shard: every
-            # path below either parks it on a dispatch queue or resolves
-            # it (which decrements), so the counter can never leak
-            with self._outstanding_cond:
-                self._outstanding += 1
-        handle = self._pick_shard(item)
-        if handle is None:
-            self._resolve_failure(
-                item, ServeError("no live shard available"),
-                counted=True)
-            return
-        handle.routed += 1
-        with self._outstanding_cond:
-            handle.pending_count += 1
-        try:
-            handle.dispatch.put(item)
-        except ChatGraphError as exc:
-            # dispatch queues are sized past the outstanding limit, so
-            # this only fires at shutdown; fail the item cleanly
-            with self._outstanding_cond:
-                handle.pending_count -= 1
-            self._resolve_failure(item, exc, counted=True)
-
-    def _router_loop(self) -> None:
-        while True:
-            with self._outstanding_cond:
-                while (self._running
-                       and self._outstanding >= self._outstanding_limit):
-                    self._outstanding_cond.wait(0.1)
-            item = self.queue.get(timeout=0.05)
-            if item is None:
-                if self.queue.closed and len(self.queue) == 0:
-                    return
-                if not self._running:
-                    return
-                continue
-            self._route(item)
+    def remove_shard(self, index: int) -> dict[str, Any]:
+        """Shrink the fleet by one shard, live, after migrating its
+        pinned sessions to the survivors.  Returns the migration
+        report."""
+        return self.backend.remove_shard(index)
 
     # ------------------------------------------------------------------
-    # scatter
+    # introspection (one snapshot builder; see repro.runtime.snapshot)
     # ------------------------------------------------------------------
-    def _dispatcher_loop(self, handle: _ShardHandle) -> None:
-        batcher = MicroBatcher(
-            max(1, self.config.shard_scatter_batch),
-            self.config.shard_scatter_deadline_seconds,
-            batchable_fn=lambda item: True)
-        while True:
-            item = handle.dispatch.get(timeout=0.05)
-            if item is None:
-                if handle.dispatch.closed and len(handle.dispatch) == 0:
-                    return
-                continue
-            batch, passthrough = batcher.collect(handle.dispatch, item)
-            # accept-all predicate -> everything lands in the batch
-            self._send_batch(handle, batch + passthrough)
-
-    def _send_batch(self, handle: _ShardHandle,
-                    items: list[PendingRequest]) -> None:
-        if not items:
-            return
-        # bounded pipelining: block this shard's dispatcher (not the
-        # router, not callers) until a frame slot frees; re-check
-        # liveness each second so a death releases us via failover
-        sem = handle.sem
-        while not sem.acquire(timeout=1.0):
-            if not handle.alive or handle.sem is not sem:
-                # the shard died while we waited (its sem was replaced):
-                # this batch was never inflight, so re-route it whole
-                for item in items:
-                    self._failover_item(item, handle.index)
-                return
-        with self._id_lock:
-            self._next_batch += 1
-            batch_id = self._next_batch
-        wires = []
-        for item in items:
-            wires.append(request_to_wire(item.request, item.request_id,
-                                         parent_span=item.parent_span_id))
-        dispatched_at = time.perf_counter()
-        for item in items:
-            item.dispatched_at = dispatched_at
-        # registration happens under the handle lock with a liveness
-        # re-check: once the entry is in ``inflight``, a concurrent
-        # death is guaranteed to see and fail it over
-        with handle.lock:
-            if not handle.alive or handle.sem is not sem:
-                dead = True
-            else:
-                dead = False
-                generation = handle.generation
-                proc = handle.proc
-                handle.inflight[batch_id] = (generation, items,
-                                             dispatched_at)
-        if dead:
-            for item in items:
-                self._failover_item(item, handle.index)
-            return
-        try:
-            with handle.write_lock:
-                write_frame(proc.stdin, {
-                    "type": "batch", "batch_id": batch_id,
-                    "items": wires})
-        except (OSError, ValueError, ChatGraphError):
-            self._on_shard_down(handle, generation)
-            # the death path usually fails the batch over; if it raced
-            # us and already ran, the entry is ours to clean up
-            with handle.lock:
-                entry = handle.inflight.pop(batch_id, None)
-            if entry is not None:
-                for item in entry[1]:
-                    self._failover_item(item, handle.index)
-            return
-        self.metrics.observe("scatter_batch_size", float(len(items)))
-
-    # ------------------------------------------------------------------
-    # gather
-    # ------------------------------------------------------------------
-    def _reader_loop(self, handle: _ShardHandle, generation: int,
-                     proc: subprocess.Popen) -> None:
-        try:
-            while True:
-                with handle.lock:
-                    if handle.generation != generation:
-                        return  # superseded; the new reader owns the pipe
-                try:
-                    frame = read_frame(proc.stdout)
-                except ChatGraphError:
-                    return
-                if frame is None:
-                    return
-                handle.last_beat = time.monotonic()
-                kind = frame.get("type")
-                if kind == "batch_reply":
-                    self._gather(handle, generation, frame)
-                elif kind == "stats_reply":
-                    self._accept_stats(handle, frame)
-                # heartbeats only refresh last_beat
-        finally:
-            self._on_shard_down(handle, generation)
-
-    def _gather(self, handle: _ShardHandle, generation: int,
-                frame: dict[str, Any]) -> None:
-        with handle.lock:
-            entry = handle.inflight.pop(frame.get("batch_id"), None)
-        if entry is None or entry[0] != generation:
-            return
-        __, items, dispatched_at = entry
-        service = time.perf_counter() - dispatched_at
-        replies = frame.get("replies") or []
-        by_id = {wire.get("request_id"): wire for wire in replies}
-        try:
-            handle.sem.release()
-        except ValueError:
-            pass
-        with self._outstanding_cond:
-            handle.pending_count -= len(items)
-        for item in items:
-            wire = by_id.get(item.request_id)
-            if wire is None:
-                self._resolve_failure(item, ServeError(
-                    f"shard {handle.index} dropped request "
-                    f"{item.request_id} from its reply"), counted=True)
-                continue
-            response = response_from_wire(wire)
-            self._resolve_item(item, response, service)
-
-    def _resolve_item(self, item: PendingRequest,
-                      response: ServeResponse, service: float) -> None:
-        """The single resolution path: stats, timings, caller wake-up."""
-        queued = item.dispatched_at - item.enqueued_at
-        response.queued_seconds = queued
-        response.service_seconds = service
-        if not response.ok:
-            self._stats.incr("failed")
-        self._stats.observe("queued", queued)
-        self._stats.observe("service", service)
-        self._stats.observe("total", queued + service)
-        self._stats.incr(f"op_{item.request.op}")
-        self.queue.record_service_time(service)
-        item._resolve(response)
-        self._settle_outstanding()
-
-    def _resolve_failure(self, item: PendingRequest, exc: Exception,
-                         counted: bool) -> None:
-        """Fail one request.  ``counted`` = it was routed (outstanding).
-
-        Un-routed items (a non-drain shutdown draining the admission
-        queue) resolve without touching the failure counters or the
-        outstanding counter, mirroring the in-process server's
-        shutdown drain.
-        """
-        if counted:
-            self._stats.incr("failed")
-            self._stats.incr(f"op_{item.request.op}")
-        item._resolve(ServeResponse(
-            request_id=item.request_id, op=item.request.op, ok=False,
-            error=str(exc), error_type=type(exc).__name__))
-        if counted:
-            self._settle_outstanding()
-
-    def _settle_outstanding(self) -> None:
-        with self._outstanding_cond:
-            self._outstanding -= 1
-            self._outstanding_cond.notify_all()
-
-    # ------------------------------------------------------------------
-    # failure handling
-    # ------------------------------------------------------------------
-    def _failover_item(self, item: PendingRequest, from_shard: int) -> None:
-        """Re-route one orphaned request after its shard died."""
-        item._tried.add(from_shard)
-        with self._outstanding_cond:
-            self.handles[from_shard].pending_count -= 1
-        self._stats.incr("shard_failovers")
-        self.metrics.incr("shard_failovers")
-        self._route(item, failover=True)
-
-    def _on_shard_down(self, handle: _ShardHandle,
-                       generation: int) -> None:
-        stopping = self._stopping
-        with handle.lock:
-            if handle.generation != generation or not handle.alive:
-                return
-            handle.alive = False
-            proc, handle.proc = handle.proc, None
-            # replace the semaphore so blocked dispatchers notice and
-            # new sends against the next generation start with a full
-            # pipeline budget
-            handle.sem = threading.BoundedSemaphore(handle.inflight_limit)
-            orphans: list[PendingRequest] = []
-            for batch_id in [b for b, entry in handle.inflight.items()
-                             if entry[0] == generation]:
-                entry = handle.inflight.pop(batch_id, None)
-                if entry is not None:
-                    orphans.extend(entry[1])
-            if not stopping:
-                handle.deaths += 1
-        if proc is not None:
-            proc.kill()
-        if not stopping:
-            # a worker EOF-ing during coordinated shutdown is a clean
-            # exit, not a death: no counters, no breaker, no restart
-            self._stats.incr("shard_deaths")
-            self.metrics.incr("shard_deaths")
-            if self.breakers.trip(handle.name):
-                # surface through the same counter the robustness
-                # layer uses, so existing SLO gates see the trip
-                self._stats.incr("breaker_opened")
-        # queued-but-unsent work follows the inflight orphans
-        orphans.extend(handle.dispatch.drain())
-        for item in orphans:
-            self._failover_item(item, handle.index)
-        # fail any stats poll blocked on this shard
-        with handle.lock:
-            waiters = list(handle.stats_waiters.values())
-            handle.stats_waiters.clear()
-        for waiter in waiters:
-            waiter[0].set()
-        if (self.config.shard_restart and not stopping
-                and not self._stopping):
-            threading.Thread(
-                target=self._restart_shard, args=(handle,),
-                name=f"shard-restart-{handle.index}",
-                daemon=True).start()
-
-    def _heartbeat_monitor(self) -> None:
-        interval = self.config.shard_heartbeat_seconds
-        timeout = self.config.shard_heartbeat_timeout_seconds
-        while self._running:
-            time.sleep(interval)
-            now = time.monotonic()
-            for handle in self.handles:
-                with handle.lock:
-                    alive = handle.alive
-                    stale = now - handle.last_beat
-                    generation = handle.generation
-                    proc = handle.proc
-                if alive and stale > timeout:
-                    # the process is wedged (a clean exit would have
-                    # EOF'd the reader first): kill it so the reader
-                    # unblocks and runs the death path
-                    self.metrics.incr("shard_heartbeat_timeouts")
-                    if proc is not None:
-                        proc.kill()
-                    self._on_shard_down(handle, generation)
-
-    # ------------------------------------------------------------------
-    # introspection
-    # ------------------------------------------------------------------
-    def _poll_shards(self, include_spans: bool = False,
-                     timeout: float = STATS_TIMEOUT_SECONDS
-                     ) -> dict[int, dict[str, Any]]:
-        """One stats round trip to every live shard (dead ones skip)."""
-        waiting: list[tuple[_ShardHandle, int, list[Any]]] = []
-        for handle in self.handles:
-            with handle.lock:
-                if not handle.alive:
-                    continue
-                proc = handle.proc
-                with self._id_lock:
-                    self._next_stats += 1
-                    stats_id = self._next_stats
-                waiter = [threading.Event(), None]
-                handle.stats_waiters[stats_id] = waiter
-            try:
-                with handle.write_lock:
-                    write_frame(proc.stdin, {
-                        "type": "stats", "stats_id": stats_id,
-                        "include_spans": bool(include_spans)})
-            except (OSError, ValueError, ChatGraphError):
-                with handle.lock:
-                    handle.stats_waiters.pop(stats_id, None)
-                continue
-            waiting.append((handle, stats_id, waiter))
-        deadline = time.monotonic() + timeout
-        replies: dict[int, dict[str, Any]] = {}
-        for handle, stats_id, waiter in waiting:
-            waiter[0].wait(max(0.0, deadline - time.monotonic()))
-            with handle.lock:
-                handle.stats_waiters.pop(stats_id, None)
-            if waiter[1] is not None:
-                replies[handle.index] = waiter[1]
-                handle.last_stats = waiter[1]
-        return replies
-
-    def _accept_stats(self, handle: _ShardHandle,
-                      frame: dict[str, Any]) -> None:
-        with handle.lock:
-            waiter = handle.stats_waiters.get(frame.get("stats_id"))
-        if waiter is not None:
-            waiter[1] = frame
-            waiter[0].set()
-
     def stats(self) -> dict[str, Any]:
         """Coordinator-authoritative counters + a live shard map.
 
@@ -839,77 +203,10 @@ class ShardedChatGraphServer:
         reconciliation against a workload ledger is exact and nothing
         a shard also counted is double-reported.  Shard-side detail
         (their own counters, caches, stores) lives under
-        ``"shards"]["per_shard"]``; sessions and caches are merged
+        ``["shards"]["per_shard"]``; sessions and caches are merged
         fleet-wide views.
         """
-        replies = self._poll_shards()
-        snapshot = self._stats.snapshot()
-        snapshot["queue"] = {"depth": self.queue.maxsize,
-                             "size": len(self.queue)}
-        active = 0
-        cache_totals: dict[str, dict[str, Any]] = {}
-        per_shard: dict[str, dict[str, Any]] = {}
-        epochs: dict[str, dict[str, int]] = {}
-        for handle in self.handles:
-            reply = replies.get(handle.index)
-            stats = (reply or handle.last_stats or {}).get("stats", {})
-            entry: dict[str, Any] = {
-                "alive": handle.alive,
-                "pid": handle.pid,
-                "generation": handle.generation,
-                "routed": handle.routed,
-                "pending": handle.pending_count,
-                "inflight_batches": len(handle.inflight),
-                "dispatch_queue": len(handle.dispatch),
-                "deaths": handle.deaths,
-                "restarts": handle.restarts,
-                "startup_seconds": round(handle.startup_seconds, 3),
-                "breaker": self.breakers.breaker(
-                    handle.name).snapshot(),
-            }
-            if stats:
-                entry["counters"] = stats.get("counters", {})
-                entry["sessions"] = stats.get("sessions", {})
-                entry["caches"] = stats.get("caches", {})
-                entry["store"] = stats.get("store", {})
-                active += stats.get("sessions", {}).get("active", 0)
-                for cache, values in stats.get("caches", {}).items():
-                    totals = cache_totals.setdefault(
-                        cache, {"hits": 0, "misses": 0, "evictions": 0,
-                                "size": 0})
-                    for field in totals:
-                        totals[field] += values.get(field, 0)
-                for name, graph_stats in stats.get("store", {}).items():
-                    epochs.setdefault(name, {})[str(handle.index)] = \
-                        graph_stats.get("epoch", 0)
-            per_shard[str(handle.index)] = entry
-        for totals in cache_totals.values():
-            seen = totals["hits"] + totals["misses"]
-            totals["hit_rate"] = round(
-                totals["hits"] / seen, 4) if seen else 0.0
-        snapshot["sessions"] = {"active": active}
-        snapshot["caches"] = cache_totals
-        snapshot["breakers"] = self.breakers.snapshot()
-        snapshot["rate_limiter"] = {
-            "clients": len(self.limiter)
-            if self.limiter is not None else 0}
-        snapshot["workers"] = self.config.workers
-        snapshot["pipeline_stages"] = []
-        #: Epoch pinning across processes: every shard reports each
-        #: named graph's epoch; skew means a shard has not yet observed
-        #: a compaction/ingest another shard has.
-        snapshot["store"] = {
-            "epochs": epochs,
-            "epoch_skew": sorted(
-                name for name, by_shard in epochs.items()
-                if len(set(by_shard.values())) > 1),
-        }
-        snapshot["shards"] = {
-            "count": len(self.handles),
-            "alive": sum(1 for h in self.handles if h.alive),
-            "per_shard": per_shard,
-        }
-        return snapshot
+        return self.lifecycle.stats_snapshot()
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """Fleet-wide metrics: coordinator + every shard's registry.
@@ -918,35 +215,8 @@ class ShardedChatGraphServer:
         histograms merge at the bucket level — see
         :func:`repro.obs.merge_metrics_dumps`).
         """
-        replies = self._poll_shards()
-        dumps = [self.metrics.dump()]
-        dumps.extend(reply["metrics"] for reply in replies.values()
-                     if reply.get("metrics"))
-        merged = merge_metrics_dumps(dumps)
-        base = self._stats.snapshot()
-        return {
-            "counters": {**base["counters"], **merged["counters"]},
-            "gauges": merged["gauges"],
-            "latency": base["latency"],
-            "histograms": merged["histograms"],
-            "caches": self.stats()["caches"],
-            "breakers": self.breakers.snapshot(),
-            "trace": (self.tracer.stats()
-                      if self.tracer is not None else {}),
-        }
+        return self.lifecycle.metrics_snapshot()
 
     def collect_spans(self) -> list[dict[str, Any]]:
-        """One merged structural trace across the process boundary.
-
-        Shard-side request spans parent under the coordinator-side
-        caller spans (the handoff travels in each request wire), so the
-        merged view reads as one tree.
-        """
-        replies = self._poll_shards(include_spans=True)
-        own: list[Any] = []
-        if self.tracer is not None:
-            own = [span.to_dict(canonical=True)
-                   for span in self.tracer.finished_spans()]
-        shard_spans = [reply.get("spans") or []
-                       for reply in replies.values()]
-        return merge_traces(own, *shard_spans)
+        """One merged structural trace across the process boundary."""
+        return self.backend.collect_spans()

@@ -11,10 +11,15 @@ Frame types (``"type"`` field):
 
 * coordinator -> worker: ``init`` (model spec + serve config),
   ``batch`` (scatter: a list of request wires), ``stats`` (snapshot
-  poll, optionally with spans), ``shutdown``;
-* worker -> coordinator: ``hello`` (model built, serving), ``batch_reply``
-  (gather: response wires in item order), ``stats_reply``,
-  ``heartbeat``.
+  poll, optionally with spans), the migration RPCs ``sessions``
+  (placement inventory), ``adopt`` / ``evict`` (session ownership
+  transfer on a ring change), ``warm`` (pre-warm caches for moved
+  graph affinity), and ``shutdown``;
+* worker -> coordinator: ``hello`` (model built, serving),
+  ``batch_reply`` (gather: response wires in item order),
+  ``stats_reply``, ``sessions_reply`` / ``adopt_reply`` /
+  ``evict_reply`` / ``warm_reply`` (each echoing its request's
+  ``rpc_id``), ``heartbeat``.
 
 Requests and responses cross the boundary as plain dicts built by
 :func:`request_to_wire` / :func:`value_to_wire`; the coordinator

@@ -10,8 +10,10 @@ each shard owns a whole CPU core's worth of decode/ANN work instead of
 sharing one GIL.
 
 Protocol (see :mod:`repro.shard.protocol`): stdin carries ``init`` /
-``batch`` / ``stats`` / ``shutdown`` frames, stdout carries ``hello`` /
-``batch_reply`` / ``stats_reply`` / ``heartbeat``.  stdout belongs to
+``batch`` / ``stats`` / ``shutdown`` frames plus the migration RPCs
+(``sessions`` / ``adopt`` / ``evict`` / ``warm``); stdout carries
+``hello`` / ``batch_reply`` / ``stats_reply`` / ``heartbeat`` and the
+matching ``*_reply`` frames.  stdout belongs to
 the protocol exclusively — ``main`` repoints ``sys.stdout`` at stderr
 before any library code runs, so a stray ``print`` can never corrupt a
 frame.  A clean EOF on stdin (coordinator gone) is the shutdown
@@ -193,6 +195,66 @@ class ShardWorker:
         self._write(payload)
 
     # ------------------------------------------------------------------
+    # migration RPCs (see repro.runtime.shard's ring-change path)
+    # ------------------------------------------------------------------
+    def _handle_sessions(self, frame: dict[str, Any]) -> None:
+        """Inventory of pinned sessions; the planner's placement input."""
+        self._write({
+            "type": "sessions_reply", "shard": self.shard,
+            "rpc_id": frame.get("rpc_id", 0),
+            "sessions": [{"session_id": session_id, "graph_name": name}
+                         for session_id, name
+                         in self.server.sessions.pins()],
+        })
+
+    def _handle_adopt(self, frame: dict[str, Any]) -> None:
+        """Take ownership of sessions moving here on a ring change.
+
+        Re-binds each session to its named graph's current epoch view
+        from the shared store; a bad graph reference fails only that
+        one session's adoption, never the frame.
+        """
+        adopted = 0
+        for wire in frame.get("sessions") or []:
+            session_id = wire.get("session_id")
+            if not session_id:
+                continue
+            try:
+                entry = self.server.sessions.get_or_create(session_id)
+                name = wire.get("graph_name")
+                if name and self.server.catalog is not None:
+                    view = self.server.catalog.view(name)
+                    with entry.lock:
+                        entry.session.upload_graph(view.graph)
+                        entry.graph_ref = (view.name, view.epoch)
+                adopted += 1
+            except ChatGraphError:
+                continue
+        self._write({"type": "adopt_reply", "shard": self.shard,
+                     "rpc_id": frame.get("rpc_id", 0),
+                     "adopted": adopted})
+
+    def _handle_evict(self, frame: dict[str, Any]) -> None:
+        """Drop sessions whose ownership moved to another shard."""
+        evicted = sum(
+            1 for session_id in frame.get("session_ids") or []
+            if self.server.sessions.drop(session_id))
+        self._write({"type": "evict_reply", "shard": self.shard,
+                     "rpc_id": frame.get("rpc_id", 0),
+                     "evicted": evicted})
+
+    def _handle_warm(self, frame: dict[str, Any]) -> None:
+        """Pre-warm caches for graphs whose ring ownership moved here."""
+        try:
+            warmed = self.server.warm_caches(
+                names=list(frame.get("names") or []))
+        except ChatGraphError:
+            warmed = 0
+        self._write({"type": "warm_reply", "shard": self.shard,
+                     "rpc_id": frame.get("rpc_id", 0),
+                     "warmed": warmed})
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def run(self) -> int:
@@ -220,6 +282,14 @@ class ShardWorker:
                                      if t.is_alive()]
                 elif frame["type"] == "stats":
                     self._handle_stats(frame)
+                elif frame["type"] == "sessions":
+                    self._handle_sessions(frame)
+                elif frame["type"] == "adopt":
+                    self._handle_adopt(frame)
+                elif frame["type"] == "evict":
+                    self._handle_evict(frame)
+                elif frame["type"] == "warm":
+                    self._handle_warm(frame)
                 elif frame["type"] != "heartbeat":
                     raise ShardProtocolError(
                         f"unexpected frame type {frame['type']!r}")

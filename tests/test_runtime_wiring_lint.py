@@ -1,0 +1,116 @@
+"""Lint: request-plane primitives are constructed only in the runtime.
+
+The unified request-plane refactor's contract is that admission,
+rate limiting, breakers and micro-batching are wired exactly once, in
+:mod:`repro.runtime` — the serving facades (``ChatGraphServer``,
+``ShardedChatGraphServer``) must not grow their own copies back, or the
+two control planes drift apart again.  This lint walks every module
+under ``src/repro`` and rejects any *call* to ``AdmissionQueue``,
+``RateLimiter``, ``BreakerRegistry`` or ``MicroBatcher`` outside:
+
+* ``repro/runtime/`` (the one legitimate wiring site — the lifecycle
+  owns the queue/limiter/breakers, and hands out ``make_queue`` /
+  ``make_batcher`` factories for backend-internal plumbing), and
+* each primitive's own definition module (constructors may appear in
+  their doctests and helpers).
+
+Importing the names elsewhere stays legal (types in signatures,
+``isinstance`` checks); *constructing* them is what concentrates
+control-plane policy and is what this lint confines.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+RUNTIME_DIR = SRC / "runtime"
+
+#: The request-plane primitives and the module defining each.
+PRIMITIVES = {
+    "AdmissionQueue": SRC / "serve" / "admission.py",
+    "RateLimiter": SRC / "serve" / "admission.py",
+    "BreakerRegistry": SRC / "serve" / "breaker.py",
+    "MicroBatcher": SRC / "serve" / "microbatch.py",
+}
+
+
+def iter_source_files():
+    return sorted(SRC.rglob("*.py"))
+
+
+def _call_name(node):
+    """The bare callee name of a Call: ``Name(...)`` or ``mod.Name(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def violations_in(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in PRIMITIVES:
+            continue
+        if RUNTIME_DIR in path.parents:
+            continue
+        if path == PRIMITIVES[name]:
+            continue
+        found.append((node.lineno, f"{name}(...) constructed outside "
+                                   f"repro.runtime"))
+    return found
+
+
+def test_source_files_exist():
+    files = iter_source_files()
+    assert len(files) > 50  # sanity: we are really walking the tree
+    assert RUNTIME_DIR.is_dir()
+    for definition in PRIMITIVES.values():
+        assert definition.exists(), definition
+
+
+def test_primitives_construct_only_in_the_runtime():
+    problems = []
+    for path in iter_source_files():
+        for lineno, message in violations_in(path):
+            problems.append(
+                f"{path.relative_to(SRC.parent.parent)}:{lineno}: "
+                f"{message}")
+    assert not problems, (
+        "request-plane primitives are wired once, in repro.runtime; "
+        "route new admission/limiter/breaker/microbatch needs through "
+        "RequestLifecycle (or its make_queue/make_batcher factories) "
+        "instead of constructing them locally:\n" + "\n".join(problems))
+
+
+def test_runtime_itself_constructs_the_primitives():
+    """The lint must keep seeing the legitimate wiring sites."""
+    constructed = set()
+    for path in RUNTIME_DIR.rglob("*.py"):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in PRIMITIVES:
+                    constructed.add(name)
+    assert constructed == set(PRIMITIVES), (
+        f"expected the runtime to wire every primitive; "
+        f"saw only {sorted(constructed)}")
+
+
+def test_lint_catches_a_planted_violation(tmp_path):
+    planted = tmp_path / "bad.py"
+    planted.write_text(
+        "from repro.serve.admission import AdmissionQueue, RateLimiter\n"
+        "import repro.serve.microbatch as mb\n"
+        "queue = AdmissionQueue(maxsize=4)\n"
+        "limiter = RateLimiter(capacity=1, refill_per_second=1.0)\n"
+        "batcher = mb.MicroBatcher(size=4, deadline_seconds=0.01)\n",
+        encoding="utf-8")
+    found = violations_in(planted)
+    assert len(found) == 3
